@@ -1,0 +1,109 @@
+package inferturbo
+
+// One benchmark per table and figure of the paper's evaluation section,
+// each regenerating the corresponding experiment at the quick preset. Run
+// cmd/bench for the full-scale harness with formatted output; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+
+import (
+	"testing"
+
+	"inferturbo/internal/experiments"
+)
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(s)
+	}
+}
+
+func BenchmarkTable2Effectiveness(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table2(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Efficiency(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table3(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4Hops(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Consistency(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig7(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Scalability(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig8(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9PartialGather(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig9(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10OutDegree(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig10(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11PartialGatherIO(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig11(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12BroadcastIO(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig12(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13ShadowNodesIO(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig13(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Fraud detection: the financial scenario that motivates the paper's
+// consistency requirement. A transaction graph has a few hub accounts
+// (payment processors, mule accounts) with enormous degree; risk scores must
+// be identical every time the offline batch job runs, or downstream
+// decisions (freezing accounts, filing reports) become indefensible.
+//
+// This example trains a GAT risk model, then contrasts:
+//
+//   - the traditional sampled k-hop pipeline, which flips predictions
+//     between runs (different sampling seeds), and
+//   - InferTurbo full-graph inference, which is bit-identical across runs
+//     and backends, with the broadcast strategy taming the hub accounts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inferturbo"
+)
+
+func main() {
+	// A power-law transaction graph: out-degree skew models hub accounts
+	// fanning out to thousands of counterparties. Class 1 = risky.
+	ds := inferturbo.Generate(inferturbo.DatasetConfig{
+		Name: "transactions", Nodes: 4000, AvgDegree: 10,
+		Skew: inferturbo.SkewOut, Exponent: 1.7,
+		FeatureDim: 24, NumClasses: 2, Homophily: 0.8,
+		TrainFrac: 0.2, ValFrac: 0.1, Seed: 11,
+	})
+	g := ds.Graph
+	fmt.Printf("transaction graph: %d accounts, %d edges, max out-degree %d\n",
+		g.NumNodes, g.NumEdges, maxOutDegree(g))
+
+	model := inferturbo.NewGATModel("fraud-gat", inferturbo.TaskSingleLabel,
+		g.FeatureDim(), 8, 2, g.NumClasses, 2, inferturbo.NewRNG(12))
+	if _, err := inferturbo.Train(model, g, inferturbo.TrainConfig{
+		Epochs: 8, BatchSize: 64, Fanouts: []int{10, 10}, Seed: 13,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model test accuracy: %.3f\n\n", inferturbo.Evaluate(model, g, g.TestMask))
+
+	// --- Traditional pipeline: two runs, two different answers. ---
+	runSampled := func(seed int64) []int32 {
+		res, err := inferturbo.RunBaseline(model, g, inferturbo.BaselineOptions{
+			Workers: 4, Fanout: 5, Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Classes
+	}
+	mon, tue := runSampled(100), runSampled(200)
+	flips := 0
+	for v := range mon {
+		if mon[v] != tue[v] {
+			flips++
+		}
+	}
+	fmt.Printf("sampled k-hop pipeline (fanout 5): %d/%d accounts changed risk class between two runs\n",
+		flips, g.NumNodes)
+
+	// --- InferTurbo: every run identical, hubs handled by broadcast. ---
+	opts := inferturbo.InferOptions{
+		NumWorkers: 16, Broadcast: true, PartialGather: true, Parallel: true,
+	}
+	runFull := func() *inferturbo.InferResult {
+		res, err := inferturbo.InferPregel(model, g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	a, b := runFull(), runFull()
+	identical := a.Logits.Equal(b.Logits)
+	fmt.Printf("inferturbo full-graph: runs bit-identical = %v\n", identical)
+
+	mr, err := inferturbo.InferMapReduce(model, g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := 0
+	risky := 0
+	for v := range a.Classes {
+		if a.Classes[v] == mr.Classes[v] {
+			agree++
+		}
+		if a.Classes[v] == 1 {
+			risky++
+		}
+	}
+	fmt.Printf("pregel and mapreduce agree on %d/%d accounts; %d flagged risky\n",
+		agree, g.NumNodes, risky)
+	fmt.Printf("broadcast handled %d hub node-steps, saving repeated hub payloads\n",
+		a.Stats.BroadcastHubs)
+}
+
+func maxOutDegree(g *inferturbo.Graph) int {
+	max := 0
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		if d := g.OutDegree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}

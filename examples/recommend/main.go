@@ -1,0 +1,85 @@
+// Recommendation: an item-graph scoring job in the OGB-Products mold —
+// items linked by co-purchase edges carrying interaction features, scored
+// into catalogue categories nightly over the full graph.
+//
+// The example exercises the edge-feature path of SAGEConv (apply_edge runs
+// on the sender, which disables the broadcast strategy — the annotation
+// system handles that automatically) and compares the cost of running with
+// and without the skew strategies while verifying predictions never change.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inferturbo"
+)
+
+func main() {
+	ds := inferturbo.Generate(inferturbo.DatasetConfig{
+		Name: "items", Nodes: 3000, AvgDegree: 12,
+		Skew: inferturbo.SkewIn, Exponent: 1.8, // popular items have many in-links
+		FeatureDim: 32, NumClasses: 8, Homophily: 0.85,
+		TrainFrac: 0.3, ValFrac: 0.1, Seed: 31,
+		EdgeFeature: true, // co-purchase interaction features
+	})
+	g := ds.Graph
+	fmt.Printf("item graph: %d items, %d co-purchase edges (%d-dim edge features)\n",
+		g.NumNodes, g.NumEdges, g.EdgeFeatureDim())
+
+	model := inferturbo.NewSAGEModel("recommend", inferturbo.TaskSingleLabel,
+		g.FeatureDim(), 32, g.NumClasses, 2, g.EdgeFeatureDim(), inferturbo.NewRNG(32))
+	if _, err := inferturbo.Train(model, g, inferturbo.TrainConfig{
+		Epochs: 8, BatchSize: 64, Fanouts: []int{10, 10}, Seed: 33,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("category accuracy on held-out items: %.3f\n\n", inferturbo.Evaluate(model, g, g.TestMask))
+
+	configs := []struct {
+		name string
+		opts inferturbo.InferOptions
+	}{
+		{"base", inferturbo.InferOptions{NumWorkers: 16, Parallel: true}},
+		{"partial-gather", inferturbo.InferOptions{NumWorkers: 16, PartialGather: true, Parallel: true}},
+		{"pg+shadow-nodes", inferturbo.InferOptions{NumWorkers: 16, PartialGather: true, ShadowNodes: true, Parallel: true}},
+	}
+
+	var ref *inferturbo.InferResult
+	fmt.Printf("%-17s %12s %14s %12s %10s\n", "strategy", "messages", "bytes", "wall(s)", "same?")
+	for _, c := range configs {
+		res, err := inferturbo.InferPregel(model, g, c.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := inferturbo.SimulateCluster(inferturbo.PregelCluster(), res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		same := "ref"
+		if ref != nil {
+			if res.Logits.AllClose(ref.Logits, 2e-3) {
+				same = "yes"
+			} else {
+				same = "NO"
+			}
+		} else {
+			ref = res
+		}
+		fmt.Printf("%-17s %12d %14d %12.4f %10s\n",
+			c.name, res.Stats.MessagesSent, res.Stats.BytesSent, rep.WallSeconds, same)
+	}
+
+	// Note: with edge features, SAGE messages differ per out-edge, so the
+	// layers are not broadcast-safe; the signature annotations record that
+	// and the broadcast strategy would simply never activate.
+	fmt.Println("\n(edge features make messages per-edge, so broadcast is annotated off;")
+	fmt.Println(" shadow-nodes still balances hub out-degrees without changing results)")
+
+	// Nightly output: category histogram.
+	hist := map[int32]int{}
+	for _, c := range ref.Classes {
+		hist[c]++
+	}
+	fmt.Printf("\ncategory distribution over the catalogue: %v\n", hist)
+}

@@ -1,0 +1,285 @@
+// Package baseline implements the traditional GNN inference pipeline the
+// paper compares against (the PyG/DGL deployment style): a distributed graph
+// store serves k-hop (optionally sampled) neighborhoods to a pool of
+// inference workers, each of which runs a localized forward per batch of
+// target nodes.
+//
+// Two structural pathologies of this pipeline are what InferTurbo removes,
+// and both are reproduced here:
+//
+//   - redundant computation: neighborhoods of different targets overlap, so
+//     the same node is fetched and re-computed many times; the expansion-tree
+//     accounting below charges exactly that redundancy, which grows
+//     exponentially with hops;
+//   - inconsistency: with neighbor sampling, a node's prediction depends on
+//     the per-run sampling seed, so repeated runs flip classes (the paper's
+//     Fig 7).
+//
+// Predictions are computed for real (sampled subgraph + gas.Model forward),
+// while bytes/flops/memory are charged from the expansion-tree model so the
+// cost shape matches the real pipeline rather than our batched shortcut.
+package baseline
+
+import (
+	"fmt"
+
+	"inferturbo/internal/cluster"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/tensor"
+)
+
+// Options configures a traditional-pipeline run.
+type Options struct {
+	// Workers is the inference worker count (the paper uses 200×10 cores).
+	Workers int
+	// Fanout bounds sampled in-neighbors per hop; < 0 disables sampling.
+	Fanout int
+	// Hops overrides the neighborhood depth (default: model layers).
+	Hops int
+	// BatchSize is the number of target nodes a worker processes per
+	// localized forward (default 64).
+	BatchSize int
+	// Seed drives neighbor sampling. Different seeds emulate different
+	// runs; the consistency experiment varies this.
+	Seed int64
+	// MemLimitBytes caps a worker's peak memory; exceeded ⇒ OOM error,
+	// reproducing the paper's Table IV failure at nbr10000 × 3 hops.
+	// Zero means unlimited.
+	MemLimitBytes int64
+	// TargetMask optionally restricts inference to masked nodes (nil = all
+	// nodes, the full-graph inference task).
+	TargetMask []bool
+}
+
+func (o Options) withDefaults(m *gas.Model) Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Hops <= 0 {
+		o.Hops = m.NumLayers()
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	return o
+}
+
+// Stats aggregates the run's cost counters.
+type Stats struct {
+	Targets        int
+	TreeVisits     float64 // Σ expansion-tree sizes: the redundancy measure
+	Redundancy     float64 // TreeVisits / graph nodes
+	FetchedBytes   int64
+	StoreRequests  int64
+	PeakBatchBytes int64
+}
+
+// Result of a traditional-pipeline run.
+type Result struct {
+	// Logits holds rows only for target nodes (all nodes by default).
+	Logits *tensor.Matrix
+	// Classes are single-label predictions aligned with graph node ids;
+	// non-target nodes hold -1.
+	Classes []int32
+	// MultiLabel predictions for multi-label tasks.
+	MultiLabel *tensor.Matrix
+	Phases     []cluster.Phase
+	Stats      Stats
+}
+
+// ExpansionTree computes, for every node, the expected size of the sampled
+// k-hop expansion tree rooted there — the multiset of node visits a
+// localized forward materializes, counting overlaps between branches (no
+// dedup), which is exactly the redundant work the traditional pipeline
+// performs. T(v,0) = 1; T(v,d) = 1 + scale(v) · Σ_{u∈in(v)} T(u,d-1) with
+// scale = min(fanout, deg)/deg under sampling.
+func ExpansionTree(g *graph.Graph, hops, fanout int) []float64 {
+	cur := make([]float64, g.NumNodes)
+	for v := range cur {
+		cur[v] = 1
+	}
+	for d := 1; d <= hops; d++ {
+		next := make([]float64, g.NumNodes)
+		for v := int32(0); v < int32(g.NumNodes); v++ {
+			deg := g.InDegree(v)
+			if deg == 0 {
+				next[v] = 1
+				continue
+			}
+			scale := 1.0
+			if fanout >= 0 && fanout < deg {
+				scale = float64(fanout) / float64(deg)
+			}
+			var sum float64
+			for _, u := range g.InNeighbors(v) {
+				sum += cur[u]
+			}
+			next[v] = 1 + scale*sum
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Run executes the traditional pipeline: for every target node, fetch its
+// (sampled) k-hop neighborhood from the graph store and forward the model
+// over it.
+func Run(m *gas.Model, g *graph.Graph, opts Options) (*Result, error) {
+	opts = opts.withDefaults(m)
+	if g.FeatureDim() != m.InDim() {
+		return nil, fmt.Errorf("baseline: feature dim %d, model expects %d", g.FeatureDim(), m.InDim())
+	}
+
+	var targets []int32
+	if opts.TargetMask != nil {
+		targets = graph.MaskedNodes(opts.TargetMask)
+	} else {
+		targets = make([]int32, g.NumNodes)
+		for v := range targets {
+			targets[v] = int32(v)
+		}
+	}
+
+	tree := ExpansionTree(g, opts.Hops, opts.Fanout)
+	featBytes := int64(4 * g.FeatureDim())
+	maxDim := m.InDim()
+	for _, l := range m.Layers {
+		if l.OutDim() > maxDim {
+			maxDim = l.OutDim()
+		}
+	}
+
+	fanouts := make([]int, opts.Hops)
+	for i := range fanouts {
+		fanouts[i] = opts.Fanout
+	}
+
+	res := &Result{
+		Logits:  tensor.New(len(targets), m.NumClasses),
+		Classes: make([]int32, g.NumNodes),
+	}
+	for v := range res.Classes {
+		res.Classes[v] = -1
+	}
+	if m.Task == gas.TaskMultiLabel {
+		res.MultiLabel = tensor.New(g.NumNodes, m.NumClasses)
+	}
+
+	loads := make([]cluster.WorkerLoad, opts.Workers)
+	var st Stats
+	st.Targets = len(targets)
+
+	// Worker w owns targets w, w+W, ... processed in batches.
+	for w := 0; w < opts.Workers; w++ {
+		var owned []int32
+		for i := w; i < len(targets); i += opts.Workers {
+			owned = append(owned, targets[i])
+		}
+		rng := tensor.NewRNG(opts.Seed + int64(w)*7919)
+		var peak int64
+		for start := 0; start < len(owned); start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > len(owned) {
+				end = len(owned)
+			}
+			batch := owned[start:end]
+
+			// Accounting from the expansion-tree model: what the real
+			// pipeline fetches and computes for this batch.
+			var visits float64
+			for _, root := range batch {
+				visits += tree[root]
+			}
+			st.TreeVisits += visits
+			fetched := int64(visits * float64(featBytes))
+			loads[w].BytesIn += fetched
+			loads[w].MsgsIn += int64(visits)
+			loads[w].Flops += int64(visits) * batchFlops(m)
+			batchBytes := int64(visits) * int64(4*maxDim+int(featBytes))
+			if batchBytes > peak {
+				peak = batchBytes
+			}
+			st.FetchedBytes += fetched
+			st.StoreRequests += int64(visits)
+
+			if opts.MemLimitBytes > 0 && batchBytes > opts.MemLimitBytes {
+				return nil, &cluster.OOMError{
+					Phase: "khop-batch", Worker: w,
+					Need: batchBytes, Have: opts.MemLimitBytes,
+				}
+			}
+
+			// Real prediction: localized forward over the sampled batch
+			// subgraph (deduplicated — a fidelity shortcut that changes
+			// cost, which is why cost is charged above, not measured here).
+			khopOpts := graph.KHopOptions{Hops: opts.Hops}
+			if opts.Fanout >= 0 {
+				khopOpts.Fanouts = fanouts
+				khopOpts.RNG = rng
+			}
+			sub := graph.KHop(g, batch, khopOpts)
+			ctx := &gas.Context{
+				NodeState: sub.GatherFeatures(g),
+				SrcIndex:  sub.Src,
+				DstIndex:  sub.Dst,
+				EdgeState: sub.GatherEdgeFeatures(g),
+				NumNodes:  sub.NumNodes(),
+			}
+			logits := m.Infer(ctx)
+			for bi, root := range batch {
+				row := logits.Row(bi) // roots occupy the first local ids
+				res.Logits.SetRow(indexOf(targets, w, start+bi, opts.Workers), row)
+				if m.Task == gas.TaskMultiLabel {
+					for j, x := range row {
+						if x > 0 {
+							res.MultiLabel.Set(int(root), j, 1)
+						}
+					}
+				} else {
+					best := 0
+					for j := 1; j < len(row); j++ {
+						if row[j] > row[best] {
+							best = j
+						}
+					}
+					res.Classes[root] = int32(best)
+				}
+			}
+		}
+		loads[w].PeakMem = peak
+	}
+	st.Redundancy = st.TreeVisits / float64(g.NumNodes)
+	res.Stats = st
+	res.Phases = []cluster.Phase{{Name: "khop-inference", Workers: loads}}
+	return res, nil
+}
+
+// indexOf recovers the row of target i for worker w's position p in the
+// round-robin assignment: targets were assigned w, w+W, ...; position p maps
+// back to global index w + p*W.
+func indexOf(targets []int32, w, p, workers int) int {
+	idx := w + p*workers
+	if idx >= len(targets) {
+		panic("baseline: target index out of range")
+	}
+	return idx
+}
+
+// batchFlops is the per-tree-visit compute charge: each visited node costs
+// one layer application on average (visits are already multiplied across
+// layers by the tree model).
+func batchFlops(m *gas.Model) int64 {
+	var total int64
+	for _, l := range m.Layers {
+		switch c := l.(type) {
+		case *gas.SAGEConv:
+			total += int64(4 * c.InDim() * c.OutDim())
+		case *gas.GATConv:
+			total += int64(2 * c.InDim() * c.Heads() * c.HeadDim())
+		default:
+			total += int64(2 * l.InDim() * l.OutDim())
+		}
+	}
+	return total / int64(m.NumLayers())
+}

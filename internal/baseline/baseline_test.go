@@ -1,0 +1,224 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"inferturbo/internal/cluster"
+	"inferturbo/internal/datagen"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/inference"
+	"inferturbo/internal/tensor"
+)
+
+func testGraph(t *testing.T, nodes int) *graph.Graph {
+	t.Helper()
+	ds := datagen.Generate(datagen.Config{
+		Name: "b", Nodes: nodes, AvgDegree: 6, Skew: datagen.SkewIn, Exponent: 1.8,
+		FeatureDim: 8, NumClasses: 4, Seed: 21,
+	})
+	return ds.Graph
+}
+
+func testModel(t *testing.T) *gas.Model {
+	t.Helper()
+	return gas.NewSAGEModel("b", gas.TaskSingleLabel, 8, 10, 4, 2, 0, tensor.NewRNG(3))
+}
+
+func TestUnsampledBaselineMatchesFullGraph(t *testing.T) {
+	// With no sampling, the k-hop neighborhood is information-complete, so
+	// the localized forward must equal the full-graph forward at every node
+	// — the AGL sufficiency theorem (DESIGN.md invariant 4).
+	g := testGraph(t, 200)
+	m := testModel(t)
+	res, err := Run(m, g, Options{Workers: 3, Fanout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inference.ReferenceForward(m, g)
+	if !res.Logits.AllClose(want, 2e-3) {
+		t.Fatalf("unsampled baseline diverges from full graph: %v", res.Logits.MaxAbsDiff(want))
+	}
+	wantClasses := tensor.ArgmaxRows(want)
+	for v, c := range res.Classes {
+		if c != wantClasses[v] {
+			t.Fatalf("class of %d = %d, want %d", v, c, wantClasses[v])
+		}
+	}
+}
+
+func TestSamplingIsInconsistentAcrossSeeds(t *testing.T) {
+	// The pathology the paper measures in Fig 7: small fanouts flip
+	// predictions between runs.
+	g := testGraph(t, 400)
+	m := testModel(t)
+	a, err := Run(m, g, Options{Workers: 3, Fanout: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, g, Options{Workers: 3, Fanout: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := 0
+	for v := range a.Classes {
+		if a.Classes[v] != b.Classes[v] {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Fatal("expected prediction flips under aggressive sampling")
+	}
+}
+
+func TestSameSeedIsDeterministic(t *testing.T) {
+	g := testGraph(t, 200)
+	m := testModel(t)
+	a, err := Run(m, g, Options{Workers: 3, Fanout: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, g, Options{Workers: 3, Fanout: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Logits.Equal(b.Logits) {
+		t.Fatal("same seed must reproduce identical logits")
+	}
+}
+
+func TestExpansionTreeGrowsWithHops(t *testing.T) {
+	g := testGraph(t, 300)
+	prev := 0.0
+	for hops := 0; hops <= 3; hops++ {
+		tree := ExpansionTree(g, hops, -1)
+		var total float64
+		for _, v := range tree {
+			total += v
+		}
+		if total <= prev {
+			t.Fatalf("tree visits must grow with hops: %v then %v", prev, total)
+		}
+		prev = total
+	}
+}
+
+func TestExpansionTreeSamplingBounds(t *testing.T) {
+	g := testGraph(t, 300)
+	full := ExpansionTree(g, 2, -1)
+	sampled := ExpansionTree(g, 2, 2)
+	for v := range full {
+		if sampled[v] > full[v]+1e-9 {
+			t.Fatalf("sampling must not increase tree size at %d: %v > %v", v, sampled[v], full[v])
+		}
+	}
+	// Zero-hop trees are exactly 1.
+	zero := ExpansionTree(g, 0, -1)
+	for _, x := range zero {
+		if x != 1 {
+			t.Fatal("0-hop tree must be 1")
+		}
+	}
+}
+
+func TestRedundancyExceedsOne(t *testing.T) {
+	g := testGraph(t, 300)
+	m := testModel(t)
+	res, err := Run(m, g, Options{Workers: 2, Fanout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redundant computation: visits well beyond one per node.
+	if res.Stats.Redundancy < 2 {
+		t.Fatalf("redundancy = %v, expected >= 2 on a 2-layer model", res.Stats.Redundancy)
+	}
+}
+
+func TestOOMAtLargeFanoutDeepHops(t *testing.T) {
+	g := testGraph(t, 400)
+	m := gas.NewSAGEModel("deep", gas.TaskSingleLabel, 8, 10, 4, 3, 0, tensor.NewRNG(4))
+	// A cap that survives fanout 5 but not fanout 10000 at 3 hops.
+	small, err := Run(m, g, Options{Workers: 2, Fanout: 5, MemLimitBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("small fanout should fit: %v", err)
+	}
+	if small.Stats.TreeVisits == 0 {
+		t.Fatal("stats missing")
+	}
+	_, err = Run(m, g, Options{Workers: 2, Fanout: 10000, MemLimitBytes: 1 << 20})
+	var oom *cluster.OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("expected OOM at fanout 10000 × 3 hops, got %v", err)
+	}
+}
+
+func TestTargetMaskRestrictsWork(t *testing.T) {
+	g := testGraph(t, 200)
+	m := testModel(t)
+	mask := make([]bool, g.NumNodes)
+	for v := 0; v < 20; v++ {
+		mask[v] = true
+	}
+	res, err := Run(m, g, Options{Workers: 2, Fanout: -1, TargetMask: mask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Targets != 20 || res.Logits.Rows != 20 {
+		t.Fatalf("targets = %d rows = %d", res.Stats.Targets, res.Logits.Rows)
+	}
+	// Unmasked nodes keep the -1 sentinel.
+	if res.Classes[50] != -1 {
+		t.Fatal("non-target nodes must stay unpredicted")
+	}
+	full, err := Run(m, g, Options{Workers: 2, Fanout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.TreeVisits <= res.Stats.TreeVisits {
+		t.Fatal("masked run must do less work")
+	}
+}
+
+func TestPhasesAndLoads(t *testing.T) {
+	g := testGraph(t, 150)
+	m := testModel(t)
+	res, err := Run(m, g, Options{Workers: 4, Fanout: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 1 || len(res.Phases[0].Workers) != 4 {
+		t.Fatal("expected one phase with 4 worker loads")
+	}
+	var flops, bytes int64
+	for _, l := range res.Phases[0].Workers {
+		flops += l.Flops
+		bytes += l.BytesIn
+		if l.PeakMem == 0 {
+			t.Fatal("peak memory not charged")
+		}
+	}
+	if flops == 0 || bytes == 0 {
+		t.Fatal("loads not charged")
+	}
+}
+
+func TestMultiLabelBaseline(t *testing.T) {
+	g := testGraph(t, 100)
+	m := gas.NewSAGEModel("ml", gas.TaskMultiLabel, 8, 8, 4, 2, 0, tensor.NewRNG(5))
+	res, err := Run(m, g, Options{Workers: 2, Fanout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MultiLabel == nil {
+		t.Fatal("multi-label output missing")
+	}
+}
+
+func TestDimMismatchRejected(t *testing.T) {
+	g := testGraph(t, 50)
+	bad := gas.NewSAGEModel("bad", gas.TaskSingleLabel, 99, 8, 4, 2, 0, tensor.NewRNG(6))
+	if _, err := Run(bad, g, Options{Workers: 2}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

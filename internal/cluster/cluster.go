@@ -1,0 +1,200 @@
+// Package cluster converts the work and traffic counters emitted by the
+// engines and the baseline into simulated wall-clock time, cpu·minutes and
+// out-of-memory verdicts, standing in for the paper's production clusters.
+//
+// The model is deliberately simple and deterministic: per worker and phase,
+// compute time is flops / (cores × flop rate), network time is
+// max(in, out) bytes / bandwidth plus a per-message overhead, and a BSP
+// barrier makes each phase as slow as its slowest worker. Every comparison
+// the paper draws (linear-vs-exponential in hops, straggler variance,
+// 30–50× speedups) is a ratio of counted work, which this model preserves;
+// only the absolute seconds are synthetic.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spec describes a homogeneous worker pool.
+type Spec struct {
+	Name               string
+	Workers            int
+	CoresPerWorker     int
+	MemPerWorkerBytes  int64
+	FlopsPerCoreSec    float64
+	NetBytesPerSec     float64
+	PerMessageOverhead float64 // seconds of fixed cost per message received
+}
+
+// The paper's three deployments, scaled only in absolute rates (shape-
+// preserving): the Pregel backend cluster (1000 × 2 CPU, 10 GB), the
+// MapReduce cluster (1000 of the 5000 × 2 CPU, 2 GB instances are used for
+// fair comparisons), and the traditional pipeline's inference workers
+// (200 × 10 CPU, 10 GB, plus a 20-worker distributed graph store).
+
+// PregelCluster mirrors the paper's graph-processing deployment.
+func PregelCluster() Spec {
+	return Spec{
+		Name: "on-pregel", Workers: 1000, CoresPerWorker: 2,
+		MemPerWorkerBytes: 10 << 30, FlopsPerCoreSec: 2e9,
+		NetBytesPerSec: 2.5e9, PerMessageOverhead: 2e-7,
+	}
+}
+
+// MapReduceCluster mirrors the paper's batch-processing deployment. The
+// external-storage data flow costs extra IO, modelled as lower effective
+// bandwidth; memory per worker is small but spilling means the memory gate
+// applies per loaded partition slice, not the whole partition.
+func MapReduceCluster() Spec {
+	return Spec{
+		Name: "on-mr", Workers: 1000, CoresPerWorker: 2,
+		MemPerWorkerBytes: 2 << 30, FlopsPerCoreSec: 2e9,
+		NetBytesPerSec: 1.2e9, PerMessageOverhead: 3e-7,
+	}
+}
+
+// BaselineCluster mirrors the traditional pipeline: 200 ten-core inference
+// workers; the graph-store round trips are charged via per-message overhead.
+func BaselineCluster() Spec {
+	return Spec{
+		Name: "traditional", Workers: 200, CoresPerWorker: 10,
+		MemPerWorkerBytes: 10 << 30, FlopsPerCoreSec: 2e9,
+		NetBytesPerSec: 2.5e9, PerMessageOverhead: 5e-6,
+	}
+}
+
+// WorkerLoad is one worker's activity during one phase.
+type WorkerLoad struct {
+	Flops    int64
+	BytesIn  int64
+	BytesOut int64
+	MsgsIn   int64
+	MsgsOut  int64
+	PeakMem  int64
+}
+
+// Add accumulates another load into w.
+func (w *WorkerLoad) Add(o WorkerLoad) {
+	w.Flops += o.Flops
+	w.BytesIn += o.BytesIn
+	w.BytesOut += o.BytesOut
+	w.MsgsIn += o.MsgsIn
+	w.MsgsOut += o.MsgsOut
+	if o.PeakMem > w.PeakMem {
+		w.PeakMem = o.PeakMem
+	}
+}
+
+// Phase is one BSP phase (superstep / MapReduce round) of per-worker loads.
+type Phase struct {
+	Name    string
+	Workers []WorkerLoad
+}
+
+// OOMError reports a worker whose peak memory exceeded the spec.
+type OOMError struct {
+	Phase  string
+	Worker int
+	Need   int64
+	Have   int64
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("cluster: OOM in phase %q worker %d: need %d bytes, have %d",
+		e.Phase, e.Worker, e.Need, e.Have)
+}
+
+// Report is the simulation outcome.
+type Report struct {
+	Spec          Spec
+	WallSeconds   float64
+	CPUMinutes    float64 // reserved cores × wall time, the paper's measure
+	PhaseSeconds  []float64
+	WorkerSeconds []float64   // per-worker total busy time (straggler view)
+	PhaseWorker   [][]float64 // [phase][worker] latency
+}
+
+// WorkerTime prices one worker-phase load under the spec.
+func (s Spec) WorkerTime(l WorkerLoad) float64 {
+	compute := float64(l.Flops) / (float64(s.CoresPerWorker) * s.FlopsPerCoreSec)
+	net := math.Max(float64(l.BytesIn), float64(l.BytesOut))/s.NetBytesPerSec +
+		float64(l.MsgsIn)*s.PerMessageOverhead
+	return compute + net
+}
+
+// Simulate prices a sequence of phases on the spec. It returns an OOMError
+// when any worker's peak memory exceeds the budget — the failure mode the
+// paper's Table IV reports for nbr10000 at 3 hops.
+func Simulate(spec Spec, phases []Phase) (*Report, error) {
+	r := &Report{Spec: spec, WorkerSeconds: make([]float64, spec.Workers)}
+	for _, ph := range phases {
+		if len(ph.Workers) != spec.Workers {
+			return nil, fmt.Errorf("cluster: phase %q has %d workers, spec has %d",
+				ph.Name, len(ph.Workers), spec.Workers)
+		}
+		var slowest float64
+		times := make([]float64, spec.Workers)
+		for w, l := range ph.Workers {
+			if l.PeakMem > spec.MemPerWorkerBytes {
+				return nil, &OOMError{Phase: ph.Name, Worker: w, Need: l.PeakMem, Have: spec.MemPerWorkerBytes}
+			}
+			t := spec.WorkerTime(l)
+			times[w] = t
+			r.WorkerSeconds[w] += t
+			if t > slowest {
+				slowest = t
+			}
+		}
+		r.PhaseSeconds = append(r.PhaseSeconds, slowest)
+		r.PhaseWorker = append(r.PhaseWorker, times)
+		r.WallSeconds += slowest
+	}
+	r.CPUMinutes = r.WallSeconds / 60 * float64(spec.Workers) * float64(spec.CoresPerWorker)
+	return r, nil
+}
+
+// Variance returns the population variance of xs — the paper's Fig 10
+// metric over per-worker times.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	return v / float64(len(xs))
+}
+
+// TailMean returns the mean of the top fraction (e.g. 0.1 for the slowest
+// 10% of workers) of xs — the paper's tail-worker IO metric.
+func TailMean(xs []float64, fraction float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	// Insertion sort is fine at worker-count scale and keeps this
+	// dependency-free.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	k := int(float64(len(sorted)) * fraction)
+	if k < 1 {
+		k = 1
+	}
+	tail := sorted[len(sorted)-k:]
+	var sum float64
+	for _, x := range tail {
+		sum += x
+	}
+	return sum / float64(len(tail))
+}

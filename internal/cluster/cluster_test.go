@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func tinySpec() Spec {
+	return Spec{
+		Name: "tiny", Workers: 2, CoresPerWorker: 2,
+		MemPerWorkerBytes: 1000, FlopsPerCoreSec: 100,
+		NetBytesPerSec: 10, PerMessageOverhead: 0.5,
+	}
+}
+
+func TestWorkerTimeComponents(t *testing.T) {
+	s := tinySpec()
+	// 400 flops on 2 cores @100 flops/s = 2s; 20 bytes in / 10 Bps = 2s;
+	// 2 msgs × 0.5s = 1s. Total 5s.
+	got := s.WorkerTime(WorkerLoad{Flops: 400, BytesIn: 20, MsgsIn: 2})
+	if math.Abs(got-5) > 1e-9 {
+		t.Fatalf("WorkerTime = %v, want 5", got)
+	}
+}
+
+func TestWorkerTimeUsesMaxOfInOut(t *testing.T) {
+	s := tinySpec()
+	in := s.WorkerTime(WorkerLoad{BytesIn: 100})
+	out := s.WorkerTime(WorkerLoad{BytesOut: 100})
+	both := s.WorkerTime(WorkerLoad{BytesIn: 100, BytesOut: 100})
+	if in != out || both != in {
+		t.Fatalf("duplex accounting wrong: in=%v out=%v both=%v", in, out, both)
+	}
+}
+
+func TestSimulateBarrierTakesSlowestWorker(t *testing.T) {
+	s := tinySpec()
+	rep, err := Simulate(s, []Phase{{
+		Name: "p0",
+		Workers: []WorkerLoad{
+			{Flops: 200}, // 1s
+			{Flops: 800}, // 4s
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.WallSeconds-4) > 1e-9 {
+		t.Fatalf("wall = %v, want 4 (barrier)", rep.WallSeconds)
+	}
+	if math.Abs(rep.WorkerSeconds[0]-1) > 1e-9 {
+		t.Fatalf("worker 0 busy = %v", rep.WorkerSeconds[0])
+	}
+}
+
+func TestSimulatePhasesAccumulate(t *testing.T) {
+	s := tinySpec()
+	ph := Phase{Name: "p", Workers: []WorkerLoad{{Flops: 200}, {Flops: 200}}}
+	rep, err := Simulate(s, []Phase{ph, ph, ph})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.WallSeconds-3) > 1e-9 {
+		t.Fatalf("wall = %v, want 3", rep.WallSeconds)
+	}
+	if len(rep.PhaseSeconds) != 3 || len(rep.PhaseWorker) != 3 {
+		t.Fatal("per-phase records missing")
+	}
+}
+
+func TestCPUMinutesIsReservedTime(t *testing.T) {
+	s := tinySpec()
+	rep, err := Simulate(s, []Phase{{Name: "p", Workers: []WorkerLoad{{Flops: 200}, {}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1s wall × 2 workers × 2 cores / 60.
+	want := 1.0 / 60 * 4
+	if math.Abs(rep.CPUMinutes-want) > 1e-9 {
+		t.Fatalf("cpu·min = %v, want %v", rep.CPUMinutes, want)
+	}
+}
+
+func TestSimulateOOM(t *testing.T) {
+	s := tinySpec()
+	_, err := Simulate(s, []Phase{{
+		Name:    "big",
+		Workers: []WorkerLoad{{PeakMem: 2000}, {}},
+	}})
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("expected OOMError, got %v", err)
+	}
+	if oom.Worker != 0 || oom.Phase != "big" {
+		t.Fatalf("oom details = %+v", oom)
+	}
+}
+
+func TestSimulateRejectsWorkerMismatch(t *testing.T) {
+	s := tinySpec()
+	if _, err := Simulate(s, []Phase{{Name: "p", Workers: []WorkerLoad{{}}}}); err == nil {
+		t.Fatal("expected worker count error")
+	}
+}
+
+func TestWorkerLoadAdd(t *testing.T) {
+	a := WorkerLoad{Flops: 1, BytesIn: 2, BytesOut: 3, MsgsIn: 4, MsgsOut: 5, PeakMem: 10}
+	a.Add(WorkerLoad{Flops: 10, BytesIn: 20, BytesOut: 30, MsgsIn: 40, MsgsOut: 50, PeakMem: 5})
+	if a.Flops != 11 || a.BytesIn != 22 || a.BytesOut != 33 || a.MsgsIn != 44 || a.MsgsOut != 55 {
+		t.Fatalf("Add = %+v", a)
+	}
+	if a.PeakMem != 10 {
+		t.Fatal("PeakMem must take the max")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if Variance(nil) != 0 {
+		t.Fatal("empty variance must be 0")
+	}
+	if v := Variance([]float64{2, 2, 2}); v != 0 {
+		t.Fatalf("constant variance = %v", v)
+	}
+	if v := Variance([]float64{1, 3}); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("variance = %v, want 1", v)
+	}
+}
+
+func TestTailMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if m := TailMean(xs, 0.1); m != 10 {
+		t.Fatalf("tail 10%% = %v, want 10", m)
+	}
+	if m := TailMean(xs, 0.2); m != 9.5 {
+		t.Fatalf("tail 20%% = %v, want 9.5", m)
+	}
+	if m := TailMean([]float64{5}, 0.1); m != 5 {
+		t.Fatalf("singleton tail = %v", m)
+	}
+	if TailMean(nil, 0.5) != 0 {
+		t.Fatal("empty tail must be 0")
+	}
+}
+
+func TestPaperClusterSpecsSane(t *testing.T) {
+	for _, s := range []Spec{PregelCluster(), MapReduceCluster(), BaselineCluster()} {
+		if s.Workers <= 0 || s.CoresPerWorker <= 0 || s.FlopsPerCoreSec <= 0 || s.NetBytesPerSec <= 0 {
+			t.Fatalf("spec %q invalid: %+v", s.Name, s)
+		}
+	}
+	// Fairness property the paper states: equal total cores between ours and
+	// the traditional pipeline's inference workers.
+	ours := PregelCluster()
+	base := BaselineCluster()
+	if ours.Workers*ours.CoresPerWorker != base.Workers*base.CoresPerWorker {
+		t.Fatalf("total cores differ: %d vs %d",
+			ours.Workers*ours.CoresPerWorker, base.Workers*base.CoresPerWorker)
+	}
+}

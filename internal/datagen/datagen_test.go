@@ -1,0 +1,220 @@
+package datagen
+
+import (
+	"testing"
+
+	"inferturbo/internal/graph"
+	"inferturbo/internal/tensor"
+)
+
+func TestGenerateValidGraph(t *testing.T) {
+	ds := Generate(Config{
+		Name: "t", Nodes: 500, AvgDegree: 8, Skew: SkewIn, Exponent: 1.8,
+		FeatureDim: 16, NumClasses: 4, TrainFrac: 0.5, ValFrac: 0.2, Seed: 1,
+	})
+	g := ds.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid graph: %v", err)
+	}
+	if g.NumNodes != 500 {
+		t.Fatalf("nodes = %d", g.NumNodes)
+	}
+	if g.Features.Rows != 500 || g.Features.Cols != 16 {
+		t.Fatalf("features = %dx%d", g.Features.Rows, g.Features.Cols)
+	}
+	if len(g.Labels) != 500 {
+		t.Fatal("labels missing")
+	}
+	for _, l := range g.Labels {
+		if l < 0 || int(l) >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Nodes: 200, AvgDegree: 5, Skew: SkewOut, Exponent: 2,
+		FeatureDim: 8, NumClasses: 3, Seed: 42})
+	b := Generate(Config{Nodes: 200, AvgDegree: 5, Skew: SkewOut, Exponent: 2,
+		FeatureDim: 8, NumClasses: 3, Seed: 42})
+	if a.Graph.NumEdges != b.Graph.NumEdges {
+		t.Fatal("same seed must give same edge count")
+	}
+	if !a.Graph.Features.Equal(b.Graph.Features) {
+		t.Fatal("same seed must give identical features")
+	}
+	as, ad := a.Graph.EdgeList()
+	bs, bd := b.Graph.EdgeList()
+	for i := range as {
+		if as[i] != bs[i] || ad[i] != bd[i] {
+			t.Fatal("same seed must give identical edges")
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a := Generate(Config{Nodes: 200, AvgDegree: 5, FeatureDim: 8, NumClasses: 3, Seed: 1, Skew: SkewNone})
+	b := Generate(Config{Nodes: 200, AvgDegree: 5, FeatureDim: 8, NumClasses: 3, Seed: 2, Skew: SkewNone})
+	if a.Graph.Features.Equal(b.Graph.Features) {
+		t.Fatal("different seeds should give different features")
+	}
+}
+
+func TestSkewInProducesInDegreeSkew(t *testing.T) {
+	ds := Generate(Config{Nodes: 2000, AvgDegree: 10, Skew: SkewIn, Exponent: 1.6,
+		FeatureDim: 4, NumClasses: 2, Seed: 3})
+	in := graph.InDegreeStats(ds.Graph)
+	out := graph.OutDegreeStats(ds.Graph)
+	if in.Gini <= out.Gini {
+		t.Fatalf("in-skew dataset must have more unequal in-degrees: in=%v out=%v", in.Gini, out.Gini)
+	}
+	if in.Max < 5*int(in.Mean) {
+		t.Fatalf("expected hub nodes: max=%d mean=%v", in.Max, in.Mean)
+	}
+}
+
+func TestSkewOutProducesOutDegreeSkew(t *testing.T) {
+	ds := Generate(Config{Nodes: 2000, AvgDegree: 10, Skew: SkewOut, Exponent: 1.6,
+		FeatureDim: 4, NumClasses: 2, Seed: 4})
+	in := graph.InDegreeStats(ds.Graph)
+	out := graph.OutDegreeStats(ds.Graph)
+	if out.Gini <= in.Gini {
+		t.Fatalf("out-skew dataset must have more unequal out-degrees: in=%v out=%v", in.Gini, out.Gini)
+	}
+}
+
+func TestEdgeCountNearTarget(t *testing.T) {
+	cfg := Config{Nodes: 1000, AvgDegree: 10, Skew: SkewIn, Exponent: 1.8,
+		FeatureDim: 4, NumClasses: 2, Seed: 5}
+	ds := Generate(cfg)
+	target := cfg.Nodes * cfg.AvgDegree
+	got := ds.Graph.NumEdges
+	if got < target/2 || got > target*2 {
+		t.Fatalf("edges = %d, target %d", got, target)
+	}
+}
+
+func TestMasksPartition(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	train, val, test := SplitMasks(100, 0.6, 0.2, rng)
+	nTrain, nVal, nTest := 0, 0, 0
+	for i := 0; i < 100; i++ {
+		set := 0
+		if train[i] {
+			set++
+			nTrain++
+		}
+		if val[i] {
+			set++
+			nVal++
+		}
+		if test[i] {
+			set++
+			nTest++
+		}
+		if set != 1 {
+			t.Fatalf("node %d in %d masks", i, set)
+		}
+	}
+	if nTrain != 60 || nVal != 20 || nTest != 20 {
+		t.Fatalf("split = %d/%d/%d", nTrain, nVal, nTest)
+	}
+}
+
+func TestPPILikeIsMultiLabel(t *testing.T) {
+	ds := PPILike(300, 1)
+	g := ds.Graph
+	if g.MultiLabels == nil || g.Labels != nil {
+		t.Fatal("PPI-like must be multi-label")
+	}
+	if g.MultiLabels.Cols != 121 {
+		t.Fatalf("classes = %d", g.MultiLabels.Cols)
+	}
+	if g.Features.Cols != 50 {
+		t.Fatalf("feature dim = %d", g.Features.Cols)
+	}
+	// Every node has at least its primary label.
+	for v := 0; v < g.NumNodes; v++ {
+		var s float32
+		for _, x := range g.MultiLabels.Row(v) {
+			s += x
+		}
+		if s < 1 {
+			t.Fatalf("node %d has no labels", v)
+		}
+	}
+}
+
+func TestProductsLikeShape(t *testing.T) {
+	ds := ProductsLike(400, 2)
+	if ds.Graph.NumClasses != 47 || ds.Graph.Features.Cols != 100 {
+		t.Fatal("products-like dims wrong")
+	}
+	if err := ds.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAGLikeShape(t *testing.T) {
+	ds := MAGLike(400, 0, 3)
+	if ds.Graph.NumClasses != 153 || ds.Graph.Features.Cols != 128 {
+		t.Fatal("mag-like dims wrong")
+	}
+	ds2 := MAGLike(100, 32, 3)
+	if ds2.Graph.Features.Cols != 32 {
+		t.Fatal("featureDim override ignored")
+	}
+}
+
+func TestPowerLawTrainFractionIsMillesimal(t *testing.T) {
+	ds := PowerLaw(3000, SkewIn, 4)
+	n := 0
+	for _, m := range ds.Graph.TrainMask {
+		if m {
+			n++
+		}
+	}
+	if n == 0 || n > 3000/100 {
+		t.Fatalf("train nodes = %d, want about 3", n)
+	}
+}
+
+func TestHomophilyMakesTaskLearnable(t *testing.T) {
+	// With strong homophily, the majority label among in-neighbors should
+	// usually match the node's own label — the signal GNNs exploit.
+	ds := Generate(Config{Nodes: 1500, AvgDegree: 12, Skew: SkewNone,
+		FeatureDim: 8, NumClasses: 3, Homophily: 0.9, Seed: 6})
+	g := ds.Graph
+	agree, total := 0, 0
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		for _, u := range g.InNeighbors(v) {
+			total++
+			if g.Labels[u] == g.Labels[v] {
+				agree++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no edges")
+	}
+	if frac := float64(agree) / float64(total); frac < 0.6 {
+		t.Fatalf("homophily fraction = %v, want > 0.6", frac)
+	}
+}
+
+func TestEdgeFeatureFlag(t *testing.T) {
+	ds := Generate(Config{Nodes: 100, AvgDegree: 4, Skew: SkewNone,
+		FeatureDim: 4, NumClasses: 2, Seed: 7, EdgeFeature: true})
+	if ds.Graph.EdgeFeatures == nil || ds.Graph.EdgeFeatures.Cols != 4 {
+		t.Fatal("edge features missing")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Config{Nodes: 0, AvgDegree: 1, FeatureDim: 1, NumClasses: 1})
+}

@@ -1,0 +1,266 @@
+// Package gas implements the paper's core contribution: a GAS-like
+// (Gather-Apply-Scatter) abstraction for GNN layers that unifies mini-batch
+// training and full-graph inference.
+//
+// A layer is described by five stages. Two are data flow and built in:
+//
+//	scatter_nbrs — a node's state is sent along its out-edges
+//	gather_nbrs  — a node receives messages via its in-edges
+//
+// Three are computation flow and supplied by each convolution:
+//
+//	apply_edge — transform the per-edge message with edge features
+//	aggregate  — reduce incoming messages; must be commutative+associative
+//	             (sum/mean/max/min) or declared Union and deferred
+//	apply_node — combine own state with the aggregate into the new state
+//
+// The reduce kind is the paper's annotation: a non-Union reduce is eligible
+// for the partial-gather (combiner-side) optimization, and an identity
+// apply_edge makes the layer broadcast-safe (every out-edge carries the same
+// message). Both backends in internal/inference consume exactly this
+// interface, and internal/train drives the same interface with backprop.
+package gas
+
+import (
+	"fmt"
+
+	"inferturbo/internal/nn"
+	"inferturbo/internal/tensor"
+)
+
+// ReduceKind is the aggregation annotation of a layer's gather stage.
+type ReduceKind int
+
+const (
+	// ReduceSum adds messages per destination.
+	ReduceSum ReduceKind = iota
+	// ReduceMean averages messages per destination. Distributed partials
+	// carry (sum, count) pairs so merging stays exact.
+	ReduceMean
+	// ReduceMax takes the elementwise max per destination.
+	ReduceMax
+	// ReduceMin takes the elementwise min per destination.
+	ReduceMin
+	// ReduceUnion performs no reduction: apply_node receives the raw
+	// messages and destination indices (the GAT case). Union layers cannot
+	// use partial-gather.
+	ReduceUnion
+)
+
+// String returns the annotation name used in signature files.
+func (k ReduceKind) String() string {
+	switch k {
+	case ReduceSum:
+		return "sum"
+	case ReduceMean:
+		return "mean"
+	case ReduceMax:
+		return "max"
+	case ReduceMin:
+		return "min"
+	case ReduceUnion:
+		return "union"
+	default:
+		return fmt.Sprintf("reduce(%d)", int(k))
+	}
+}
+
+// ParseReduceKind inverts String.
+func ParseReduceKind(s string) (ReduceKind, error) {
+	switch s {
+	case "sum":
+		return ReduceSum, nil
+	case "mean":
+		return ReduceMean, nil
+	case "max":
+		return ReduceMax, nil
+	case "min":
+		return ReduceMin, nil
+	case "union":
+		return ReduceUnion, nil
+	}
+	return 0, fmt.Errorf("gas: unknown reduce kind %q", s)
+}
+
+// Commutative reports whether the reduce obeys the commutative/associative
+// laws the paper requires for sender-side (partial) aggregation.
+func (k ReduceKind) Commutative() bool { return k != ReduceUnion }
+
+// Context carries the local tensors a layer forward operates on: the current
+// node states plus the edge structure in local indices. It is produced
+// either from a k-hop subgraph (training) or from a worker's received
+// messages (inference).
+type Context struct {
+	NodeState *tensor.Matrix // N x D current states (h^k)
+	SrcIndex  []int32        // E source local ids
+	DstIndex  []int32        // E destination local ids
+	EdgeState *tensor.Matrix // E x De edge features, or nil
+	NumNodes  int
+}
+
+// Validate checks index bounds; used by tests and the inference drivers.
+func (c *Context) Validate() error {
+	if c.NodeState != nil && c.NodeState.Rows != c.NumNodes {
+		return fmt.Errorf("gas: %d state rows for %d nodes", c.NodeState.Rows, c.NumNodes)
+	}
+	if len(c.SrcIndex) != len(c.DstIndex) {
+		return fmt.Errorf("gas: %d src vs %d dst indices", len(c.SrcIndex), len(c.DstIndex))
+	}
+	for i := range c.SrcIndex {
+		if int(c.SrcIndex[i]) >= c.NumNodes || int(c.DstIndex[i]) >= c.NumNodes ||
+			c.SrcIndex[i] < 0 || c.DstIndex[i] < 0 {
+			return fmt.Errorf("gas: edge %d out of range", i)
+		}
+	}
+	if c.EdgeState != nil && c.EdgeState.Rows != len(c.SrcIndex) {
+		return fmt.Errorf("gas: %d edge-state rows for %d edges", c.EdgeState.Rows, len(c.SrcIndex))
+	}
+	return nil
+}
+
+// Aggregated is the output of the gather stage. For pooled reduces, Pooled
+// is N x D (plus Counts for mean); for Union, Messages and Dst carry the raw
+// edge-level data.
+type Aggregated struct {
+	Kind     ReduceKind
+	Pooled   *tensor.Matrix
+	Counts   []int32
+	Messages *tensor.Matrix
+	Dst      []int32
+}
+
+// Gather performs the built-in gather/aggregate stage over edge messages.
+func Gather(kind ReduceKind, messages *tensor.Matrix, dst []int32, numNodes int) *Aggregated {
+	a := &Aggregated{Kind: kind}
+	switch kind {
+	case ReduceSum:
+		a.Pooled = tensor.SegmentSum(messages, dst, numNodes)
+		a.Counts = tensor.SegmentCount(dst, numNodes) // receiver in-degree (GCN normalization)
+	case ReduceMean:
+		a.Pooled = tensor.SegmentSum(messages, dst, numNodes)
+		a.Counts = tensor.SegmentCount(dst, numNodes)
+		divideByCounts(a.Pooled, a.Counts)
+	case ReduceMax:
+		a.Pooled = tensor.SegmentMax(messages, dst, numNodes)
+	case ReduceMin:
+		a.Pooled = tensor.SegmentMin(messages, dst, numNodes)
+	case ReduceUnion:
+		a.Messages = messages
+		a.Dst = dst
+	default:
+		panic("gas: unknown reduce kind")
+	}
+	return a
+}
+
+func divideByCounts(m *tensor.Matrix, counts []int32) {
+	for i := 0; i < m.Rows; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		inv := 1 / float32(counts[i])
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// Conv is one GNN layer in the GAS abstraction. Forward/Backward are the
+// training path (Forward caches intermediates); Infer is the stateless
+// full-graph path shared by both inference backends.
+type Conv interface {
+	// Type identifies the layer in signature files ("sage", "gat").
+	Type() string
+	// Reduce is the aggregate annotation.
+	Reduce() ReduceKind
+	// BroadcastSafe reports whether every out-edge of a node carries an
+	// identical message (apply_edge ignores edge state), enabling the
+	// broadcast strategy.
+	BroadcastSafe() bool
+	// InDim / OutDim are the node-state dimensions consumed and produced.
+	InDim() int
+	OutDim() int
+	// ApplyEdge transforms per-edge messages (rows = gathered src states)
+	// using edge features; must not mutate its inputs.
+	ApplyEdge(msg, edgeState *tensor.Matrix) *tensor.Matrix
+	// ApplyNode combines previous node states with the aggregate.
+	ApplyNode(nodeState *tensor.Matrix, aggr *Aggregated) *tensor.Matrix
+	// Infer runs scatter→apply_edge→gather→apply_node without caching.
+	Infer(ctx *Context) *tensor.Matrix
+	// Forward is Infer plus caching for Backward.
+	Forward(ctx *Context) *tensor.Matrix
+	// Backward consumes d(out) and returns d(nodeState), accumulating
+	// parameter gradients.
+	Backward(dOut *tensor.Matrix) *tensor.Matrix
+	// Params exposes trainable parameters.
+	Params() []*nn.Param
+}
+
+// InferLayer is the canonical stateless data flow every Conv.Infer uses:
+// the default_scatter_and_gather of the paper's pseudocode.
+func InferLayer(c Conv, ctx *Context) *tensor.Matrix {
+	msg := tensor.GatherRows(ctx.NodeState, ctx.SrcIndex) // scatter_nbrs
+	msg = c.ApplyEdge(msg, ctx.EdgeState)                 // apply_edge
+	aggr := Gather(c.Reduce(), msg, ctx.DstIndex, ctx.NumNodes)
+	return c.ApplyNode(ctx.NodeState, aggr) // apply_node
+}
+
+// FusedScatterGather is the paper's scatter_and_gather fusion (the sparse
+// A@X product of the GraphSAGE example): it folds scatter_nbrs + aggregate
+// into one pass without materializing the E×D edge-message matrix. Legal
+// only for identity apply_edge and sum/mean reduces; callers fall back to
+// the default path otherwise. The ablation bench in this package measures
+// the saving.
+func FusedScatterGather(kind ReduceKind, nodeState *tensor.Matrix, src, dst []int32, numNodes int) *Aggregated {
+	if kind != ReduceSum && kind != ReduceMean {
+		panic("gas: fusion requires a sum or mean reduce")
+	}
+	out := tensor.New(numNodes, nodeState.Cols)
+	for e := range src {
+		srow := nodeState.Row(int(src[e]))
+		orow := out.Row(int(dst[e]))
+		for j, v := range srow {
+			orow[j] += v
+		}
+	}
+	a := &Aggregated{Kind: kind, Pooled: out}
+	if kind == ReduceMean {
+		a.Counts = tensor.SegmentCount(dst, numNodes)
+		divideByCounts(out, a.Counts)
+	}
+	return a
+}
+
+// Activation names supported by the convs.
+const (
+	ActNone  = "none"
+	ActReLU  = "relu"
+	ActLeaky = "leaky_relu"
+)
+
+func applyActivation(name string, m *tensor.Matrix) *tensor.Matrix {
+	switch name {
+	case ActNone, "":
+		return m
+	case ActReLU:
+		return tensor.ReLU(m)
+	case ActLeaky:
+		return tensor.LeakyReLU(m, 0.2)
+	default:
+		panic(fmt.Sprintf("gas: unknown activation %q", name))
+	}
+}
+
+func activationBackward(name string, dOut, preAct *tensor.Matrix) *tensor.Matrix {
+	switch name {
+	case ActNone, "":
+		return dOut
+	case ActReLU:
+		return tensor.ReLUBackward(dOut, preAct)
+	case ActLeaky:
+		return tensor.LeakyReLUBackward(dOut, preAct, 0.2)
+	default:
+		panic(fmt.Sprintf("gas: unknown activation %q", name))
+	}
+}

@@ -1,0 +1,269 @@
+package gas
+
+import (
+	"fmt"
+
+	"inferturbo/internal/nn"
+	"inferturbo/internal/tensor"
+)
+
+// GATConv is the graph attention layer in the GAS abstraction. Attention
+// breaks the commutative/associative rule, so — exactly as the paper's GAT
+// example annotates with @Gather(partial=False) — the gather stage is a
+// Union: raw neighbor states are collected and the whole computation
+// (projection, attention, weighted sum) happens in apply_node. The scatter
+// message is the untransformed node state, identical on every out-edge, so
+// the layer remains broadcast-safe.
+type GATConv struct {
+	MsgLin *nn.Linear // inDim -> Heads*HeadDim
+	AttSrc *nn.Param  // Heads x HeadDim
+	AttDst *nn.Param  // Heads x HeadDim
+
+	inDim, heads, headDim int
+	concatHeads           bool
+	activation            string
+
+	// Training caches.
+	cacheCtx    *Context
+	cacheZAll   *tensor.Matrix
+	cachePre    *tensor.Matrix // E x Heads pre-LeakyReLU logits
+	cacheAlpha  *tensor.Matrix // E x Heads attention weights
+	cachePreAct *tensor.Matrix
+}
+
+// GATConfig parameterizes a GATConv. OutDim is Heads*HeadDim when
+// ConcatHeads, else HeadDim (heads averaged — the usual output-layer form).
+type GATConfig struct {
+	InDim, Heads, HeadDim int
+	ConcatHeads           bool
+	Activation            string
+}
+
+// NewGATConv builds a GATConv with Xavier-initialized weights.
+func NewGATConv(cfg GATConfig, rng *tensor.RNG) *GATConv {
+	if cfg.InDim <= 0 || cfg.Heads <= 0 || cfg.HeadDim <= 0 {
+		panic(fmt.Sprintf("gas: bad GAT dims %+v", cfg))
+	}
+	c := &GATConv{
+		MsgLin:      nn.NewLinear("gat.msg", cfg.InDim, cfg.Heads*cfg.HeadDim, rng),
+		AttSrc:      nn.NewParam("gat.att_src", cfg.Heads, cfg.HeadDim),
+		AttDst:      nn.NewParam("gat.att_dst", cfg.Heads, cfg.HeadDim),
+		inDim:       cfg.InDim,
+		heads:       cfg.Heads,
+		headDim:     cfg.HeadDim,
+		concatHeads: cfg.ConcatHeads,
+		activation:  cfg.Activation,
+	}
+	rng.Xavier(c.AttSrc.Value)
+	rng.Xavier(c.AttDst.Value)
+	return c
+}
+
+// Type implements Conv.
+func (c *GATConv) Type() string { return "gat" }
+
+// Reduce implements Conv: attention defers all computation to apply_node.
+func (c *GATConv) Reduce() ReduceKind { return ReduceUnion }
+
+// BroadcastSafe implements Conv: the message is the raw node state.
+func (c *GATConv) BroadcastSafe() bool { return true }
+
+// InDim implements Conv.
+func (c *GATConv) InDim() int { return c.inDim }
+
+// OutDim implements Conv.
+func (c *GATConv) OutDim() int {
+	if c.concatHeads {
+		return c.heads * c.headDim
+	}
+	return c.headDim
+}
+
+// Heads returns the head count.
+func (c *GATConv) Heads() int { return c.heads }
+
+// HeadDim returns the per-head dimension.
+func (c *GATConv) HeadDim() int { return c.headDim }
+
+// ConcatHeads reports whether heads are concatenated (vs averaged).
+func (c *GATConv) ConcatHeads() bool { return c.concatHeads }
+
+// Activation returns the activation annotation.
+func (c *GATConv) Activation() string { return c.activation }
+
+// ApplyEdge implements Conv: identity — attention uses edge structure only.
+func (c *GATConv) ApplyEdge(msg, _ *tensor.Matrix) *tensor.Matrix { return msg }
+
+// ApplyNode implements Conv: project self and neighbor states, compute
+// attention per head over in-edges, and emit the weighted combination.
+func (c *GATConv) ApplyNode(nodeState *tensor.Matrix, aggr *Aggregated) *tensor.Matrix {
+	if aggr.Kind != ReduceUnion {
+		panic("gas: GATConv needs a union aggregate")
+	}
+	zAll := c.MsgLin.Apply(nodeState)
+	zMsg := c.MsgLin.Apply(aggr.Messages)
+	out, _, _ := c.attention(zAll, zMsg, aggr.Dst, nodeState.Rows)
+	return applyActivation(c.activation, out)
+}
+
+// attention runs the multi-head attention given projected self states zAll
+// (N x H*hd) and projected messages zMsg (E x H*hd), returning the
+// pre-activation output plus the logits and weights for backprop.
+func (c *GATConv) attention(zAll, zMsg *tensor.Matrix, dst []int32, n int) (out, pre, alpha *tensor.Matrix) {
+	e := zMsg.Rows
+	hd := c.headDim
+	pre = tensor.New(e, c.heads)
+	alpha = tensor.New(e, c.heads)
+
+	var headOuts []*tensor.Matrix
+	for k := 0; k < c.heads; k++ {
+		aSrc := c.AttSrc.Value.Row(k)
+		aDst := c.AttDst.Value.Row(k)
+		// Per-node destination attention term.
+		sDst := make([]float32, n)
+		for v := 0; v < n; v++ {
+			z := zAll.Row(v)[k*hd : (k+1)*hd]
+			var s float32
+			for j, a := range aDst {
+				s += a * z[j]
+			}
+			sDst[v] = s
+		}
+		logits := make([]float32, e)
+		for i := 0; i < e; i++ {
+			z := zMsg.Row(i)[k*hd : (k+1)*hd]
+			var s float32
+			for j, a := range aSrc {
+				s += a * z[j]
+			}
+			p := s + sDst[dst[i]]
+			pre.Set(i, k, p)
+			logits[i] = tensor.LeakyReLUScalar(p, 0.2)
+		}
+		al := tensor.SegmentSoftmax(logits, dst, n)
+		for i := 0; i < e; i++ {
+			alpha.Set(i, k, al[i])
+		}
+		weighted := tensor.New(e, hd)
+		for i := 0; i < e; i++ {
+			z := zMsg.Row(i)[k*hd : (k+1)*hd]
+			w := weighted.Row(i)
+			for j := range w {
+				w[j] = al[i] * z[j]
+			}
+		}
+		headOuts = append(headOuts, tensor.SegmentSum(weighted, dst, n))
+	}
+
+	if c.concatHeads {
+		out = headOuts[0]
+		for k := 1; k < c.heads; k++ {
+			out = tensor.ConcatCols(out, headOuts[k])
+		}
+	} else {
+		out = headOuts[0].Clone()
+		for k := 1; k < c.heads; k++ {
+			tensor.AddInPlace(out, headOuts[k])
+		}
+		out.ScaleInPlace(1 / float32(c.heads))
+	}
+	return out, pre, alpha
+}
+
+// Infer implements Conv.
+func (c *GATConv) Infer(ctx *Context) *tensor.Matrix { return InferLayer(c, ctx) }
+
+// Forward implements Conv, caching intermediates for Backward.
+func (c *GATConv) Forward(ctx *Context) *tensor.Matrix {
+	c.cacheCtx = ctx
+	zAll := c.MsgLin.Forward(ctx.NodeState)
+	c.cacheZAll = zAll
+	zMsg := tensor.GatherRows(zAll, ctx.SrcIndex)
+	out, pre, alpha := c.attention(zAll, zMsg, ctx.DstIndex, ctx.NumNodes)
+	c.cachePre = pre
+	c.cacheAlpha = alpha
+	c.cachePreAct = out
+	return applyActivation(c.activation, out)
+}
+
+// Backward implements Conv.
+func (c *GATConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
+	if c.cacheCtx == nil {
+		panic("gas: GATConv.Backward before Forward")
+	}
+	ctx := c.cacheCtx
+	n := ctx.NumNodes
+	e := len(ctx.SrcIndex)
+	hd := c.headDim
+	dst := ctx.DstIndex
+
+	dO := activationBackward(c.activation, dOut, c.cachePreAct)
+	zAll := c.cacheZAll
+	zMsg := tensor.GatherRows(zAll, ctx.SrcIndex)
+
+	dZAll := tensor.New(n, c.heads*hd)
+	dZMsg := tensor.New(e, c.heads*hd)
+
+	for k := 0; k < c.heads; k++ {
+		// Gradient flowing into this head's output rows.
+		dHead := tensor.New(n, hd)
+		if c.concatHeads {
+			for v := 0; v < n; v++ {
+				copy(dHead.Row(v), dO.Row(v)[k*hd:(k+1)*hd])
+			}
+		} else {
+			inv := 1 / float32(c.heads)
+			for v := 0; v < n; v++ {
+				row := dO.Row(v)
+				dh := dHead.Row(v)
+				for j := 0; j < hd; j++ {
+					dh[j] = row[j] * inv
+				}
+			}
+		}
+
+		aSrc := c.AttSrc.Value.Row(k)
+		aDst := c.AttDst.Value.Row(k)
+		alphaK := make([]float32, e)
+		dAlpha := make([]float32, e)
+		for i := 0; i < e; i++ {
+			alphaK[i] = c.cacheAlpha.At(i, k)
+			zh := zMsg.Row(i)[k*hd : (k+1)*hd]
+			dh := dHead.Row(int(dst[i]))
+			// out_head[dst] = Σ alpha*z ⇒ dAlpha = <dHead[dst], z>,
+			// dZMsg += alpha * dHead[dst].
+			var s float32
+			dzm := dZMsg.Row(i)[k*hd : (k+1)*hd]
+			for j := 0; j < hd; j++ {
+				s += dh[j] * zh[j]
+				dzm[j] += alphaK[i] * dh[j]
+			}
+			dAlpha[i] = s
+		}
+		dLogit := tensor.SegmentSoftmaxBackward(alphaK, dAlpha, dst, n)
+		for i := 0; i < e; i++ {
+			dp := dLogit[i] * tensor.LeakyReLUGradScalar(c.cachePre.At(i, k), 0.2)
+			zh := zMsg.Row(i)[k*hd : (k+1)*hd]
+			zdst := zAll.Row(int(dst[i]))[k*hd : (k+1)*hd]
+			dzm := dZMsg.Row(i)[k*hd : (k+1)*hd]
+			dzd := dZAll.Row(int(dst[i]))[k*hd : (k+1)*hd]
+			gSrc := c.AttSrc.Grad.Row(k)
+			gDst := c.AttDst.Grad.Row(k)
+			for j := 0; j < hd; j++ {
+				dzm[j] += dp * aSrc[j]
+				dzd[j] += dp * aDst[j]
+				gSrc[j] += dp * zh[j]
+				gDst[j] += dp * zdst[j]
+			}
+		}
+	}
+
+	// zMsg = zAll[src] ⇒ scatter-add message grads into node grads.
+	tensor.ScatterAddRows(dZAll, dZMsg, ctx.SrcIndex)
+	return c.MsgLin.Backward(dZAll)
+}
+
+// Params implements Conv.
+func (c *GATConv) Params() []*nn.Param {
+	return append(c.MsgLin.Params(), c.AttSrc, c.AttDst)
+}

@@ -1,0 +1,157 @@
+package gas
+
+import (
+	"fmt"
+
+	"inferturbo/internal/nn"
+	"inferturbo/internal/tensor"
+)
+
+// GINConv is the Graph Isomorphism Network layer (Xu et al., 2019) in the
+// GAS abstraction — the most expressive of the sum-aggregating layers and a
+// natural extension beyond the paper's SAGE/GAT pair:
+//
+//	aggregate:  sum of neighbor states (commutative/associative ⇒
+//	            partial-gather legal)
+//	apply_edge: identity (⇒ broadcast-safe)
+//	apply_node: MLP((1+ε)·h + Σ msgs) with a two-layer MLP
+type GINConv struct {
+	Lin1 *nn.Linear
+	Lin2 *nn.Linear
+	Eps  *nn.Param // 1x1 learnable ε
+
+	inDim, hidden, outDim int
+	activation            string
+
+	cacheCtx    *Context
+	cacheAggr   *Aggregated
+	cacheSum    *tensor.Matrix // (1+ε)h + Σ msgs
+	cacheHidden *tensor.Matrix // pre-ReLU hidden
+	cachePreAct *tensor.Matrix
+}
+
+// GINConfig parameterizes a GINConv. Hidden is the MLP's inner width
+// (defaults to OutDim when zero).
+type GINConfig struct {
+	InDim, Hidden, OutDim int
+	Activation            string
+}
+
+// NewGINConv builds a GINConv with Xavier-initialized weights and ε = 0.
+func NewGINConv(cfg GINConfig, rng *tensor.RNG) *GINConv {
+	if cfg.Hidden == 0 {
+		cfg.Hidden = cfg.OutDim
+	}
+	if cfg.InDim <= 0 || cfg.OutDim <= 0 || cfg.Hidden <= 0 {
+		panic(fmt.Sprintf("gas: bad GIN dims %+v", cfg))
+	}
+	return &GINConv{
+		Lin1:       nn.NewLinear("gin.lin1", cfg.InDim, cfg.Hidden, rng),
+		Lin2:       nn.NewLinear("gin.lin2", cfg.Hidden, cfg.OutDim, rng),
+		Eps:        nn.NewParam("gin.eps", 1, 1),
+		inDim:      cfg.InDim,
+		hidden:     cfg.Hidden,
+		outDim:     cfg.OutDim,
+		activation: cfg.Activation,
+	}
+}
+
+// Type implements Conv.
+func (c *GINConv) Type() string { return "gin" }
+
+// Reduce implements Conv.
+func (c *GINConv) Reduce() ReduceKind { return ReduceSum }
+
+// BroadcastSafe implements Conv: messages are raw node states.
+func (c *GINConv) BroadcastSafe() bool { return true }
+
+// InDim implements Conv.
+func (c *GINConv) InDim() int { return c.inDim }
+
+// OutDim implements Conv.
+func (c *GINConv) OutDim() int { return c.outDim }
+
+// Hidden returns the MLP inner width.
+func (c *GINConv) Hidden() int { return c.hidden }
+
+// Activation returns the activation annotation.
+func (c *GINConv) Activation() string { return c.activation }
+
+// ApplyEdge implements Conv: identity.
+func (c *GINConv) ApplyEdge(msg, _ *tensor.Matrix) *tensor.Matrix { return msg }
+
+// ApplyNode implements Conv: MLP((1+ε)h + Σ msgs).
+func (c *GINConv) ApplyNode(nodeState *tensor.Matrix, aggr *Aggregated) *tensor.Matrix {
+	sum := tensor.Add(nodeState.Scale(1+c.Eps.Value.Data[0]), aggr.Pooled)
+	return applyActivation(c.activation, c.Lin2.Apply(tensor.ReLU(c.Lin1.Apply(sum))))
+}
+
+// Infer implements Conv.
+func (c *GINConv) Infer(ctx *Context) *tensor.Matrix { return InferLayer(c, ctx) }
+
+// Forward implements Conv, caching intermediates for Backward.
+func (c *GINConv) Forward(ctx *Context) *tensor.Matrix {
+	c.cacheCtx = ctx
+	msg := tensor.GatherRows(ctx.NodeState, ctx.SrcIndex)
+	c.cacheAggr = Gather(ReduceSum, msg, ctx.DstIndex, ctx.NumNodes)
+	sum := tensor.Add(ctx.NodeState.Scale(1+c.Eps.Value.Data[0]), c.cacheAggr.Pooled)
+	c.cacheSum = sum
+	hidden := c.Lin1.Forward(sum)
+	c.cacheHidden = hidden
+	pre := c.Lin2.Forward(tensor.ReLU(hidden))
+	c.cachePreAct = pre
+	return applyActivation(c.activation, pre)
+}
+
+// Backward implements Conv.
+func (c *GINConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
+	if c.cacheCtx == nil {
+		panic("gas: GINConv.Backward before Forward")
+	}
+	ctx := c.cacheCtx
+	dPre := activationBackward(c.activation, dOut, c.cachePreAct)
+	dReLU := c.Lin2.Backward(dPre)
+	dHidden := tensor.ReLUBackward(dReLU, c.cacheHidden)
+	dSum := c.Lin1.Backward(dHidden)
+
+	// d/dε of (1+ε)h = h, summed against dSum.
+	var dEps float64
+	for i, v := range ctx.NodeState.Data {
+		dEps += float64(v) * float64(dSum.Data[i])
+	}
+	c.Eps.Grad.Data[0] += float32(dEps)
+
+	// Self path: (1+ε)·dSum; neighbor path: scatter dSum back along edges.
+	dNode := dSum.Scale(1 + c.Eps.Value.Data[0])
+	dMsg := tensor.SegmentSumBackward(dSum, ctx.DstIndex)
+	tensor.ScatterAddRows(dNode, dMsg, ctx.SrcIndex)
+	return dNode
+}
+
+// Params implements Conv.
+func (c *GINConv) Params() []*nn.Param {
+	ps := append(c.Lin1.Params(), c.Lin2.Params()...)
+	return append(ps, c.Eps)
+}
+
+// NewGINModel builds a hops-deep GIN model: hidden GIN layers with ReLU and
+// a linear-output GIN layer producing class logits.
+func NewGINModel(name string, task Task, inDim, hidden, numClasses, hops int, rng *tensor.RNG) *Model {
+	if hops < 1 {
+		panic(fmt.Sprintf("gas: model needs >=1 layer, got %d", hops))
+	}
+	m := &Model{Name: name, Task: task, NumClasses: numClasses}
+	for i := 0; i < hops; i++ {
+		in, out, act := hidden, hidden, ActReLU
+		if i == 0 {
+			in = inDim
+		}
+		if i == hops-1 {
+			out, act = numClasses, ActNone
+		}
+		m.Layers = append(m.Layers, NewGINConv(GINConfig{
+			InDim: in, Hidden: hidden, OutDim: out, Activation: act,
+		}, rng))
+	}
+	return m
+}

@@ -1,0 +1,152 @@
+package gas
+
+import (
+	"fmt"
+
+	"inferturbo/internal/nn"
+	"inferturbo/internal/tensor"
+)
+
+// Task distinguishes the prediction head attached to the last layer.
+type Task string
+
+const (
+	// TaskSingleLabel predicts one class per node (argmax of logits).
+	TaskSingleLabel Task = "single"
+	// TaskMultiLabel predicts a label set per node (logits > 0).
+	TaskMultiLabel Task = "multi"
+)
+
+// Model is a stack of GAS convolution layers. The last layer's output is the
+// logit matrix; Predict applies the task's decision rule.
+type Model struct {
+	Name       string
+	Task       Task
+	NumClasses int
+	Layers     []Conv
+}
+
+// NumLayers returns the depth (hops) of the model.
+func (m *Model) NumLayers() int { return len(m.Layers) }
+
+// InDim returns the node feature dimensionality the model consumes.
+func (m *Model) InDim() int { return m.Layers[0].InDim() }
+
+// Infer runs the full stateless forward over a local context, returning the
+// logits for all ctx nodes. This is the reference semantics both distributed
+// backends must reproduce.
+func (m *Model) Infer(ctx *Context) *tensor.Matrix {
+	state := ctx.NodeState
+	for _, l := range m.Layers {
+		layerCtx := &Context{
+			NodeState: state,
+			SrcIndex:  ctx.SrcIndex,
+			DstIndex:  ctx.DstIndex,
+			EdgeState: ctx.EdgeState,
+			NumNodes:  ctx.NumNodes,
+		}
+		state = l.Infer(layerCtx)
+	}
+	return state
+}
+
+// Forward is the training path: like Infer but each layer caches its
+// intermediates for Backward.
+func (m *Model) Forward(ctx *Context) *tensor.Matrix {
+	state := ctx.NodeState
+	for _, l := range m.Layers {
+		layerCtx := &Context{
+			NodeState: state,
+			SrcIndex:  ctx.SrcIndex,
+			DstIndex:  ctx.DstIndex,
+			EdgeState: ctx.EdgeState,
+			NumNodes:  ctx.NumNodes,
+		}
+		state = l.Forward(layerCtx)
+	}
+	return state
+}
+
+// Backward propagates d(logits) through the stack, accumulating parameter
+// gradients, and returns d(input features).
+func (m *Model) Backward(dLogits *tensor.Matrix) *tensor.Matrix {
+	d := dLogits
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		d = m.Layers[i].Backward(d)
+	}
+	return d
+}
+
+// Params returns all trainable parameters of the stack.
+func (m *Model) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Predict converts logits into class decisions: a class id per row for
+// single-label, a {0,1} matrix for multi-label.
+func (m *Model) Predict(logits *tensor.Matrix) ([]int32, *tensor.Matrix) {
+	switch m.Task {
+	case TaskMultiLabel:
+		bin := tensor.New(logits.Rows, logits.Cols)
+		for i, v := range logits.Data {
+			if v > 0 {
+				bin.Data[i] = 1
+			}
+		}
+		return nil, bin
+	default:
+		return tensor.ArgmaxRows(logits), nil
+	}
+}
+
+// NewSAGEModel builds a hops-deep GraphSAGE model: hidden layers with ReLU
+// and mean aggregation, and a linear output layer producing class logits.
+func NewSAGEModel(name string, task Task, inDim, hidden, numClasses, hops, edgeDim int, rng *tensor.RNG) *Model {
+	if hops < 1 {
+		panic(fmt.Sprintf("gas: model needs >=1 layer, got %d", hops))
+	}
+	m := &Model{Name: name, Task: task, NumClasses: numClasses}
+	for i := 0; i < hops; i++ {
+		in, out, act := hidden, hidden, ActReLU
+		if i == 0 {
+			in = inDim
+		}
+		if i == hops-1 {
+			out, act = numClasses, ActNone
+		}
+		m.Layers = append(m.Layers, NewSAGEConv(SAGEConfig{
+			InDim: in, OutDim: out, EdgeDim: edgeDim,
+			Reduce: ReduceMean, Activation: act,
+		}, rng))
+	}
+	return m
+}
+
+// NewGATModel builds a hops-deep GAT model: hidden layers concat their heads
+// with ReLU, the output layer averages heads into class logits.
+func NewGATModel(name string, task Task, inDim, headDim, heads, numClasses, hops int, rng *tensor.RNG) *Model {
+	if hops < 1 {
+		panic(fmt.Sprintf("gas: model needs >=1 layer, got %d", hops))
+	}
+	m := &Model{Name: name, Task: task, NumClasses: numClasses}
+	in := inDim
+	for i := 0; i < hops; i++ {
+		if i == hops-1 {
+			m.Layers = append(m.Layers, NewGATConv(GATConfig{
+				InDim: in, Heads: heads, HeadDim: numClasses,
+				ConcatHeads: false, Activation: ActNone,
+			}, rng))
+		} else {
+			m.Layers = append(m.Layers, NewGATConv(GATConfig{
+				InDim: in, Heads: heads, HeadDim: headDim,
+				ConcatHeads: true, Activation: ActReLU,
+			}, rng))
+			in = heads * headDim
+		}
+	}
+	return m
+}

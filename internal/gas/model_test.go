@@ -1,0 +1,220 @@
+package gas
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"inferturbo/internal/tensor"
+)
+
+func TestSAGEModelShapes(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	m := NewSAGEModel("m", TaskSingleLabel, 8, 16, 5, 3, 0, rng)
+	if m.NumLayers() != 3 || m.InDim() != 8 {
+		t.Fatalf("layers=%d in=%d", m.NumLayers(), m.InDim())
+	}
+	ctx := testCtx(8, 0, 2)
+	logits := m.Infer(ctx)
+	if logits.Rows != 4 || logits.Cols != 5 {
+		t.Fatalf("logits = %dx%d", logits.Rows, logits.Cols)
+	}
+}
+
+func TestGATModelShapes(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	m := NewGATModel("m", TaskSingleLabel, 8, 4, 2, 5, 2, rng)
+	ctx := testCtx(8, 0, 4)
+	logits := m.Infer(ctx)
+	if logits.Cols != 5 {
+		t.Fatalf("logits cols = %d, want numClasses", logits.Cols)
+	}
+	// Hidden layer concats heads; output averages them.
+	if m.Layers[0].OutDim() != 8 || m.Layers[1].OutDim() != 5 {
+		t.Fatalf("layer dims = %d, %d", m.Layers[0].OutDim(), m.Layers[1].OutDim())
+	}
+}
+
+func TestModelForwardMatchesInfer(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m := NewSAGEModel("m", TaskSingleLabel, 6, 8, 3, 2, 0, rng)
+	ctx := testCtx(6, 0, 6)
+	if !m.Forward(ctx).AllClose(m.Infer(ctx), 1e-6) {
+		t.Fatal("Forward and Infer must agree")
+	}
+}
+
+func TestModelBackwardRuns(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	m := NewGATModel("m", TaskSingleLabel, 6, 4, 2, 3, 2, rng)
+	ctx := testCtx(6, 0, 8)
+	logits := m.Forward(ctx)
+	d := tensor.New(logits.Rows, logits.Cols)
+	d.Fill(1)
+	dIn := m.Backward(d)
+	if dIn.Rows != 4 || dIn.Cols != 6 {
+		t.Fatalf("dIn = %dx%d", dIn.Rows, dIn.Cols)
+	}
+	// Gradients must have accumulated somewhere.
+	var any bool
+	for _, p := range m.Params() {
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		t.Fatal("no gradients accumulated")
+	}
+}
+
+func TestPredictSingleLabel(t *testing.T) {
+	m := &Model{Task: TaskSingleLabel, NumClasses: 3}
+	classes, bin := m.Predict(tensor.FromRows([][]float32{{0, 2, 1}, {5, 0, 0}}))
+	if bin != nil || classes[0] != 1 || classes[1] != 0 {
+		t.Fatalf("predict = %v", classes)
+	}
+}
+
+func TestPredictMultiLabel(t *testing.T) {
+	m := &Model{Task: TaskMultiLabel, NumClasses: 3}
+	classes, bin := m.Predict(tensor.FromRows([][]float32{{0.5, -0.5, 0.1}}))
+	if classes != nil {
+		t.Fatal("multi-label must not return class ids")
+	}
+	want := []float32{1, 0, 1}
+	for j, w := range want {
+		if bin.At(0, j) != w {
+			t.Fatalf("bin = %v", bin.Row(0))
+		}
+	}
+}
+
+func TestSignatureRoundTripSAGE(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	m := NewSAGEModel("sage-rt", TaskSingleLabel, 6, 8, 3, 2, 0, rng)
+	ctx := testCtx(6, 0, 10)
+	want := m.Infer(ctx)
+
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name != "sage-rt" || m2.Task != TaskSingleLabel || m2.NumClasses != 3 {
+		t.Fatal("metadata lost in round trip")
+	}
+	if !m2.Infer(ctx).Equal(want) {
+		t.Fatal("loaded model must produce identical outputs")
+	}
+}
+
+func TestSignatureRoundTripGAT(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	m := NewGATModel("gat-rt", TaskMultiLabel, 5, 4, 3, 7, 2, rng)
+	ctx := testCtx(5, 0, 12)
+	want := m.Infer(ctx)
+
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Infer(ctx).Equal(want) {
+		t.Fatal("loaded GAT must produce identical outputs")
+	}
+}
+
+func TestSignatureContainsAnnotations(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	m := &Model{Name: "mix", Task: TaskSingleLabel, NumClasses: 2, Layers: []Conv{
+		NewSAGEConv(SAGEConfig{InDim: 4, OutDim: 4, Reduce: ReduceMean, Activation: ActReLU}, rng),
+		NewGATConv(GATConfig{InDim: 4, Heads: 1, HeadDim: 2}, rng),
+	}}
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		`"partial_gather":true`, `"partial_gather":false`,
+		`"broadcast_safe":true`, `"reduce":"mean"`, `"reduce":"union"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("signature missing %s in %s", want, s)
+		}
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"version":999,"layers":[]}`)); err == nil {
+		t.Fatal("must reject unknown version")
+	}
+}
+
+func TestLoadRejectsUnknownLayerType(t *testing.T) {
+	in := `{"version":1,"name":"x","task":"single","num_classes":2,
+	  "layers":[{"type":"wat","reduce":"mean","in_dim":2,"out_dim":2,"params":{}}]}`
+	if _, err := Load(strings.NewReader(in)); err == nil {
+		t.Fatal("must reject unknown layer type")
+	}
+}
+
+func TestLoadRejectsMissingParam(t *testing.T) {
+	rng := tensor.NewRNG(15)
+	m := NewSAGEModel("m", TaskSingleLabel, 2, 2, 2, 1, 0, rng)
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := strings.Replace(buf.String(), "sage.self.W", "sage.wrong.W", 1)
+	if _, err := Load(strings.NewReader(s)); err == nil {
+		t.Fatal("must reject missing parameter")
+	}
+}
+
+func TestLoadRejectsInconsistentAnnotation(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	m := NewSAGEModel("m", TaskSingleLabel, 2, 2, 2, 1, 0, rng)
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := strings.Replace(buf.String(), `"partial_gather":true`, `"partial_gather":false`, 1)
+	if _, err := Load(strings.NewReader(s)); err == nil {
+		t.Fatal("must reject annotation inconsistent with layer semantics")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := tensor.NewRNG(19)
+	m := NewSAGEModel("f", TaskSingleLabel, 3, 4, 2, 1, 0, rng)
+	path := t.TempDir() + "/model.json"
+	if err := SaveFile(m, path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(3, 0, 20)
+	if !m2.Infer(ctx).Equal(m.Infer(ctx)) {
+		t.Fatal("file round trip changed outputs")
+	}
+}
+
+func TestModelRejectsZeroLayers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSAGEModel("m", TaskSingleLabel, 2, 2, 2, 0, 0, tensor.NewRNG(1))
+}

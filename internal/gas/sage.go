@@ -1,0 +1,156 @@
+package gas
+
+import (
+	"fmt"
+
+	"inferturbo/internal/nn"
+	"inferturbo/internal/tensor"
+)
+
+// SAGEConv is the GraphSAGE layer in the GAS abstraction:
+//
+//	aggregate: pooled reduce (mean by default) of neighbor states — eligible
+//	           for partial-gather (the paper's @Gather(partial=True))
+//	apply_edge: identity, or additive edge-feature projection when the graph
+//	            has edge attributes (which disables broadcast safety)
+//	apply_node: act(W_self·h + W_nbr·aggr + b)
+type SAGEConv struct {
+	SelfLin *nn.Linear
+	NbrLin  *nn.Linear
+	EdgeLin *nn.Linear // nil when EdgeDim == 0
+
+	inDim, outDim int
+	edgeDim       int
+	reduce        ReduceKind
+	activation    string
+
+	// Training caches.
+	cacheCtx    *Context
+	cacheMsg    *tensor.Matrix // post-ApplyEdge messages
+	cacheAggr   *Aggregated
+	cachePreAct *tensor.Matrix
+}
+
+// SAGEConfig parameterizes a SAGEConv.
+type SAGEConfig struct {
+	InDim, OutDim int
+	EdgeDim       int        // 0 = no edge features
+	Reduce        ReduceKind // mean, sum, max, min
+	Activation    string     // "relu", "none", "leaky_relu"
+}
+
+// NewSAGEConv builds a SAGEConv with Xavier-initialized weights.
+func NewSAGEConv(cfg SAGEConfig, rng *tensor.RNG) *SAGEConv {
+	if cfg.Reduce == ReduceUnion {
+		panic("gas: SAGEConv requires a pooled reduce")
+	}
+	if cfg.InDim <= 0 || cfg.OutDim <= 0 {
+		panic(fmt.Sprintf("gas: bad SAGE dims %d->%d", cfg.InDim, cfg.OutDim))
+	}
+	c := &SAGEConv{
+		SelfLin:    nn.NewLinear("sage.self", cfg.InDim, cfg.OutDim, rng),
+		NbrLin:     nn.NewLinear("sage.nbr", cfg.InDim, cfg.OutDim, rng),
+		inDim:      cfg.InDim,
+		outDim:     cfg.OutDim,
+		edgeDim:    cfg.EdgeDim,
+		reduce:     cfg.Reduce,
+		activation: cfg.Activation,
+	}
+	if cfg.EdgeDim > 0 {
+		c.EdgeLin = nn.NewLinear("sage.edge", cfg.EdgeDim, cfg.InDim, rng)
+	}
+	return c
+}
+
+// Type implements Conv.
+func (c *SAGEConv) Type() string { return "sage" }
+
+// Reduce implements Conv.
+func (c *SAGEConv) Reduce() ReduceKind { return c.reduce }
+
+// BroadcastSafe implements Conv: without edge features every out-edge
+// carries the same message (the raw node state).
+func (c *SAGEConv) BroadcastSafe() bool { return c.EdgeLin == nil }
+
+// InDim implements Conv.
+func (c *SAGEConv) InDim() int { return c.inDim }
+
+// OutDim implements Conv.
+func (c *SAGEConv) OutDim() int { return c.outDim }
+
+// Activation returns the activation annotation.
+func (c *SAGEConv) Activation() string { return c.activation }
+
+// EdgeDim returns the edge feature dimensionality consumed (0 = none).
+func (c *SAGEConv) EdgeDim() int { return c.edgeDim }
+
+// ApplyEdge implements Conv: message + W_e·edgeFeat when edges carry
+// attributes, otherwise identity.
+func (c *SAGEConv) ApplyEdge(msg, edgeState *tensor.Matrix) *tensor.Matrix {
+	if c.EdgeLin == nil || edgeState == nil {
+		return msg
+	}
+	return tensor.Add(msg, c.EdgeLin.Apply(edgeState))
+}
+
+// ApplyNode implements Conv.
+func (c *SAGEConv) ApplyNode(nodeState *tensor.Matrix, aggr *Aggregated) *tensor.Matrix {
+	pre := tensor.Add(c.SelfLin.Apply(nodeState), c.NbrLin.Apply(aggr.Pooled))
+	return applyActivation(c.activation, pre)
+}
+
+// Infer implements Conv.
+func (c *SAGEConv) Infer(ctx *Context) *tensor.Matrix { return InferLayer(c, ctx) }
+
+// Forward implements Conv, caching intermediates for Backward.
+func (c *SAGEConv) Forward(ctx *Context) *tensor.Matrix {
+	if c.reduce == ReduceMax || c.reduce == ReduceMin {
+		panic("gas: max/min reduce is inference-only; train with mean or sum")
+	}
+	c.cacheCtx = ctx
+	msg := tensor.GatherRows(ctx.NodeState, ctx.SrcIndex)
+	if c.EdgeLin != nil && ctx.EdgeState != nil {
+		msg = tensor.Add(msg, c.EdgeLin.Forward(ctx.EdgeState))
+	}
+	c.cacheMsg = msg
+	c.cacheAggr = Gather(c.reduce, msg, ctx.DstIndex, ctx.NumNodes)
+	pre := tensor.Add(c.SelfLin.Forward(ctx.NodeState), c.NbrLin.Forward(c.cacheAggr.Pooled))
+	c.cachePreAct = pre
+	return applyActivation(c.activation, pre)
+}
+
+// Backward implements Conv.
+func (c *SAGEConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
+	if c.cacheCtx == nil {
+		panic("gas: SAGEConv.Backward before Forward")
+	}
+	ctx := c.cacheCtx
+	dPre := activationBackward(c.activation, dOut, c.cachePreAct)
+
+	dNode := c.SelfLin.Backward(dPre)
+	dAggr := c.NbrLin.Backward(dPre)
+
+	var dMsg *tensor.Matrix
+	switch c.reduce {
+	case ReduceMean:
+		dMsg = tensor.SegmentMeanBackward(dAggr, ctx.DstIndex, c.cacheAggr.Counts)
+	case ReduceSum:
+		dMsg = tensor.SegmentSumBackward(dAggr, ctx.DstIndex)
+	default:
+		panic("gas: unsupported reduce in backward")
+	}
+	if c.EdgeLin != nil && ctx.EdgeState != nil {
+		c.EdgeLin.Backward(dMsg) // gradient into edge projection; edges have no upstream
+	}
+	tensor.ScatterAddRows(dNode, dMsg, ctx.SrcIndex)
+	return dNode
+}
+
+// Params implements Conv.
+func (c *SAGEConv) Params() []*nn.Param {
+	ps := append(c.SelfLin.Params(), c.NbrLin.Params()...)
+	if c.EdgeLin != nil {
+		ps = append(ps, c.EdgeLin.Params()...)
+	}
+	return ps
+}

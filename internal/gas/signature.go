@@ -1,0 +1,197 @@
+package gas
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"inferturbo/internal/nn"
+	"inferturbo/internal/tensor"
+)
+
+// Signature files are the hand-off artifact between training and inference:
+// when a model is saved, each layer records its weights *and* the
+// annotations the paper's decorators capture — the reduce kind (whether
+// partial-gather is legal) and broadcast safety (whether out-edge messages
+// are identical). The inference drivers read these flags instead of asking
+// the user to re-configure strategies, "to avoid excessive manual
+// configurations" as the paper puts it.
+
+// SignatureVersion guards the on-disk format.
+const SignatureVersion = 1
+
+type signatureFile struct {
+	Version    int        `json:"version"`
+	Name       string     `json:"name"`
+	Task       Task       `json:"task"`
+	NumClasses int        `json:"num_classes"`
+	Layers     []layerSig `json:"layers"`
+}
+
+type layerSig struct {
+	Type          string              `json:"type"`
+	Reduce        string              `json:"reduce"`
+	Activation    string              `json:"activation"`
+	InDim         int                 `json:"in_dim"`
+	OutDim        int                 `json:"out_dim"`
+	EdgeDim       int                 `json:"edge_dim,omitempty"`
+	Hidden        int                 `json:"hidden,omitempty"`
+	Heads         int                 `json:"heads,omitempty"`
+	HeadDim       int                 `json:"head_dim,omitempty"`
+	ConcatHeads   bool                `json:"concat_heads,omitempty"`
+	PartialGather bool                `json:"partial_gather"`
+	BroadcastSafe bool                `json:"broadcast_safe"`
+	Params        map[string]paramSig `json:"params"`
+}
+
+type paramSig struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float32 `json:"data"`
+}
+
+// Save writes the model signature (annotations + weights) to w.
+func Save(m *Model, w io.Writer) error {
+	sf := signatureFile{
+		Version:    SignatureVersion,
+		Name:       m.Name,
+		Task:       m.Task,
+		NumClasses: m.NumClasses,
+	}
+	for i, l := range m.Layers {
+		ls := layerSig{
+			Type:          l.Type(),
+			Reduce:        l.Reduce().String(),
+			InDim:         l.InDim(),
+			OutDim:        l.OutDim(),
+			PartialGather: l.Reduce().Commutative(),
+			BroadcastSafe: l.BroadcastSafe(),
+			Params:        map[string]paramSig{},
+		}
+		switch c := l.(type) {
+		case *SAGEConv:
+			ls.Activation = c.Activation()
+			ls.EdgeDim = c.EdgeDim()
+		case *GATConv:
+			ls.Activation = c.Activation()
+			ls.Heads = c.Heads()
+			ls.HeadDim = c.HeadDim()
+			ls.ConcatHeads = c.ConcatHeads()
+		case *GINConv:
+			ls.Activation = c.Activation()
+			ls.Hidden = c.Hidden()
+		case *GCNConv:
+			ls.Activation = c.Activation()
+		default:
+			return fmt.Errorf("gas: cannot serialize layer %d of type %T", i, l)
+		}
+		for _, p := range l.Params() {
+			ls.Params[p.Name] = paramSig{
+				Rows: p.Value.Rows, Cols: p.Value.Cols,
+				Data: p.Value.Data,
+			}
+		}
+		sf.Layers = append(sf.Layers, ls)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(sf)
+}
+
+// SaveFile writes the signature to path.
+func SaveFile(m *Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(m, f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reconstructs a model from a signature produced by Save.
+func Load(r io.Reader) (*Model, error) {
+	var sf signatureFile
+	if err := json.NewDecoder(r).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("gas: decoding signature: %w", err)
+	}
+	if sf.Version != SignatureVersion {
+		return nil, fmt.Errorf("gas: signature version %d, want %d", sf.Version, SignatureVersion)
+	}
+	m := &Model{Name: sf.Name, Task: sf.Task, NumClasses: sf.NumClasses}
+	rng := tensor.NewRNG(0) // weights are overwritten below
+	for i, ls := range sf.Layers {
+		var conv Conv
+		switch ls.Type {
+		case "sage":
+			reduce, err := ParseReduceKind(ls.Reduce)
+			if err != nil {
+				return nil, err
+			}
+			conv = NewSAGEConv(SAGEConfig{
+				InDim: ls.InDim, OutDim: ls.OutDim, EdgeDim: ls.EdgeDim,
+				Reduce: reduce, Activation: ls.Activation,
+			}, rng)
+		case "gat":
+			conv = NewGATConv(GATConfig{
+				InDim: ls.InDim, Heads: ls.Heads, HeadDim: ls.HeadDim,
+				ConcatHeads: ls.ConcatHeads, Activation: ls.Activation,
+			}, rng)
+		case "gin":
+			conv = NewGINConv(GINConfig{
+				InDim: ls.InDim, Hidden: ls.Hidden, OutDim: ls.OutDim,
+				Activation: ls.Activation,
+			}, rng)
+		case "gcn":
+			conv = NewGCNConv(GCNConfig{
+				InDim: ls.InDim, OutDim: ls.OutDim, Activation: ls.Activation,
+			}, rng)
+		default:
+			return nil, fmt.Errorf("gas: layer %d has unknown type %q", i, ls.Type)
+		}
+		if err := loadParams(conv.Params(), ls.Params); err != nil {
+			return nil, fmt.Errorf("gas: layer %d: %w", i, err)
+		}
+		// Cross-check stored annotations against the reconstructed layer:
+		// they are derived properties, so a mismatch means a corrupt file.
+		if conv.Reduce().Commutative() != ls.PartialGather {
+			return nil, fmt.Errorf("gas: layer %d partial_gather annotation inconsistent", i)
+		}
+		if conv.BroadcastSafe() != ls.BroadcastSafe {
+			return nil, fmt.Errorf("gas: layer %d broadcast_safe annotation inconsistent", i)
+		}
+		m.Layers = append(m.Layers, conv)
+	}
+	return m, nil
+}
+
+// LoadFile reads a signature from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func loadParams(params []*nn.Param, sigs map[string]paramSig) error {
+	for _, p := range params {
+		sig, ok := sigs[p.Name]
+		if !ok {
+			return fmt.Errorf("missing parameter %q", p.Name)
+		}
+		if sig.Rows != p.Value.Rows || sig.Cols != p.Value.Cols {
+			return fmt.Errorf("parameter %q is %dx%d, want %dx%d",
+				p.Name, sig.Rows, sig.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		if len(sig.Data) != sig.Rows*sig.Cols {
+			return fmt.Errorf("parameter %q has %d values, want %d",
+				p.Name, len(sig.Data), sig.Rows*sig.Cols)
+		}
+		copy(p.Value.Data, sig.Data)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inferturbo/internal/tensor"
+)
+
+// diamond builds the 4-node test graph 0->1, 0->2, 1->3, 2->3, 3->0 with a
+// one-dim edge feature equal to the edge id.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	edges := [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 0}}
+	for i, e := range edges {
+		b.AddEdge(e[0], e[1], []float32{float32(i)})
+	}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("diamond invalid: %v", err)
+	}
+	return g
+}
+
+func TestBuilderDegrees(t *testing.T) {
+	g := diamond(t)
+	if g.NumNodes != 4 || g.NumEdges != 5 {
+		t.Fatalf("size = %d nodes %d edges", g.NumNodes, g.NumEdges)
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 1 {
+		t.Fatalf("node0 degrees out=%d in=%d", g.OutDegree(0), g.InDegree(0))
+	}
+	if g.InDegree(3) != 2 || g.OutDegree(3) != 1 {
+		t.Fatalf("node3 degrees")
+	}
+}
+
+func TestNeighborLists(t *testing.T) {
+	g := diamond(t)
+	out0 := g.OutNeighbors(0)
+	if len(out0) != 2 || out0[0] != 1 || out0[1] != 2 {
+		t.Fatalf("OutNeighbors(0) = %v", out0)
+	}
+	in3 := g.InNeighbors(3)
+	if len(in3) != 2 || in3[0] != 1 || in3[1] != 2 {
+		t.Fatalf("InNeighbors(3) = %v", in3)
+	}
+}
+
+func TestEdgeIDsAlignWithFeatures(t *testing.T) {
+	g := diamond(t)
+	// Edge 1->3 was inserted third (id 2).
+	eids := g.InEdgeIDs(3)
+	if g.EdgeFeatures.At(int(eids[0]), 0) != 2 {
+		t.Fatalf("edge feature of 1->3 = %v, want 2", g.EdgeFeatures.At(int(eids[0]), 0))
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := diamond(t)
+	src, dst := g.EdgeList()
+	want := [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 0}}
+	for i, e := range want {
+		if src[i] != e[0] || dst[i] != e[1] {
+			t.Fatalf("edge %d = (%d,%d), want %v", i, src[i], dst[i], e)
+		}
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5, nil)
+}
+
+func TestBuilderPanicsOnRaggedEdgeFeatures(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, []float32{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.AddEdge(1, 0, []float32{1, 2})
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := diamond(t)
+	g.OutDst[0] = 3 // break CSR/CSC agreement
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate must catch corrupted adjacency")
+	}
+}
+
+func TestRandomGraphValidates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n)
+		e := rng.Intn(100)
+		for i := 0; i < e; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), nil)
+		}
+		g := b.Build()
+		if g.Validate() != nil {
+			return false
+		}
+		// Degree sums must both equal the edge count.
+		var inSum, outSum int
+		for v := int32(0); v < int32(n); v++ {
+			inSum += g.InDegree(v)
+			outSum += g.OutDegree(v)
+		}
+		return inSum == e && outSum == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskedNodes(t *testing.T) {
+	got := MaskedNodes([]bool{true, false, true})
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("MaskedNodes = %v", got)
+	}
+}
+
+func TestPartitionerModAndRoundTrip(t *testing.T) {
+	p := NewPartitioner(3)
+	if p.WorkerFor(7) != 1 {
+		t.Fatalf("WorkerFor(7) = %d", p.WorkerFor(7))
+	}
+	nodes := p.NodesFor(1, 10)
+	want := []int32{1, 4, 7}
+	if len(nodes) != len(want) {
+		t.Fatalf("NodesFor = %v", nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("NodesFor = %v", nodes)
+		}
+	}
+	// Every node belongs to exactly one worker and NodesFor covers all.
+	covered := map[int32]bool{}
+	for w := 0; w < 3; w++ {
+		for _, v := range p.NodesFor(w, 10) {
+			if covered[v] || p.WorkerFor(v) != w {
+				t.Fatalf("partition inconsistency at node %d", v)
+			}
+			covered[v] = true
+		}
+	}
+	if len(covered) != 10 {
+		t.Fatalf("coverage = %d", len(covered))
+	}
+}
+
+func TestPartitionerStats(t *testing.T) {
+	g := diamond(t)
+	st := NewPartitioner(2).Stats(g)
+	if st.Nodes[0]+st.Nodes[1] != 4 {
+		t.Fatalf("node totals = %v", st.Nodes)
+	}
+	if st.OutEdges[0]+st.OutEdges[1] != 5 {
+		t.Fatalf("edge totals = %v", st.OutEdges)
+	}
+}
+
+func TestPartitionerPanicsOnZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPartitioner(0)
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := diamond(t)
+	in := InDegreeStats(g)
+	if in.Max != 2 {
+		t.Fatalf("in max = %d", in.Max)
+	}
+	if in.Mean != 5.0/4.0 {
+		t.Fatalf("in mean = %v", in.Mean)
+	}
+	out := OutDegreeStats(g)
+	if out.Max != 2 {
+		t.Fatalf("out max = %d", out.Max)
+	}
+}
+
+func TestGiniZeroForUniform(t *testing.T) {
+	b := NewBuilder(4)
+	for v := int32(0); v < 4; v++ {
+		b.AddEdge(v, (v+1)%4, nil)
+	}
+	g := b.Build()
+	st := OutDegreeStats(g)
+	if st.Gini > 1e-9 {
+		t.Fatalf("uniform degrees must have Gini 0, got %v", st.Gini)
+	}
+}
+
+func TestHubNodesSortedByDegree(t *testing.T) {
+	b := NewBuilder(5)
+	// node 0: 3 out-edges; node 1: 2; others 0.
+	b.AddEdge(0, 1, nil)
+	b.AddEdge(0, 2, nil)
+	b.AddEdge(0, 3, nil)
+	b.AddEdge(1, 2, nil)
+	b.AddEdge(1, 3, nil)
+	g := b.Build()
+	hubs := HubNodes(g, 1, false)
+	if len(hubs) != 2 || hubs[0] != 0 || hubs[1] != 1 {
+		t.Fatalf("HubNodes = %v", hubs)
+	}
+}
+
+func TestStrategyThreshold(t *testing.T) {
+	// Paper: 1B edges, 1000 workers, λ=0.1 → 100,000.
+	if got := StrategyThreshold(0.1, 1_000_000_000, 1000); got != 100_000 {
+		t.Fatalf("threshold = %d, want 100000", got)
+	}
+	if got := StrategyThreshold(0.1, 10, 1000); got != 1 {
+		t.Fatalf("threshold floor = %d, want 1", got)
+	}
+	if got := StrategyThreshold(0.1, 10, 0); got != 0 {
+		t.Fatalf("zero workers = %d", got)
+	}
+}

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Serialization lets the cmd tools hand datasets between processes. The
+// format is gob of the full Graph struct (all fields are exported), with a
+// small header guarding against format drift.
+
+const ioMagic = "inferturbo-graph-v1"
+
+// Encode serializes g.
+func (g *Graph) Encode(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(ioMagic); err != nil {
+		return fmt.Errorf("graph: encoding header: %w", err)
+	}
+	if err := enc.Encode(g); err != nil {
+		return fmt.Errorf("graph: encoding graph: %w", err)
+	}
+	return nil
+}
+
+// Decode deserializes a graph written by Encode and validates it.
+func Decode(r io.Reader) (*Graph, error) {
+	dec := gob.NewDecoder(r)
+	var magic string
+	if err := dec.Decode(&magic); err != nil {
+		return nil, fmt.Errorf("graph: decoding header: %w", err)
+	}
+	if magic != ioMagic {
+		return nil, fmt.Errorf("graph: bad header %q", magic)
+	}
+	var g Graph
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("graph: decoding graph: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: loaded graph invalid: %w", err)
+	}
+	return &g, nil
+}
+
+// SaveFile writes g to path.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"inferturbo/internal/tensor"
+)
+
+func TestGraphEncodeDecodeRoundTrip(t *testing.T) {
+	g := diamond(t)
+	g.Features = tensor.FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}, {7, 8}})
+	g.Labels = []int32{0, 1, 0, 1}
+	g.NumClasses = 2
+	g.TrainMask = []bool{true, false, true, false}
+
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes != g.NumNodes || g2.NumEdges != g.NumEdges {
+		t.Fatal("size lost")
+	}
+	if !g2.Features.Equal(g.Features) || !g2.EdgeFeatures.Equal(g.EdgeFeatures) {
+		t.Fatal("features lost")
+	}
+	for v := range g.Labels {
+		if g2.Labels[v] != g.Labels[v] || g2.TrainMask[v] != g.TrainMask[v] {
+			t.Fatal("labels or masks lost")
+		}
+	}
+	s1, d1 := g.EdgeList()
+	s2, d2 := g2.EdgeList()
+	for i := range s1 {
+		if s1[i] != s2[i] || d1[i] != d2[i] {
+			t.Fatal("edges lost")
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not a graph")); err == nil {
+		t.Fatal("must reject garbage")
+	}
+}
+
+func TestDecodeRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	// Encode a different header then a graph.
+	g := diamond(t)
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the magic bytes.
+	idx := bytes.Index(raw, []byte("inferturbo-graph-v1"))
+	if idx < 0 {
+		t.Fatal("magic not found")
+	}
+	raw[idx] = 'X'
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Fatal("must reject wrong magic")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := diamond(t)
+	g.Features = tensor.New(4, 3)
+	path := t.TempDir() + "/g.bin"
+	if err := g.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges != g.NumEdges {
+		t.Fatal("file round trip lost edges")
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

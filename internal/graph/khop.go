@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"fmt"
+
+	"inferturbo/internal/tensor"
+)
+
+// Subgraph is an induced k-hop neighborhood with local node ids. Node 0..R-1
+// are the R roots (in request order); the remaining nodes are discovered in
+// deterministic BFS order. Edges point src -> dst in local ids, and EdgeIDs
+// maps each local edge back to the global edge for feature lookup.
+type Subgraph struct {
+	Nodes    []int32 // local id -> global id
+	Src, Dst []int32 // local edge endpoints
+	EdgeIDs  []int32 // global edge ids
+	NumRoots int
+	Depth    []int32 // local id -> hop distance from the root set
+}
+
+// NumNodes returns the node count of the subgraph.
+func (s *Subgraph) NumNodes() int { return len(s.Nodes) }
+
+// NumEdges returns the edge count of the subgraph.
+func (s *Subgraph) NumEdges() int { return len(s.Src) }
+
+// GatherFeatures copies the root graph's node features for the subgraph's
+// nodes into a local matrix.
+func (s *Subgraph) GatherFeatures(g *Graph) *tensor.Matrix {
+	return tensor.GatherRows(g.Features, s.Nodes)
+}
+
+// GatherEdgeFeatures copies the root graph's edge features for the
+// subgraph's edges; returns nil when the graph has none.
+func (s *Subgraph) GatherEdgeFeatures(g *Graph) *tensor.Matrix {
+	if g.EdgeFeatures == nil {
+		return nil
+	}
+	return tensor.GatherRows(g.EdgeFeatures, s.EdgeIDs)
+}
+
+// KHopOptions controls neighborhood extraction.
+type KHopOptions struct {
+	// Hops is the number of GNN layers the neighborhood must support.
+	Hops int
+	// Fanouts optionally limits the number of in-neighbors sampled when
+	// expanding a node at each hop; Fanouts[d] applies at depth d. A value
+	// < 0 (or a nil slice) means take all in-neighbors — the exact,
+	// information-complete neighborhood.
+	Fanouts []int
+	// RNG drives sampling; required when any fanout is non-negative.
+	RNG *tensor.RNG
+}
+
+// KHop extracts the (optionally sampled) k-hop in-neighborhood of the given
+// roots. With nil/negative fanouts the result is information-complete: a
+// k-layer GNN forward over it reproduces the full-graph values at the roots
+// exactly (the AGL sufficiency property; enforced by tests).
+func KHop(g *Graph, roots []int32, opt KHopOptions) *Subgraph {
+	if opt.Hops < 0 {
+		panic(fmt.Sprintf("graph: negative hops %d", opt.Hops))
+	}
+	sampled := false
+	for _, f := range opt.Fanouts {
+		if f >= 0 {
+			sampled = true
+		}
+	}
+	if sampled && opt.RNG == nil {
+		panic("graph: sampling requires an RNG")
+	}
+
+	local := make(map[int32]int32, len(roots)*4)
+	sub := &Subgraph{NumRoots: len(roots)}
+	intern := func(global int32, depth int32) int32 {
+		if id, ok := local[global]; ok {
+			return id
+		}
+		id := int32(len(sub.Nodes))
+		local[global] = id
+		sub.Nodes = append(sub.Nodes, global)
+		sub.Depth = append(sub.Depth, depth)
+		return id
+	}
+
+	frontier := make([]int32, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := local[r]; ok {
+			panic(fmt.Sprintf("graph: duplicate root %d", r))
+		}
+		intern(r, 0)
+		frontier = append(frontier, r)
+	}
+
+	for d := 0; d < opt.Hops; d++ {
+		fanout := -1
+		if d < len(opt.Fanouts) {
+			fanout = opt.Fanouts[d]
+		}
+		var next []int32
+		for _, v := range frontier {
+			dstLocal := local[v]
+			nbrs := g.InNeighbors(v)
+			eids := g.InEdgeIDs(v)
+			var picks []int
+			if fanout >= 0 && fanout < len(nbrs) {
+				picks = opt.RNG.SampleWithoutReplacement(len(nbrs), fanout)
+			} else {
+				picks = make([]int, len(nbrs))
+				for i := range picks {
+					picks[i] = i
+				}
+			}
+			for _, i := range picks {
+				u := nbrs[i]
+				if _, ok := local[u]; !ok {
+					next = append(next, u)
+				}
+				srcLocal := intern(u, int32(d+1))
+				sub.Src = append(sub.Src, srcLocal)
+				sub.Dst = append(sub.Dst, dstLocal)
+				sub.EdgeIDs = append(sub.EdgeIDs, eids[i])
+			}
+		}
+		frontier = next
+	}
+	return sub
+}

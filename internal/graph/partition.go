@@ -1,0 +1,50 @@
+package graph
+
+import "fmt"
+
+// Partitioner assigns nodes to workers. The paper follows Pregel: hash the
+// node id (mod N); each partition owns its nodes' state and out-edges.
+type Partitioner struct {
+	NumWorkers int
+}
+
+// NewPartitioner returns a mod-N partitioner over the given worker count.
+func NewPartitioner(numWorkers int) *Partitioner {
+	if numWorkers <= 0 {
+		panic(fmt.Sprintf("graph: invalid worker count %d", numWorkers))
+	}
+	return &Partitioner{NumWorkers: numWorkers}
+}
+
+// WorkerFor returns the worker owning node v.
+func (p *Partitioner) WorkerFor(v int32) int { return int(v) % p.NumWorkers }
+
+// NodesFor lists the nodes of worker w for a graph of n nodes, in id order.
+func (p *Partitioner) NodesFor(w, n int) []int32 {
+	var out []int32
+	for v := w; v < n; v += p.NumWorkers {
+		out = append(out, int32(v))
+	}
+	return out
+}
+
+// Stats summarizes a partitioning for load-balance analysis: per-worker node
+// and out-edge counts.
+type PartitionStats struct {
+	Nodes    []int
+	OutEdges []int
+}
+
+// Stats computes per-worker node and out-edge counts for g.
+func (p *Partitioner) Stats(g *Graph) PartitionStats {
+	st := PartitionStats{
+		Nodes:    make([]int, p.NumWorkers),
+		OutEdges: make([]int, p.NumWorkers),
+	}
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		w := p.WorkerFor(v)
+		st.Nodes[w]++
+		st.OutEdges[w] += g.OutDegree(v)
+	}
+	return st
+}

@@ -1,0 +1,103 @@
+package graph
+
+import "sort"
+
+// DegreeStats summarizes a degree distribution; used by the experiment
+// harness to verify the synthetic power-law datasets are actually skewed and
+// by the strategy threshold heuristic.
+type DegreeStats struct {
+	Max    int
+	Mean   float64
+	P50    int
+	P99    int
+	Gini   float64 // inequality of the distribution, 0 = uniform
+	Counts []int   // raw per-node degrees (sorted ascending)
+}
+
+// InDegreeStats computes statistics of the in-degree distribution.
+func InDegreeStats(g *Graph) DegreeStats { return degreeStats(g, true) }
+
+// OutDegreeStats computes statistics of the out-degree distribution.
+func OutDegreeStats(g *Graph) DegreeStats { return degreeStats(g, false) }
+
+func degreeStats(g *Graph, in bool) DegreeStats {
+	degs := make([]int, g.NumNodes)
+	total := 0
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		d := g.OutDegree(v)
+		if in {
+			d = g.InDegree(v)
+		}
+		degs[v] = d
+		total += d
+	}
+	sort.Ints(degs)
+	st := DegreeStats{Counts: degs}
+	if g.NumNodes == 0 {
+		return st
+	}
+	st.Max = degs[len(degs)-1]
+	st.Mean = float64(total) / float64(g.NumNodes)
+	st.P50 = degs[len(degs)/2]
+	st.P99 = degs[min(len(degs)-1, len(degs)*99/100)]
+	// Gini over the sorted degrees.
+	if total > 0 {
+		var cum float64
+		for i, d := range degs {
+			cum += float64(d) * float64(2*(i+1)-len(degs)-1)
+		}
+		st.Gini = cum / (float64(len(degs)) * float64(total))
+	}
+	return st
+}
+
+// HubNodes returns nodes whose degree (in or out per `in`) exceeds the
+// threshold, descending by degree. This feeds the shadow-nodes / broadcast
+// activation decision.
+func HubNodes(g *Graph, threshold int, in bool) []int32 {
+	var hubs []int32
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		d := g.OutDegree(v)
+		if in {
+			d = g.InDegree(v)
+		}
+		if d > threshold {
+			hubs = append(hubs, v)
+		}
+	}
+	sort.Slice(hubs, func(i, j int) bool {
+		di, dj := deg(g, hubs[i], in), deg(g, hubs[j], in)
+		if di != dj {
+			return di > dj
+		}
+		return hubs[i] < hubs[j]
+	})
+	return hubs
+}
+
+func deg(g *Graph, v int32, in bool) int {
+	if in {
+		return g.InDegree(v)
+	}
+	return g.OutDegree(v)
+}
+
+// StrategyThreshold implements the paper's heuristic
+// threshold = λ · total_edges / total_workers  (λ defaults to 0.1).
+func StrategyThreshold(lambda float64, totalEdges, totalWorkers int) int {
+	if totalWorkers <= 0 {
+		return 0
+	}
+	t := int(lambda * float64(totalEdges) / float64(totalWorkers))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

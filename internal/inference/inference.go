@@ -1,0 +1,174 @@
+// Package inference is InferTurbo's core: full-graph, sampling-free GNN
+// inference drivers over the two backends (internal/pregel and
+// internal/mapreduce), implementing the paper's three skew strategies —
+// partial-gather, broadcast, and shadow-nodes — plus the threshold heuristic
+// that activates the out-degree strategies.
+//
+// Both drivers execute the same gas.Model a k-hop trainer produced: one GNN
+// layer per superstep (Pregel) or per reduce round (MapReduce). Every node
+// is computed exactly once per layer, eliminating the k-hop redundant
+// computation of traditional pipelines, and no sampling happens anywhere, so
+// predictions are identical across runs — the consistency guarantee the
+// tests enforce against the single-process reference forward.
+package inference
+
+import (
+	"fmt"
+
+	"inferturbo/internal/cluster"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/tensor"
+)
+
+// Options configures a full-graph inference run.
+type Options struct {
+	// NumWorkers is the partition count (Pregel workers / MR reducers).
+	NumWorkers int
+	// PartialGather enables sender-side aggregation for layers whose reduce
+	// obeys the commutative/associative laws.
+	PartialGather bool
+	// Broadcast deduplicates identical out-edge messages of hub nodes: one
+	// payload per worker plus lightweight per-edge references.
+	Broadcast bool
+	// ShadowNodes splits hub nodes' out-edges across mirror vertices in a
+	// preprocessing pass.
+	ShadowNodes bool
+	// Lambda tunes the hub threshold = λ·edges/workers (default 0.1).
+	Lambda float64
+	// HubThreshold overrides the heuristic threshold when > 0.
+	HubThreshold int
+	// Parallel runs workers on goroutines; results are identical either way.
+	Parallel bool
+	// SpillDir routes MapReduce shuffles through disk when non-empty.
+	SpillDir string
+	// EmitEmbeddings additionally returns each node's penultimate-layer
+	// state (the paper's final superstep "outputs node embeddings or
+	// scores"). One-layer models emit the input features.
+	EmitEmbeddings bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumWorkers <= 0 {
+		o.NumWorkers = 4
+	}
+	if o.Lambda == 0 {
+		o.Lambda = 0.1
+	}
+	return o
+}
+
+// threshold resolves the hub threshold for g under the options.
+func (o Options) threshold(g *graph.Graph) int {
+	if o.HubThreshold > 0 {
+		return o.HubThreshold
+	}
+	return graph.StrategyThreshold(o.Lambda, g.NumEdges, o.NumWorkers)
+}
+
+// Stats aggregates run-wide counters for the experiment harness.
+type Stats struct {
+	Supersteps      int
+	MessagesSent    int64
+	BytesSent       int64
+	BytesReceived   int64
+	CombinedAway    int64 // messages eliminated by partial-gather
+	BroadcastHubs   int64 // node-steps that used the broadcast path
+	ShadowMirrors   int64 // extra vertices created by shadow-nodes
+	WorkerBytesIn   []int64
+	WorkerBytesOut  []int64
+	WorkerFlops     []int64
+	WorkerInRecords []int64 // records received per worker (Fig 11/12 x-axis)
+}
+
+// Result of a full-graph inference run.
+type Result struct {
+	// Logits is NumNodes x NumClasses, aligned with the input graph's node
+	// ids (shadow mirrors are folded away).
+	Logits *tensor.Matrix
+	// Classes holds argmax predictions for single-label tasks.
+	Classes []int32
+	// MultiLabel holds thresholded {0,1} predictions for multi-label tasks.
+	MultiLabel *tensor.Matrix
+	// Embeddings holds penultimate-layer node states when
+	// Options.EmitEmbeddings was set; nil otherwise.
+	Embeddings *tensor.Matrix
+	// Phases carries per-superstep/round per-worker loads for the cluster
+	// cost model.
+	Phases []cluster.Phase
+	Stats  Stats
+}
+
+// finalize fills the prediction fields of a result from its logits.
+func (r *Result) finalize(m *gas.Model) {
+	r.Classes, r.MultiLabel = m.Predict(r.Logits)
+}
+
+// ReferenceForward computes the exact full-graph logits in a single process
+// by materializing the whole graph as one gas.Context — the oracle both
+// backends are tested against.
+func ReferenceForward(m *gas.Model, g *graph.Graph) *tensor.Matrix {
+	src, dst := g.EdgeList()
+	ctx := &gas.Context{
+		NodeState: g.Features,
+		SrcIndex:  src,
+		DstIndex:  dst,
+		EdgeState: g.EdgeFeatures,
+		NumNodes:  g.NumNodes,
+	}
+	return m.Infer(ctx)
+}
+
+// validateModelGraph rejects model/graph mismatches early.
+func validateModelGraph(m *gas.Model, g *graph.Graph) error {
+	if m.NumLayers() == 0 {
+		return fmt.Errorf("inference: model has no layers")
+	}
+	if g.FeatureDim() != m.InDim() {
+		return fmt.Errorf("inference: graph features dim %d, model expects %d", g.FeatureDim(), m.InDim())
+	}
+	for i, l := range m.Layers {
+		if sc, ok := l.(*gas.SAGEConv); ok && sc.EdgeDim() > 0 && g.EdgeFeatureDim() != sc.EdgeDim() {
+			return fmt.Errorf("inference: layer %d expects edge dim %d, graph has %d", i, sc.EdgeDim(), g.EdgeFeatureDim())
+		}
+	}
+	return nil
+}
+
+// Flop cost helpers: coarse per-layer operation counts charged to workers so
+// the cluster model can price compute. Constants are per the usual 2·n·m·k
+// dense matmul convention.
+
+// layerNodeFlops is the per-node apply_node cost of a layer.
+func layerNodeFlops(l gas.Conv) int64 {
+	switch c := l.(type) {
+	case *gas.SAGEConv:
+		// self and neighbor linear transforms.
+		return int64(4 * c.InDim() * c.OutDim())
+	case *gas.GATConv:
+		// projection of the node's own state.
+		return int64(2 * c.InDim() * c.Heads() * c.HeadDim())
+	default:
+		return int64(2 * l.InDim() * l.OutDim())
+	}
+}
+
+// layerMsgFlops is the per-incoming-message cost of a layer.
+func layerMsgFlops(l gas.Conv) int64 {
+	switch c := l.(type) {
+	case *gas.SAGEConv:
+		// aggregation adds.
+		return int64(c.InDim())
+	case *gas.GATConv:
+		// message projection + attention scores + weighted sum.
+		return int64(2*c.InDim()*c.Heads()*c.HeadDim() + 6*c.Heads()*c.HeadDim())
+	default:
+		return int64(l.InDim())
+	}
+}
+
+// payloadBytes is the wire size of a state vector message.
+func payloadBytes(dim int) int { return 4*dim + 16 }
+
+// refBytes is the wire size of a broadcast reference message.
+const refBytes = 12

@@ -1,0 +1,529 @@
+package inference
+
+import (
+	"fmt"
+
+	"inferturbo/internal/cluster"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/mapreduce"
+	"inferturbo/internal/tensor"
+)
+
+// Record kinds flowing between MapReduce rounds. Unlike the Pregel backend,
+// nothing stays resident between rounds: a node's state and its out-edge
+// table are re-sent to itself every round, exactly the data flow the paper
+// describes for this backend.
+const (
+	mrSelf      uint8 = iota // the node's own state (or final logits)
+	mrMsg                    // an in-edge message (possibly partially aggregated)
+	mrOutEdges               // the node's out-edge structure + edge features
+	mrBCPayload              // broadcast payload addressed to a reducer (negative key)
+	mrBCRef                  // broadcast reference: look up Src in the task table
+)
+
+// mrVal is the MapReduce record value. Fields are exported for gob encoding
+// on the disk-spill path.
+type mrVal struct {
+	Kind         uint8
+	Reduce       uint8
+	Src          int32
+	Count        int32
+	Payload      []float32
+	OutDsts      []int32
+	OutEdgeFeats []float32 // flattened rows aligned with OutDsts
+	OrigOutDeg   int32     // original out-degree (degree-scaled layers)
+}
+
+func mrValBytes(v mrVal) int {
+	if v.Kind == mrBCRef {
+		return refBytes
+	}
+	return 4*len(v.Payload) + 4*len(v.OutDsts) + 4*len(v.OutEdgeFeats) + 16
+}
+
+// mrCombine implements partial-gather on this backend: within one producing
+// task, mrMsg records for the same destination merge when their reduce obeys
+// the commutative/associative laws. Everything else passes through.
+func mrCombine(_ int32, values []mrVal) []mrVal {
+	var out []mrVal
+	merged := map[uint8]int{} // reduce kind -> index in out
+	for _, v := range values {
+		if v.Kind != mrMsg || !gas.ReduceKind(v.Reduce).Commutative() {
+			out = append(out, v)
+			continue
+		}
+		i, ok := merged[v.Reduce]
+		if !ok {
+			cp := v
+			cp.Payload = append([]float32(nil), v.Payload...)
+			cp.Src = -1
+			merged[v.Reduce] = len(out)
+			out = append(out, cp)
+			continue
+		}
+		acc := &out[i]
+		switch gas.ReduceKind(v.Reduce) {
+		case gas.ReduceSum, gas.ReduceMean:
+			for j, x := range v.Payload {
+				acc.Payload[j] += x
+			}
+		case gas.ReduceMax:
+			for j, x := range v.Payload {
+				acc.Payload[j] = max32(acc.Payload[j], x)
+			}
+		case gas.ReduceMin:
+			for j, x := range v.Payload {
+				acc.Payload[j] = min32(acc.Payload[j], x)
+			}
+		}
+		acc.Count += v.Count
+	}
+	return out
+}
+
+// mrDriver holds per-run state for the MapReduce backend.
+type mrDriver struct {
+	model     *gas.Model
+	sg        *ShadowGraph
+	opts      Options
+	threshold int
+
+	// Per-task broadcast tables for the current round.
+	tables []map[int32][]float32
+	// Per-task flop counters per round, and peak single-key group bytes
+	// (the streaming-reducer memory model).
+	roundFlops [][]int64
+	roundPeak  [][]int64
+	bcHubs     int64
+}
+
+// reducerFor mirrors the engine's partition function, including the
+// negative-key convention used to address broadcast payloads to reducers.
+func (d *mrDriver) reducerFor(key int32) int {
+	if key < 0 {
+		return int(-key-1) % d.opts.NumWorkers
+	}
+	return int(key) % d.opts.NumWorkers
+}
+
+// scatterEmit is apply_edge + scatter for the messages layer Layers[k] will
+// consume next round, including the broadcast strategy.
+func (d *mrDriver) scatterEmit(v int32, h []float32, k int, emit mapreduce.Emitter[int32, mrVal]) {
+	sendLayer := d.model.Layers[k]
+	dsts := d.sg.G.OutNeighbors(v)
+	eids := d.sg.G.OutEdgeIDs(v)
+	if ms, ok := sendLayer.(gas.MessageScaler); ok {
+		h = ms.ScaleMessage(h, int(d.sg.OrigOutDeg[v]))
+	}
+
+	if d.opts.Broadcast && sendLayer.BroadcastSafe() && len(dsts) > d.threshold {
+		d.bcHubs++
+		seen := make([]bool, d.opts.NumWorkers)
+		for _, dst := range dsts {
+			seen[d.reducerFor(dst)] = true
+		}
+		for r, ok := range seen {
+			if ok {
+				emit(int32(-(r + 1)), mrVal{Kind: mrBCPayload, Src: v, Payload: h})
+			}
+		}
+		for _, dst := range dsts {
+			emit(dst, mrVal{Kind: mrBCRef, Src: v, Reduce: uint8(sendLayer.Reduce())})
+		}
+		return
+	}
+
+	reduce := uint8(sendLayer.Reduce())
+	if sendLayer.BroadcastSafe() {
+		m := mrVal{Kind: mrMsg, Reduce: reduce, Src: v, Count: 1, Payload: h}
+		for _, dst := range dsts {
+			emit(dst, m)
+		}
+		return
+	}
+	state := tensor.FromSlice(1, len(h), h)
+	for i, dst := range dsts {
+		var ef *tensor.Matrix
+		if d.sg.G.EdgeFeatures != nil {
+			row := d.sg.G.EdgeFeatures.Row(int(eids[i]))
+			ef = tensor.FromSlice(1, len(row), row)
+		}
+		payload := sendLayer.ApplyEdge(state, ef)
+		out := make([]float32, payload.Cols)
+		copy(out, payload.Row(0))
+		emit(dst, mrVal{Kind: mrMsg, Reduce: reduce, Src: v, Count: 1, Payload: out})
+	}
+}
+
+// aggregate vectorizes a node's incoming records into the layer's aggregate.
+func (d *mrDriver) aggregate(task int, layer gas.Conv, values []mrVal) (*gas.Aggregated, int, error) {
+	dim := layer.InDim()
+	var payloads [][]float32
+	var counts []int32
+	for _, v := range values {
+		switch v.Kind {
+		case mrMsg:
+			payloads = append(payloads, v.Payload)
+			counts = append(counts, v.Count)
+		case mrBCRef:
+			p, ok := d.tables[task][v.Src]
+			if !ok {
+				return nil, 0, fmt.Errorf("inference: broadcast payload for node %d missing on reducer %d", v.Src, task)
+			}
+			payloads = append(payloads, p)
+			counts = append(counts, 1)
+		}
+	}
+
+	kind := layer.Reduce()
+	a := &gas.Aggregated{Kind: kind}
+	switch kind {
+	case gas.ReduceUnion:
+		mm := tensor.New(len(payloads), dim)
+		for i, p := range payloads {
+			copy(mm.Row(i), p)
+		}
+		a.Messages = mm
+		a.Dst = make([]int32, len(payloads))
+	case gas.ReduceSum, gas.ReduceMean:
+		sum := make([]float32, dim)
+		var count int32
+		for i, p := range payloads {
+			for j, x := range p {
+				sum[j] += x
+			}
+			count += counts[i]
+		}
+		if kind == gas.ReduceMean && count > 0 {
+			inv := 1 / float32(count)
+			for j := range sum {
+				sum[j] *= inv
+			}
+		}
+		a.Pooled = tensor.FromSlice(1, dim, sum)
+		a.Counts = []int32{count}
+	case gas.ReduceMax, gas.ReduceMin:
+		acc := make([]float32, dim)
+		for i, p := range payloads {
+			if i == 0 {
+				copy(acc, p)
+				continue
+			}
+			for j, x := range p {
+				if kind == gas.ReduceMax && x > acc[j] {
+					acc[j] = x
+				}
+				if kind == gas.ReduceMin && x < acc[j] {
+					acc[j] = x
+				}
+			}
+		}
+		a.Pooled = tensor.FromSlice(1, dim, acc)
+	}
+	return a, len(payloads), nil
+}
+
+// RunMapReduce executes full-graph inference of model over g on the
+// MapReduce backend: one map round plus one reduce round per GNN layer.
+func RunMapReduce(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validateModelGraph(model, g); err != nil {
+		return nil, err
+	}
+	threshold := opts.threshold(g)
+
+	sg := IdentityShadow(g)
+	if opts.ShadowNodes {
+		sg = BuildShadowGraph(g, threshold)
+	}
+
+	d := &mrDriver{
+		model:     model,
+		sg:        sg,
+		opts:      opts,
+		threshold: threshold,
+		tables:    make([]map[int32][]float32, opts.NumWorkers),
+	}
+
+	cfg := mapreduce.Config[int32, mrVal]{
+		NumReducers: opts.NumWorkers,
+		ValueBytes:  mrValBytes,
+		Partition:   d.reducerFor,
+		SpillDir:    opts.SpillDir,
+		Parallel:    opts.Parallel,
+	}
+	if opts.PartialGather {
+		cfg.Combine = mrCombine
+	}
+	eng := mapreduce.New(cfg)
+
+	// Map phase: initialize h^0, keep self/out-edge records cycling, and
+	// scatter the first layer's messages.
+	nodes := make([]int32, sg.G.NumNodes)
+	for v := range nodes {
+		nodes[v] = int32(v)
+	}
+	hasEdgeFeat := sg.G.EdgeFeatures != nil
+	current := mapreduce.MapRound(nodes, opts.NumWorkers, func(v int32, emit mapreduce.Emitter[int32, mrVal]) {
+		h := sg.G.Features.Row(int(v))
+		emit(v, mrVal{Kind: mrSelf, Payload: h})
+		dsts := sg.G.OutNeighbors(v)
+		if len(dsts) > 0 {
+			rec := mrVal{Kind: mrOutEdges, OutDsts: dsts, OrigOutDeg: sg.OrigOutDeg[v]}
+			if hasEdgeFeat {
+				eids := sg.G.OutEdgeIDs(v)
+				flat := make([]float32, 0, len(eids)*sg.G.EdgeFeatureDim())
+				for _, e := range eids {
+					flat = append(flat, sg.G.EdgeFeatures.Row(int(e))...)
+				}
+				rec.OutEdgeFeats = flat
+			}
+			emit(v, rec)
+		}
+		d.scatterEmit(v, h, 0, emit)
+	})
+	mapPhase := mapPhaseLoad(current, opts.NumWorkers, d)
+
+	numLayers := model.NumLayers()
+	var embeddings *tensor.Matrix
+	if opts.EmitEmbeddings {
+		embDim := model.InDim()
+		if numLayers > 1 {
+			embDim = model.Layers[numLayers-2].OutDim()
+		}
+		embeddings = tensor.New(g.NumNodes, embDim)
+	}
+	for round := 1; round <= numLayers; round++ {
+		layer := model.Layers[round-1]
+		last := round == numLayers
+		d.tables = make([]map[int32][]float32, opts.NumWorkers)
+		flops := make([]int64, opts.NumWorkers)
+		peaks := make([]int64, opts.NumWorkers)
+		var reduceErr error
+
+		next, _, err := eng.Round(fmt.Sprintf("layer-%d", round), current,
+			func(task int, key int32, values []mrVal, emit mapreduce.Emitter[int32, mrVal]) {
+				if key < 0 {
+					// Broadcast payloads for this reducer: negative keys sort
+					// first, so the table is complete before any node key.
+					if d.tables[task] == nil {
+						d.tables[task] = map[int32][]float32{}
+					}
+					for _, v := range values {
+						if v.Kind == mrBCPayload {
+							d.tables[task][v.Src] = v.Payload
+						}
+					}
+					return
+				}
+				var groupBytes int64
+				for _, v := range values {
+					groupBytes += int64(mrValBytes(v))
+				}
+				if groupBytes > peaks[task] {
+					peaks[task] = groupBytes
+				}
+
+				var selfState []float32
+				var outEdges *mrVal
+				for i := range values {
+					switch values[i].Kind {
+					case mrSelf:
+						selfState = values[i].Payload
+					case mrOutEdges:
+						outEdges = &values[i]
+					}
+				}
+				if selfState == nil {
+					reduceErr = fmt.Errorf("inference: node %d lost its state in round %d", key, round)
+					return
+				}
+				if last && embeddings != nil && int(key) < sg.NumOriginal {
+					// The final round's input state is the penultimate
+					// layer's output. Rows are disjoint per key, so the
+					// parallel write is safe.
+					embeddings.SetRow(int(key), selfState)
+				}
+				aggr, numMsgs, err := d.aggregate(task, layer, values)
+				if err != nil {
+					reduceErr = err
+					return
+				}
+				state := tensor.FromSlice(1, len(selfState), selfState)
+				out := layer.ApplyNode(state, aggr)
+				h := make([]float32, out.Cols)
+				copy(h, out.Row(0))
+				flops[task] += layerNodeFlops(layer) + int64(numMsgs)*layerMsgFlops(layer)
+
+				if last {
+					emit(key, mrVal{Kind: mrSelf, Payload: h})
+					return
+				}
+				emit(key, mrVal{Kind: mrSelf, Payload: h})
+				if outEdges != nil {
+					emit(key, *outEdges)
+				}
+				d.scatterEmitFromRecord(key, h, round, outEdges, emit)
+			})
+		if err != nil {
+			return nil, err
+		}
+		if reduceErr != nil {
+			return nil, reduceErr
+		}
+		d.roundFlops = append(d.roundFlops, flops)
+		d.roundPeak = append(d.roundPeak, peaks)
+		current = next
+	}
+
+	// Assemble logits from the final round's self records (originals only).
+	res := &Result{Logits: tensor.New(g.NumNodes, model.NumClasses), Embeddings: embeddings}
+	filled := make([]bool, g.NumNodes)
+	for _, part := range current {
+		for _, p := range part {
+			if p.Value.Kind != mrSelf || p.Key < 0 {
+				continue
+			}
+			orig := sg.Origin[p.Key]
+			if int(p.Key) >= sg.NumOriginal {
+				continue // mirror: original carries the same logits
+			}
+			if len(p.Value.Payload) != model.NumClasses {
+				return nil, fmt.Errorf("inference: node %d finished with dim %d, want %d", p.Key, len(p.Value.Payload), model.NumClasses)
+			}
+			res.Logits.SetRow(int(orig), p.Value.Payload)
+			filled[orig] = true
+		}
+	}
+	for v, ok := range filled {
+		if !ok {
+			return nil, fmt.Errorf("inference: node %d missing from final round output", v)
+		}
+	}
+	res.finalize(model)
+	res.Stats, res.Phases = mrStats(eng, d, mapPhase, opts, sg)
+	return res, nil
+}
+
+// scatterEmitFromRecord scatters using the out-edge record that traveled
+// with the node (the MR data flow), falling back to the resident topology —
+// they are identical by construction; the record path is exercised so the
+// backend honestly carries its structure through the shuffle.
+func (d *mrDriver) scatterEmitFromRecord(v int32, h []float32, k int, rec *mrVal, emit mapreduce.Emitter[int32, mrVal]) {
+	if rec == nil {
+		return // no out-edges
+	}
+	sendLayer := d.model.Layers[k]
+	dsts := rec.OutDsts
+	if ms, ok := sendLayer.(gas.MessageScaler); ok {
+		h = ms.ScaleMessage(h, int(rec.OrigOutDeg))
+	}
+
+	if d.opts.Broadcast && sendLayer.BroadcastSafe() && len(dsts) > d.threshold {
+		d.bcHubs++
+		seen := make([]bool, d.opts.NumWorkers)
+		for _, dst := range dsts {
+			seen[d.reducerFor(dst)] = true
+		}
+		for r, ok := range seen {
+			if ok {
+				emit(int32(-(r + 1)), mrVal{Kind: mrBCPayload, Src: v, Payload: h})
+			}
+		}
+		for _, dst := range dsts {
+			emit(dst, mrVal{Kind: mrBCRef, Src: v, Reduce: uint8(sendLayer.Reduce())})
+		}
+		return
+	}
+
+	reduce := uint8(sendLayer.Reduce())
+	if sendLayer.BroadcastSafe() {
+		m := mrVal{Kind: mrMsg, Reduce: reduce, Src: v, Count: 1, Payload: h}
+		for _, dst := range dsts {
+			emit(dst, m)
+		}
+		return
+	}
+	state := tensor.FromSlice(1, len(h), h)
+	edgeDim := 0
+	if len(dsts) > 0 {
+		edgeDim = len(rec.OutEdgeFeats) / len(dsts)
+	}
+	for i, dst := range dsts {
+		var ef *tensor.Matrix
+		if edgeDim > 0 {
+			row := rec.OutEdgeFeats[i*edgeDim : (i+1)*edgeDim]
+			ef = tensor.FromSlice(1, edgeDim, row)
+		}
+		payload := sendLayer.ApplyEdge(state, ef)
+		out := make([]float32, payload.Cols)
+		copy(out, payload.Row(0))
+		emit(dst, mrVal{Kind: mrMsg, Reduce: reduce, Src: v, Count: 1, Payload: out})
+	}
+}
+
+// mapPhaseLoad prices the map phase from its actual emissions.
+func mapPhaseLoad(mapped [][]mapreduce.Pair[int32, mrVal], workers int, d *mrDriver) cluster.Phase {
+	ph := cluster.Phase{Name: "map", Workers: make([]cluster.WorkerLoad, workers)}
+	for m, part := range mapped {
+		var bytes int64
+		for _, p := range part {
+			bytes += int64(mrValBytes(p.Value))
+		}
+		ph.Workers[m] = cluster.WorkerLoad{
+			BytesOut: bytes,
+			MsgsOut:  int64(len(part)),
+			Flops:    int64(len(part)) * 8, // feature copy / encode cost
+			PeakMem:  1 << 20,              // mappers stream; negligible state
+		}
+	}
+	return ph
+}
+
+// mrStats converts round metrics into run stats and cluster phases.
+func mrStats(eng *mapreduce.Engine[int32, mrVal], d *mrDriver, mapPhase cluster.Phase, opts Options, sg *ShadowGraph) (Stats, []cluster.Phase) {
+	st := Stats{
+		ShadowMirrors:   int64(sg.Mirrors),
+		BroadcastHubs:   d.bcHubs,
+		WorkerBytesIn:   make([]int64, opts.NumWorkers),
+		WorkerBytesOut:  make([]int64, opts.NumWorkers),
+		WorkerFlops:     make([]int64, opts.NumWorkers),
+		WorkerInRecords: make([]int64, opts.NumWorkers),
+	}
+	phases := []cluster.Phase{mapPhase}
+	for r, round := range eng.Rounds() {
+		st.Supersteps++
+		ph := cluster.Phase{Name: round.Name, Workers: make([]cluster.WorkerLoad, opts.NumWorkers)}
+		var roundCombined int64
+		for _, tm := range round.Reducers {
+			roundCombined += tm.CombinedAway
+		}
+		for _, tm := range round.Reducers {
+			w := tm.Task
+			flops := d.roundFlops[r][w]
+			// Combiner flops are spread across producers; attribute evenly.
+			if roundCombined > 0 && r < d.model.NumLayers() {
+				flops += roundCombined * layerMsgFlops(d.model.Layers[r]) / int64(opts.NumWorkers)
+			}
+			ph.Workers[w] = cluster.WorkerLoad{
+				Flops:    flops,
+				BytesIn:  tm.InputBytes,
+				BytesOut: tm.OutputBytes,
+				MsgsIn:   tm.InputRecords,
+				MsgsOut:  tm.OutputRecords,
+				PeakMem:  d.roundPeak[r][w] + (1 << 20),
+			}
+			st.MessagesSent += tm.OutputRecords
+			st.BytesSent += tm.OutputBytes
+			st.BytesReceived += tm.InputBytes
+			st.CombinedAway += tm.CombinedAway
+			st.WorkerBytesIn[w] += tm.InputBytes
+			st.WorkerBytesOut[w] += tm.OutputBytes
+			st.WorkerFlops[w] += flops
+			st.WorkerInRecords[w] += tm.InputRecords
+		}
+		phases = append(phases, ph)
+	}
+	return st, phases
+}

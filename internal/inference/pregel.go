@@ -1,0 +1,421 @@
+package inference
+
+import (
+	"fmt"
+
+	"inferturbo/internal/cluster"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/pregel"
+	"inferturbo/internal/tensor"
+)
+
+// Message kinds exchanged between vertices.
+const (
+	msgState     uint8 = iota // a (possibly partially aggregated) state vector
+	msgBCRef                  // broadcast reference: look up Src in the worker table
+	msgBCPayload              // broadcast payload addressed to a worker mailbox
+)
+
+// gnnMsg is the Pregel message. Payload carries a state vector; for
+// commutative reduces under partial-gather it may be a pre-aggregated sum
+// (Count tracks how many contributions it folds, keeping mean exact).
+type gnnMsg struct {
+	Kind    uint8
+	Reduce  uint8
+	Src     int32
+	Count   int32
+	Payload []float32
+}
+
+// combineMsgs is the Pregel combiner implementing partial-gather: messages
+// for the same destination merge on the sender side when the consuming
+// layer's reduce is commutative/associative. Union messages (GAT) and
+// broadcast refs decline.
+func combineMsgs(a, b gnnMsg) (gnnMsg, bool) {
+	if a.Kind != msgState || b.Kind != msgState || a.Reduce != b.Reduce {
+		return a, false
+	}
+	kind := gas.ReduceKind(a.Reduce)
+	if !kind.Commutative() {
+		return a, false
+	}
+	out := gnnMsg{Kind: msgState, Reduce: a.Reduce, Src: -1, Count: a.Count + b.Count,
+		Payload: make([]float32, len(a.Payload))}
+	switch kind {
+	case gas.ReduceSum, gas.ReduceMean:
+		for i := range out.Payload {
+			out.Payload[i] = a.Payload[i] + b.Payload[i]
+		}
+	case gas.ReduceMax:
+		for i := range out.Payload {
+			out.Payload[i] = max32(a.Payload[i], b.Payload[i])
+		}
+	case gas.ReduceMin:
+		for i := range out.Payload {
+			out.Payload[i] = min32(a.Payload[i], b.Payload[i])
+		}
+	default:
+		return a, false
+	}
+	return out, true
+}
+
+func max32(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// vtxValue is the per-vertex state: the current embedding h^k, which ends as
+// the logit vector after the last layer, plus the retained penultimate
+// state when embeddings were requested.
+type vtxValue struct {
+	h   []float32
+	emb []float32
+}
+
+// pregelDriver is the vertex program executing a gas.Model layer-by-layer.
+type pregelDriver struct {
+	model     *gas.Model
+	sg        *ShadowGraph
+	opts      Options
+	threshold int
+	part      *graph.Partitioner
+
+	// Per-worker scratch (indexed by worker id; each worker touches only
+	// its own slot, so parallel execution is race-free).
+	bcTables []map[int32][]float32
+	bcStep   []int
+	bcHubs   []int64
+}
+
+// Compute implements pregel.VertexProgram: superstep 0 initializes and
+// scatters h^0; superstep k applies layer k-1; the final superstep attaches
+// the prediction and halts.
+func (d *pregelDriver) Compute(ctx *pregel.Context[vtxValue, gnnMsg], msgs []gnnMsg) {
+	k := ctx.Superstep
+	numLayers := d.model.NumLayers()
+	if k == 0 {
+		// Initialization: raw features become h^0 (the paper's "transform
+		// raw node states into initial embeddings" is the identity here —
+		// feature encoders would slot in at this point).
+		ctx.Value.h = d.sg.G.Features.Row(int(ctx.ID))
+		d.scatter(ctx, 0)
+		return
+	}
+
+	layer := d.model.Layers[k-1]
+	if d.opts.EmitEmbeddings && k == numLayers {
+		ctx.Value.emb = ctx.Value.h // penultimate state, about to be replaced
+	}
+	state := tensor.FromSlice(1, len(ctx.Value.h), ctx.Value.h)
+	aggr := d.gatherStage(ctx, layer, msgs)
+	out := layer.ApplyNode(state, aggr)
+	next := make([]float32, out.Cols)
+	copy(next, out.Row(0))
+	ctx.Value.h = next
+	ctx.AddCost(layerNodeFlops(layer) + int64(len(msgs))*layerMsgFlops(layer))
+
+	if k == numLayers {
+		// Last superstep: the prediction slice of the model is attached
+		// here; h now holds the logits.
+		ctx.VoteToHalt()
+		return
+	}
+	d.scatter(ctx, k)
+}
+
+// gatherStage is gather_nbrs + aggregate: vectorize received messages
+// (resolving broadcast references through the worker table) and reduce them
+// per the layer's annotation.
+func (d *pregelDriver) gatherStage(ctx *pregel.Context[vtxValue, gnnMsg], layer gas.Conv, msgs []gnnMsg) *gas.Aggregated {
+	table := d.workerTable(ctx)
+	dim := layer.InDim()
+
+	resolve := func(m gnnMsg) ([]float32, int32) {
+		switch m.Kind {
+		case msgState:
+			return m.Payload, m.Count
+		case msgBCRef:
+			p, ok := table[m.Src]
+			if !ok {
+				panic(fmt.Sprintf("inference: broadcast payload for node %d missing on worker %d", m.Src, ctx.WorkerID()))
+			}
+			return p, 1
+		default:
+			panic(fmt.Sprintf("inference: unexpected message kind %d at vertex", m.Kind))
+		}
+	}
+
+	kind := layer.Reduce()
+	a := &gas.Aggregated{Kind: kind}
+	switch kind {
+	case gas.ReduceUnion:
+		mm := tensor.New(len(msgs), dim)
+		dst := make([]int32, len(msgs))
+		for i, m := range msgs {
+			p, _ := resolve(m)
+			copy(mm.Row(i), p)
+		}
+		a.Messages = mm
+		a.Dst = dst // all rows aggregate into local row 0 (this vertex)
+	case gas.ReduceSum, gas.ReduceMean:
+		sum := make([]float32, dim)
+		var count int32
+		for _, m := range msgs {
+			p, c := resolve(m)
+			for j, v := range p {
+				sum[j] += v
+			}
+			count += c
+		}
+		if kind == gas.ReduceMean && count > 0 {
+			inv := 1 / float32(count)
+			for j := range sum {
+				sum[j] *= inv
+			}
+		}
+		a.Pooled = tensor.FromSlice(1, dim, sum)
+		a.Counts = []int32{count}
+	case gas.ReduceMax, gas.ReduceMin:
+		acc := make([]float32, dim)
+		seen := false
+		for _, m := range msgs {
+			p, _ := resolve(m)
+			if !seen {
+				copy(acc, p)
+				seen = true
+				continue
+			}
+			for j, v := range p {
+				if kind == gas.ReduceMax && v > acc[j] {
+					acc[j] = v
+				}
+				if kind == gas.ReduceMin && v < acc[j] {
+					acc[j] = v
+				}
+			}
+		}
+		a.Pooled = tensor.FromSlice(1, dim, acc)
+	}
+	return a
+}
+
+// workerTable lazily builds this worker's broadcast lookup table for the
+// current superstep from its mailbox.
+func (d *pregelDriver) workerTable(ctx *pregel.Context[vtxValue, gnnMsg]) map[int32][]float32 {
+	w := ctx.WorkerID()
+	if d.bcStep[w] == ctx.Superstep && d.bcTables[w] != nil {
+		return d.bcTables[w]
+	}
+	t := map[int32][]float32{}
+	for _, m := range ctx.WorkerMail() {
+		if m.Kind == msgBCPayload {
+			t[m.Src] = m.Payload
+		}
+	}
+	d.bcTables[w] = t
+	d.bcStep[w] = ctx.Superstep
+	return t
+}
+
+// scatter is apply_edge + scatter_nbrs for the messages consumed by layer
+// sendLayer = Layers[k] in the next superstep, applying the broadcast
+// strategy for eligible hub nodes.
+func (d *pregelDriver) scatter(ctx *pregel.Context[vtxValue, gnnMsg], k int) {
+	sendLayer := d.model.Layers[k]
+	h := ctx.Value.h
+	dsts, eids := ctx.OutEdges()
+	if ms, ok := sendLayer.(gas.MessageScaler); ok {
+		// Degree-scaled wire messages (GCN). Mirrors scale by the original
+		// node's out-degree so shadow-nodes stays result-neutral.
+		h = ms.ScaleMessage(h, int(d.sg.OrigOutDeg[ctx.ID]))
+	}
+
+	if d.opts.Broadcast && sendLayer.BroadcastSafe() && len(dsts) > d.threshold {
+		d.bcHubs[ctx.WorkerID()]++
+		// One payload per destination worker...
+		seen := make([]bool, ctx.NumWorkers())
+		for _, dst := range dsts {
+			seen[d.part.WorkerFor(dst)] = true
+		}
+		for w, ok := range seen {
+			if ok {
+				ctx.SendToWorker(w, gnnMsg{Kind: msgBCPayload, Src: ctx.ID, Payload: h})
+			}
+		}
+		// ...and a lightweight reference along every out-edge.
+		ref := gnnMsg{Kind: msgBCRef, Src: ctx.ID, Reduce: uint8(sendLayer.Reduce())}
+		for _, dst := range dsts {
+			ctx.SendMessage(dst, ref)
+		}
+		return
+	}
+
+	reduce := uint8(sendLayer.Reduce())
+	if sendLayer.BroadcastSafe() {
+		// apply_edge is the identity: one shared payload for all out-edges
+		// (the combiner copies before mutating, so sharing is safe).
+		m := gnnMsg{Kind: msgState, Reduce: reduce, Src: ctx.ID, Count: 1, Payload: h}
+		for _, dst := range dsts {
+			ctx.SendMessage(dst, m)
+		}
+		return
+	}
+	// Edge-dependent messages: run apply_edge per out-edge.
+	state := tensor.FromSlice(1, len(h), h)
+	for i, dst := range dsts {
+		var ef *tensor.Matrix
+		if d.sg.G.EdgeFeatures != nil {
+			row := d.sg.G.EdgeFeatures.Row(int(eids[i]))
+			ef = tensor.FromSlice(1, len(row), row)
+		}
+		payload := sendLayer.ApplyEdge(state, ef)
+		out := make([]float32, payload.Cols)
+		copy(out, payload.Row(0))
+		ctx.SendMessage(dst, gnnMsg{Kind: msgState, Reduce: reduce, Src: ctx.ID, Count: 1, Payload: out})
+	}
+}
+
+// RunPregel executes full-graph inference of model over g on the Pregel
+// backend.
+func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validateModelGraph(model, g); err != nil {
+		return nil, err
+	}
+	threshold := opts.threshold(g)
+
+	sg := IdentityShadow(g)
+	if opts.ShadowNodes {
+		sg = BuildShadowGraph(g, threshold)
+	}
+
+	driver := &pregelDriver{
+		model:     model,
+		sg:        sg,
+		opts:      opts,
+		threshold: threshold,
+		part:      graph.NewPartitioner(opts.NumWorkers),
+		bcTables:  make([]map[int32][]float32, opts.NumWorkers),
+		bcStep:    make([]int, opts.NumWorkers),
+		bcHubs:    make([]int64, opts.NumWorkers),
+	}
+	for i := range driver.bcStep {
+		driver.bcStep[i] = -1
+	}
+
+	cfg := pregel.Config[gnnMsg]{
+		NumWorkers:    opts.NumWorkers,
+		MaxSupersteps: model.NumLayers() + 1,
+		Parallel:      opts.Parallel,
+		MessageBytes: func(m gnnMsg) int {
+			if m.Kind == msgBCRef {
+				return refBytes
+			}
+			return payloadBytes(len(m.Payload))
+		},
+	}
+	if opts.PartialGather {
+		cfg.Combiner = combineMsgs
+	}
+
+	eng := pregel.NewEngine[vtxValue, gnnMsg](pregel.GraphTopology{G: sg.G}, driver, cfg)
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Logits: tensor.New(g.NumNodes, model.NumClasses)}
+	if opts.EmitEmbeddings {
+		embDim := model.InDim()
+		if n := model.NumLayers(); n > 1 {
+			embDim = model.Layers[n-2].OutDim()
+		}
+		res.Embeddings = tensor.New(g.NumNodes, embDim)
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		val := eng.VertexValue(int32(v))
+		if len(val.h) != model.NumClasses {
+			return nil, fmt.Errorf("inference: node %d finished with dim %d, want %d classes", v, len(val.h), model.NumClasses)
+		}
+		res.Logits.SetRow(v, val.h)
+		if res.Embeddings != nil {
+			res.Embeddings.SetRow(v, val.emb)
+		}
+	}
+	res.finalize(model)
+	res.Stats, res.Phases = pregelStats(eng, driver, model, sg, opts)
+	return res, nil
+}
+
+// pregelStats converts engine metrics into run stats and cluster phases.
+func pregelStats(eng *pregel.Engine[vtxValue, gnnMsg], driver *pregelDriver, model *gas.Model, sg *ShadowGraph, opts Options) (Stats, []cluster.Phase) {
+	st := Stats{
+		Supersteps:      eng.Supersteps(),
+		ShadowMirrors:   int64(sg.Mirrors),
+		WorkerBytesIn:   make([]int64, opts.NumWorkers),
+		WorkerBytesOut:  make([]int64, opts.NumWorkers),
+		WorkerFlops:     make([]int64, opts.NumWorkers),
+		WorkerInRecords: make([]int64, opts.NumWorkers),
+	}
+	for _, n := range driver.bcHubs {
+		st.BroadcastHubs += n
+	}
+
+	// Resident state per worker: every owned vertex holds its widest
+	// embedding plus its out-edge structure.
+	maxDim := model.InDim()
+	for _, l := range model.Layers {
+		if l.OutDim() > maxDim {
+			maxDim = l.OutDim()
+		}
+	}
+	resident := make([]int64, opts.NumWorkers)
+	part := graph.NewPartitioner(opts.NumWorkers)
+	for v := int32(0); v < int32(sg.G.NumNodes); v++ {
+		w := part.WorkerFor(v)
+		resident[w] += int64(4*maxDim) + int64(8*sg.G.OutDegree(v))
+	}
+
+	var phases []cluster.Phase
+	for _, step := range eng.Metrics() {
+		s := step[0].Superstep // robust under checkpoint replays
+		ph := cluster.Phase{Name: fmt.Sprintf("superstep-%d", s), Workers: make([]cluster.WorkerLoad, opts.NumWorkers)}
+		for w, m := range step {
+			flops := m.ComputeCost
+			// Partial-gather moves aggregation flops to the sender: charge
+			// combined-away messages at the sending worker against the layer
+			// that would have consumed them.
+			if s < model.NumLayers() {
+				flops += m.CombinedAway * layerMsgFlops(model.Layers[s])
+			}
+			ph.Workers[w] = cluster.WorkerLoad{
+				Flops:    flops,
+				BytesIn:  m.BytesReceived,
+				BytesOut: m.BytesSent,
+				MsgsIn:   m.MessagesReceived,
+				MsgsOut:  m.MessagesSent,
+				PeakMem:  resident[w] + m.BytesReceived,
+			}
+			st.MessagesSent += m.MessagesSent
+			st.BytesSent += m.BytesSent
+			st.BytesReceived += m.BytesReceived
+			st.CombinedAway += m.CombinedAway
+			st.WorkerBytesIn[w] += m.BytesReceived
+			st.WorkerBytesOut[w] += m.BytesSent
+			st.WorkerFlops[w] += flops
+			st.WorkerInRecords[w] += m.MessagesReceived
+		}
+		phases = append(phases, ph)
+	}
+	return st, phases
+}

@@ -1,0 +1,266 @@
+// Package nn provides the minimal neural-network toolkit the GNN layers are
+// built from: parameters with gradients, a Linear layer with hand-written
+// backprop, dropout, softmax/BCE losses, SGD and Adam optimizers, and the
+// evaluation metrics the paper reports (accuracy, micro-F1).
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"inferturbo/internal/tensor"
+)
+
+// Param is a trainable matrix with its gradient accumulator and Adam state.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+
+	m, v *tensor.Matrix // Adam moments, lazily allocated
+}
+
+// NewParam allocates a named parameter with a zeroed gradient.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(rows, cols),
+		Grad:  tensor.New(rows, cols),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// AddGrad accumulates g into the parameter gradient.
+func (p *Param) AddGrad(g *tensor.Matrix) { tensor.AddInPlace(p.Grad, g) }
+
+// Linear is a fully connected layer y = xW + b.
+type Linear struct {
+	W *Param
+	B *Param
+
+	lastInput *tensor.Matrix // cached by Forward for Backward
+}
+
+// NewLinear creates a Linear layer with Xavier-initialized weights.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		W: NewParam(name+".W", in, out),
+		B: NewParam(name+".b", 1, out),
+	}
+	rng.Xavier(l.W.Value)
+	return l
+}
+
+// Forward computes xW + b and caches x for the backward pass.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	l.lastInput = x
+	return tensor.AddBias(tensor.MatMul(x, l.W.Value), l.B.Value.Row(0))
+}
+
+// Apply computes xW + b without caching — the inference path, safe for
+// concurrent use.
+func (l *Linear) Apply(x *tensor.Matrix) *tensor.Matrix {
+	return tensor.AddBias(tensor.MatMul(x, l.W.Value), l.B.Value.Row(0))
+}
+
+// Backward accumulates dW, db and returns dX for the most recent Forward.
+func (l *Linear) Backward(dOut *tensor.Matrix) *tensor.Matrix {
+	if l.lastInput == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	l.W.AddGrad(tensor.MatMulAT(l.lastInput, dOut))
+	db := tensor.SumRows(dOut)
+	for j, v := range db {
+		l.B.Grad.Data[j] += v
+	}
+	return tensor.MatMulBT(dOut, l.W.Value)
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Dropout zeroes elements with probability p at train time, scaling the
+// survivors by 1/(1-p), and returns the mask for the backward pass.
+func Dropout(x *tensor.Matrix, p float32, rng *tensor.RNG) (out, mask *tensor.Matrix) {
+	if p <= 0 {
+		return x, nil
+	}
+	if p >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v", p))
+	}
+	scale := 1 / (1 - p)
+	out = tensor.New(x.Rows, x.Cols)
+	mask = tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if rng.Float32() >= p {
+			mask.Data[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out, mask
+}
+
+// DropoutBackward routes gradients through a dropout mask.
+func DropoutBackward(dOut, mask *tensor.Matrix) *tensor.Matrix {
+	if mask == nil {
+		return dOut
+	}
+	return tensor.Hadamard(dOut, mask)
+}
+
+// SoftmaxCrossEntropy computes mean cross-entropy of logits against integer
+// labels and the gradient w.r.t. logits. Rows are weighted equally.
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int32) (float64, *tensor.Matrix) {
+	if logits.Rows != len(labels) {
+		panic(fmt.Sprintf("nn: %d logit rows, %d labels", logits.Rows, len(labels)))
+	}
+	if logits.Rows == 0 {
+		return 0, tensor.New(0, logits.Cols)
+	}
+	probs := tensor.Softmax(logits)
+	grad := probs.Clone()
+	var loss float64
+	inv := 1 / float32(logits.Rows)
+	for i, y := range labels {
+		p := probs.At(i, int(y))
+		loss -= math.Log(math.Max(float64(p), 1e-12))
+		grad.Set(i, int(y), grad.At(i, int(y))-1)
+	}
+	grad.ScaleInPlace(inv)
+	return loss / float64(logits.Rows), grad
+}
+
+// BCEWithLogits computes mean binary cross-entropy of logits against {0,1}
+// targets (multi-label tasks) and the gradient w.r.t. logits.
+func BCEWithLogits(logits, targets *tensor.Matrix) (float64, *tensor.Matrix) {
+	return BCEWithLogitsWeighted(logits, targets, 1)
+}
+
+// BCEWithLogitsWeighted is BCEWithLogits with the positive class scaled by
+// posWeight — the standard counter to the sparse-positive imbalance of
+// many-class multi-label tasks (PPI has 121 classes, ≈2% positives).
+func BCEWithLogitsWeighted(logits, targets *tensor.Matrix, posWeight float32) (float64, *tensor.Matrix) {
+	if logits.Rows != targets.Rows || logits.Cols != targets.Cols {
+		panic("nn: BCE shape mismatch")
+	}
+	if posWeight <= 0 {
+		posWeight = 1
+	}
+	n := len(logits.Data)
+	if n == 0 {
+		return 0, tensor.New(logits.Rows, logits.Cols)
+	}
+	grad := tensor.New(logits.Rows, logits.Cols)
+	var loss float64
+	inv := 1 / float32(n)
+	w64 := float64(posWeight)
+	for i, x := range logits.Data {
+		t := targets.Data[i]
+		// Stable decomposition: log σ(x) = -max(-x,0) - log1p(e^-|x|),
+		// log σ(-x) = -max(x,0) - log1p(e^-|x|).
+		x64 := float64(x)
+		l1p := math.Log1p(math.Exp(-math.Abs(x64)))
+		loss += w64*float64(t)*(math.Max(-x64, 0)+l1p) +
+			(1-float64(t))*(math.Max(x64, 0)+l1p)
+		sig := float32(1 / (1 + math.Exp(-x64)))
+		grad.Data[i] = (sig*(posWeight*t+1-t) - posWeight*t) * inv
+	}
+	return loss / float64(n), grad
+}
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional weight decay.
+type SGD struct {
+	LR          float32
+	WeightDecay float32
+}
+
+// Step applies one SGD update and clears gradients.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i] + o.WeightDecay*p.Value.Data[i]
+			p.Value.Data[i] -= o.LR * g
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam implements the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	WeightDecay           float32
+	t                     int
+}
+
+// NewAdam returns Adam with the usual defaults.
+func NewAdam(lr float32) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update and clears gradients.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.t)))
+	bc2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.t)))
+	for _, p := range params {
+		if p.m == nil {
+			p.m = tensor.New(p.Value.Rows, p.Value.Cols)
+			p.v = tensor.New(p.Value.Rows, p.Value.Cols)
+		}
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i] + o.WeightDecay*p.Value.Data[i]
+			p.m.Data[i] = o.Beta1*p.m.Data[i] + (1-o.Beta1)*g
+			p.v.Data[i] = o.Beta2*p.v.Data[i] + (1-o.Beta2)*g*g
+			mHat := p.m.Data[i] / bc1
+			vHat := p.v.Data[i] / bc2
+			p.Value.Data[i] -= o.LR * mHat / (float32(math.Sqrt(float64(vHat))) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Accuracy is the fraction of rows where argmax(logits) == label.
+func Accuracy(logits *tensor.Matrix, labels []int32) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	pred := tensor.ArgmaxRows(logits)
+	hit := 0
+	for i, y := range labels {
+		if pred[i] == y {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(labels))
+}
+
+// MicroF1 computes micro-averaged F1 of thresholded logits (> 0 ⇒ positive)
+// against {0,1} targets — the PPI metric.
+func MicroF1(logits, targets *tensor.Matrix) float64 {
+	var tp, fp, fn float64
+	for i, x := range logits.Data {
+		pred := x > 0
+		truth := targets.Data[i] > 0.5
+		switch {
+		case pred && truth:
+			tp++
+		case pred && !truth:
+			fp++
+		case !pred && truth:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	precision := tp / (tp + fp)
+	recall := tp / (tp + fn)
+	return 2 * precision * recall / (precision + recall)
+}

@@ -1,0 +1,297 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"inferturbo/internal/tensor"
+)
+
+func TestLinearForwardKnown(t *testing.T) {
+	l := NewLinear("l", 2, 2, tensor.NewRNG(1))
+	l.W.Value = tensor.FromRows([][]float32{{1, 0}, {0, 1}})
+	l.B.Value = tensor.FromRows([][]float32{{10, 20}})
+	x := tensor.FromRows([][]float32{{3, 4}})
+	y := l.Forward(x)
+	if y.At(0, 0) != 13 || y.At(0, 1) != 24 {
+		t.Fatalf("forward = %v", y.Data)
+	}
+	if !l.Apply(x).Equal(y) {
+		t.Fatal("Apply must match Forward")
+	}
+}
+
+func TestLinearBackwardNumeric(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	l := NewLinear("l", 3, 2, rng)
+	x := tensor.New(4, 3)
+	rng.Uniform(x, -1, 1)
+
+	// Scalar objective: sum of outputs. dOut = ones.
+	forward := func() float64 {
+		out := l.Apply(x)
+		var s float64
+		for _, v := range out.Data {
+			s += float64(v)
+		}
+		return s
+	}
+	l.Forward(x)
+	dOut := tensor.New(4, 2)
+	dOut.Fill(1)
+	dX := l.Backward(dOut)
+
+	const eps = 1e-2
+	// Check dW numerically.
+	for i := 0; i < len(l.W.Value.Data); i += 2 {
+		orig := l.W.Value.Data[i]
+		l.W.Value.Data[i] = orig + eps
+		plus := forward()
+		l.W.Value.Data[i] = orig - eps
+		minus := forward()
+		l.W.Value.Data[i] = orig
+		num := (plus - minus) / (2 * eps)
+		if math.Abs(num-float64(l.W.Grad.Data[i])) > 1e-2 {
+			t.Fatalf("dW[%d] = %v, numeric %v", i, l.W.Grad.Data[i], num)
+		}
+	}
+	// Check dX numerically.
+	for i := 0; i < len(x.Data); i += 3 {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		plus := forward()
+		x.Data[i] = orig - eps
+		minus := forward()
+		x.Data[i] = orig
+		num := (plus - minus) / (2 * eps)
+		if math.Abs(num-float64(dX.Data[i])) > 1e-2 {
+			t.Fatalf("dX[%d] = %v, numeric %v", i, dX.Data[i], num)
+		}
+	}
+	// Bias gradient: d(sum)/db_j = #rows.
+	for _, g := range l.B.Grad.Data {
+		if g != 4 {
+			t.Fatalf("db = %v, want 4", g)
+		}
+	}
+}
+
+func TestLinearBackwardBeforeForwardPanics(t *testing.T) {
+	l := NewLinear("l", 2, 2, tensor.NewRNG(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Backward(tensor.New(1, 2))
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 2 classes → loss = ln 2.
+	logits := tensor.FromRows([][]float32{{0, 0}})
+	loss, grad := SoftmaxCrossEntropy(logits, []int32{0})
+	if math.Abs(loss-math.Log(2)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln2", loss)
+	}
+	// grad = softmax - onehot = [0.5-1, 0.5].
+	if math.Abs(float64(grad.At(0, 0)+0.5)) > 1e-6 || math.Abs(float64(grad.At(0, 1)-0.5)) > 1e-6 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradNumeric(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	logits := tensor.New(3, 4)
+	rng.Uniform(logits, -2, 2)
+	labels := []int32{1, 3, 0}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+
+	const eps = 1e-2
+	for i := range logits.Data {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig - eps
+		lm, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data[i])) > 1e-3 {
+			t.Fatalf("dlogits[%d] = %v, numeric %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyEmptyBatch(t *testing.T) {
+	loss, grad := SoftmaxCrossEntropy(tensor.New(0, 3), nil)
+	if loss != 0 || grad.Rows != 0 {
+		t.Fatal("empty batch must be a no-op")
+	}
+}
+
+func TestBCEWithLogitsKnownAndNumeric(t *testing.T) {
+	// logit 0, target 1 → loss = ln 2 per element.
+	logits := tensor.FromRows([][]float32{{0}})
+	targets := tensor.FromRows([][]float32{{1}})
+	loss, _ := BCEWithLogits(logits, targets)
+	if math.Abs(loss-math.Log(2)) > 1e-6 {
+		t.Fatalf("loss = %v", loss)
+	}
+
+	rng := tensor.NewRNG(4)
+	lg := tensor.New(2, 3)
+	rng.Uniform(lg, -2, 2)
+	tg := tensor.FromRows([][]float32{{1, 0, 1}, {0, 0, 1}})
+	_, grad := BCEWithLogits(lg, tg)
+	const eps = 1e-2
+	for i := range lg.Data {
+		orig := lg.Data[i]
+		lg.Data[i] = orig + eps
+		lp, _ := BCEWithLogits(lg, tg)
+		lg.Data[i] = orig - eps
+		lm, _ := BCEWithLogits(lg, tg)
+		lg.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data[i])) > 1e-3 {
+			t.Fatalf("grad[%d] = %v numeric %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestBCEStableAtExtremeLogits(t *testing.T) {
+	logits := tensor.FromRows([][]float32{{1000, -1000}})
+	targets := tensor.FromRows([][]float32{{1, 0}})
+	loss, grad := BCEWithLogits(logits, targets)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatal("BCE must be stable at extreme logits")
+	}
+	for _, g := range grad.Data {
+		if math.IsNaN(float64(g)) {
+			t.Fatal("BCE grad NaN")
+		}
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := NewParam("p", 1, 2)
+	p.Value.Data[0] = 1
+	p.Grad.Data[0] = 0.5
+	(&SGD{LR: 0.1}).Step([]*Param{p})
+	if math.Abs(float64(p.Value.Data[0]-0.95)) > 1e-6 {
+		t.Fatalf("sgd value = %v", p.Value.Data[0])
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("Step must clear gradients")
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := NewParam("p", 1, 1)
+	p.Value.Data[0] = 1
+	(&SGD{LR: 0.1, WeightDecay: 0.5}).Step([]*Param{p})
+	// g = 0 + 0.5*1; value = 1 - 0.1*0.5 = 0.95.
+	if math.Abs(float64(p.Value.Data[0]-0.95)) > 1e-6 {
+		t.Fatalf("decay value = %v", p.Value.Data[0])
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (x - 3)² — Adam should get close quickly.
+	p := NewParam("x", 1, 1)
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		x := p.Value.Data[0]
+		p.Grad.Data[0] = 2 * (x - 3)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(float64(p.Value.Data[0]-3)) > 0.05 {
+		t.Fatalf("adam converged to %v, want 3", p.Value.Data[0])
+	}
+}
+
+func TestAdamBeatsNoise(t *testing.T) {
+	// First step magnitude should be ≈ LR regardless of gradient scale
+	// (bias-corrected), a known Adam property.
+	p := NewParam("x", 1, 1)
+	p.Grad.Data[0] = 1000
+	opt := NewAdam(0.01)
+	opt.Step([]*Param{p})
+	if math.Abs(float64(p.Value.Data[0]))-0.01 > 1e-4 {
+		t.Fatalf("first adam step = %v, want ≈ 0.01", p.Value.Data[0])
+	}
+}
+
+func TestDropoutTrainProperties(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	x := tensor.New(100, 10)
+	x.Fill(1)
+	out, mask := Dropout(x, 0.5, rng)
+	if mask == nil {
+		t.Fatal("mask expected for p>0")
+	}
+	zeros := 0
+	for i, v := range out.Data {
+		if v == 0 {
+			zeros++
+		} else if math.Abs(float64(v-2)) > 1e-6 {
+			t.Fatalf("survivor scaled to %v, want 2", v)
+		}
+		if mask.Data[i] != 0 && mask.Data[i] != 2 {
+			t.Fatalf("mask value %v", mask.Data[i])
+		}
+	}
+	if zeros < 300 || zeros > 700 {
+		t.Fatalf("dropped %d of 1000, want ≈ 500", zeros)
+	}
+	// Backward routes through the same mask.
+	d := tensor.New(100, 10)
+	d.Fill(1)
+	db := DropoutBackward(d, mask)
+	for i := range db.Data {
+		if db.Data[i] != mask.Data[i] {
+			t.Fatal("DropoutBackward must apply the mask")
+		}
+	}
+}
+
+func TestDropoutZeroRateIsIdentity(t *testing.T) {
+	x := tensor.FromRows([][]float32{{1, 2}})
+	out, mask := Dropout(x, 0, nil)
+	if out != x || mask != nil {
+		t.Fatal("p=0 must be identity")
+	}
+	if DropoutBackward(x, nil) != x {
+		t.Fatal("nil mask backward must be identity")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromRows([][]float32{{1, 0}, {0, 1}, {1, 0}})
+	got := Accuracy(logits, []int32{0, 1, 1})
+	if math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if Accuracy(tensor.New(0, 2), nil) != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+}
+
+func TestMicroF1PerfectAndEmpty(t *testing.T) {
+	logits := tensor.FromRows([][]float32{{1, -1}, {-1, 1}})
+	targets := tensor.FromRows([][]float32{{1, 0}, {0, 1}})
+	if f1 := MicroF1(logits, targets); f1 != 1 {
+		t.Fatalf("perfect F1 = %v", f1)
+	}
+	allNeg := tensor.FromRows([][]float32{{-1, -1}})
+	if f1 := MicroF1(allNeg, tensor.FromRows([][]float32{{1, 1}})); f1 != 0 {
+		t.Fatalf("no-positive F1 = %v", f1)
+	}
+}
+
+func TestMicroF1PartialKnown(t *testing.T) {
+	// tp=1 (pos/pos), fp=1 (pos/neg), fn=1 (neg/pos) → P=R=0.5 → F1=0.5.
+	logits := tensor.FromRows([][]float32{{1, 1, -1}})
+	targets := tensor.FromRows([][]float32{{1, 0, 1}})
+	if f1 := MicroF1(logits, targets); math.Abs(f1-0.5) > 1e-9 {
+		t.Fatalf("F1 = %v, want 0.5", f1)
+	}
+}

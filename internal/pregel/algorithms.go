@@ -1,0 +1,140 @@
+package pregel
+
+import "math"
+
+// Classic graph-processing programs. They validate the engine against
+// reference implementations (the paper motivates the GAS abstraction with
+// exactly these workloads) and serve as runnable examples of the vertex API.
+
+// PageRankProgram computes PageRank with damping 0.85 for a fixed number of
+// iterations. Vertex value is the rank; messages are rank contributions.
+type PageRankProgram struct {
+	NumVertices int
+	Iterations  int
+}
+
+// Compute implements VertexProgram.
+func (p *PageRankProgram) Compute(ctx *Context[float64, float64], msgs []float64) {
+	switch {
+	case ctx.Superstep == 0:
+		*ctx.Value = 1 / float64(p.NumVertices)
+	case ctx.Superstep <= p.Iterations:
+		var sum float64
+		for _, m := range msgs {
+			sum += m
+		}
+		*ctx.Value = 0.15/float64(p.NumVertices) + 0.85*sum
+	}
+	if ctx.Superstep >= p.Iterations {
+		ctx.VoteToHalt()
+		return
+	}
+	if d := ctx.OutDegree(); d > 0 {
+		share := *ctx.Value / float64(d)
+		dsts, _ := ctx.OutEdges()
+		for _, dst := range dsts {
+			ctx.SendMessage(dst, share)
+		}
+		ctx.AddCost(int64(d))
+	}
+}
+
+// PageRankCombiner merges rank contributions for the same destination.
+func PageRankCombiner(a, b float64) (float64, bool) { return a + b, true }
+
+// ReferencePageRank computes the same fixed-iteration PageRank on a single
+// thread for engine validation.
+func ReferencePageRank(topo Topology, iterations int) []float64 {
+	n := topo.NumVertices()
+	rank := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1 / float64(n)
+	}
+	for it := 0; it < iterations; it++ {
+		next := make([]float64, n)
+		for v := range next {
+			next[v] = 0.15 / float64(n)
+		}
+		for v := 0; v < n; v++ {
+			d := topo.OutDegree(int32(v))
+			if d == 0 {
+				continue
+			}
+			share := 0.85 * rank[v] / float64(d)
+			dsts, _ := topo.OutEdges(int32(v))
+			for _, u := range dsts {
+				next[u] += share
+			}
+		}
+		rank = next
+	}
+	return rank
+}
+
+// SSSPProgram computes single-source shortest paths over unit-weight edges.
+// Vertex value is the tentative distance; messages are candidate distances.
+type SSSPProgram struct {
+	Source int32
+}
+
+// Compute implements VertexProgram.
+func (p *SSSPProgram) Compute(ctx *Context[float64, float64], msgs []float64) {
+	if ctx.Superstep == 0 {
+		if ctx.ID == p.Source {
+			*ctx.Value = 0
+		} else {
+			*ctx.Value = math.Inf(1)
+			ctx.VoteToHalt()
+			return
+		}
+	} else {
+		best := *ctx.Value
+		for _, m := range msgs {
+			if m < best {
+				best = m
+			}
+		}
+		if best >= *ctx.Value {
+			ctx.VoteToHalt()
+			return
+		}
+		*ctx.Value = best
+	}
+	dsts, _ := ctx.OutEdges()
+	for _, dst := range dsts {
+		ctx.SendMessage(dst, *ctx.Value+1)
+	}
+	ctx.AddCost(int64(len(dsts)))
+	ctx.VoteToHalt()
+}
+
+// SSSPCombiner keeps the smallest candidate distance per destination.
+func SSSPCombiner(a, b float64) (float64, bool) {
+	if a < b {
+		return a, true
+	}
+	return b, true
+}
+
+// ReferenceSSSP is a BFS validation oracle for unit-weight SSSP.
+func ReferenceSSSP(topo Topology, source int32) []float64 {
+	n := topo.NumVertices()
+	dist := make([]float64, n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+	}
+	dist[source] = 0
+	queue := []int32{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		dsts, _ := topo.OutEdges(v)
+		for _, u := range dsts {
+			if dist[v]+1 < dist[u] {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,487 @@
+// Package pregel implements a Pregel-like bulk-synchronous graph processing
+// engine: the "think-like-a-vertex" substrate InferTurbo's first backend
+// runs on. Vertices are hash-partitioned across workers together with their
+// out-edges; a computation proceeds in supersteps where every active vertex
+// consumes the messages addressed to it, updates its value, and sends
+// messages along out-edges for the next superstep.
+//
+// The engine reproduces the system behaviours the paper's evaluation
+// depends on: sender-side combiners (the hook partial-gather uses), global
+// aggregators (the hook broadcast uses), deterministic message delivery, and
+// per-worker, per-superstep traffic/compute accounting that feeds the
+// cluster cost model.
+package pregel
+
+import (
+	"fmt"
+	"sync"
+
+	"inferturbo/internal/graph"
+)
+
+// Topology exposes the partition-resident structure a vertex program may
+// consult: vertex count and per-vertex out-edges. *graph.Graph is adapted by
+// GraphTopology; the shadow-nodes preprocessing produces its own Topology.
+type Topology interface {
+	NumVertices() int
+	OutDegree(v int32) int
+	// OutEdges returns destination vertex ids and edge ids for v. Callers
+	// must not mutate the returned slices.
+	OutEdges(v int32) (dsts, eids []int32)
+}
+
+// GraphTopology adapts *graph.Graph to Topology.
+type GraphTopology struct{ G *graph.Graph }
+
+// NumVertices implements Topology.
+func (t GraphTopology) NumVertices() int { return t.G.NumNodes }
+
+// OutDegree implements Topology.
+func (t GraphTopology) OutDegree(v int32) int { return t.G.OutDegree(v) }
+
+// OutEdges implements Topology.
+func (t GraphTopology) OutEdges(v int32) (dsts, eids []int32) {
+	return t.G.OutNeighbors(v), t.G.OutEdgeIDs(v)
+}
+
+// VertexProgram is the user computation. Compute runs once per active vertex
+// per superstep; at superstep 0 msgs is empty (the initialization step).
+type VertexProgram[V, M any] interface {
+	Compute(ctx *Context[V, M], msgs []M)
+}
+
+// Config tunes an engine run.
+type Config[M any] struct {
+	NumWorkers    int
+	MaxSupersteps int
+	// Combiner, when non-nil, merges messages addressed to the same
+	// destination vertex on the sender side before transmission — Pregel's
+	// combining, the mechanism behind the paper's partial-gather. Returning
+	// false declines the merge (e.g. union-aggregated GAT messages), leaving
+	// both messages to be delivered individually.
+	Combiner func(a, b M) (M, bool)
+	// MessageBytes estimates the wire size of a message for the IO
+	// accounting. Defaults to a constant 64 bytes when nil.
+	MessageBytes func(M) int
+	// Parallel executes workers on goroutines. Delivery order stays
+	// deterministic either way.
+	Parallel bool
+	// CheckpointEvery snapshots engine state every n supersteps (0 = off),
+	// enabling recovery after a worker failure. Vertex programs must
+	// replace, not mutate, their value contents for snapshots to be sound
+	// (both bundled algorithms and the GNN driver do).
+	CheckpointEvery int
+	// FailAtSuperstep injects one simulated worker crash at the given
+	// superstep (> 0; the zero value disables injection): that superstep's
+	// work is lost and the engine restores the latest checkpoint and
+	// re-executes. Used by the fault tolerance tests.
+	FailAtSuperstep int
+}
+
+// StepMetrics records one worker's activity during one superstep.
+type StepMetrics struct {
+	Superstep        int
+	Worker           int
+	ActiveVertices   int
+	MessagesSent     int64
+	MessagesReceived int64
+	BytesSent        int64
+	BytesReceived    int64
+	CombinedAway     int64 // messages eliminated by the combiner
+	ComputeCost      int64 // user-charged units via Context.AddCost
+}
+
+// Context is handed to Compute; it exposes the vertex, its mutable value,
+// messaging, aggregators and cost accounting.
+type Context[V, M any] struct {
+	worker    *worker[V, M]
+	ID        int32
+	Superstep int
+	Value     *V
+
+	halted bool
+}
+
+// NumWorkers returns the configured worker count.
+func (c *Context[V, M]) NumWorkers() int { return c.worker.engine.cfg.NumWorkers }
+
+// WorkerID returns the worker executing this vertex.
+func (c *Context[V, M]) WorkerID() int { return c.worker.id }
+
+// OutEdges returns the vertex's out-edges from the topology.
+func (c *Context[V, M]) OutEdges() (dsts, eids []int32) {
+	return c.worker.engine.topo.OutEdges(c.ID)
+}
+
+// OutDegree returns the vertex's out-degree.
+func (c *Context[V, M]) OutDegree() int { return c.worker.engine.topo.OutDegree(c.ID) }
+
+// SendMessage routes m to vertex dst for the next superstep, applying the
+// sender-side combiner when configured.
+func (c *Context[V, M]) SendMessage(dst int32, m M) {
+	c.worker.send(dst, m)
+}
+
+// SendToWorker routes m to a synthetic per-worker mailbox (vertex -1-w on
+// worker w); used by strategies that address workers rather than vertices.
+func (c *Context[V, M]) SendToWorker(w int, m M) {
+	c.worker.sendToWorker(w, m)
+}
+
+// VoteToHalt deactivates the vertex until a message arrives for it.
+func (c *Context[V, M]) VoteToHalt() { c.halted = true }
+
+// WorkerMail returns the messages addressed to this worker (via
+// SendToWorker) during the previous superstep. The slice is shared by every
+// vertex the worker computes this superstep; callers must not mutate it.
+func (c *Context[V, M]) WorkerMail() []M { return c.worker.workerInbox }
+
+// AddCost charges user-defined compute units (e.g. flops) to this worker's
+// current superstep, feeding the cluster cost model.
+func (c *Context[V, M]) AddCost(units int64) { c.worker.stepCost += units }
+
+// AggregatorPut publishes a key/value into the global aggregator visible to
+// every worker in the NEXT superstep. Keys must be unique per superstep.
+func (c *Context[V, M]) AggregatorPut(key string, value []float32) {
+	c.worker.aggPut(key, value)
+}
+
+// AggregatorGet reads a value published during the PREVIOUS superstep.
+func (c *Context[V, M]) AggregatorGet(key string) ([]float32, bool) {
+	v, ok := c.worker.engine.aggPrev[key]
+	return v, ok
+}
+
+// pending is a sender-side buffer of messages for one destination worker.
+type pending[M any] struct {
+	dsts []int32
+	msgs []M
+	// index into dsts/msgs per destination vertex while combining
+	byDst map[int32]int
+}
+
+type worker[V, M any] struct {
+	engine *Engine[V, M]
+	id     int
+	verts  []int32 // owned vertex ids
+
+	out []pending[M] // one per destination worker
+
+	workerInbox []M // messages sent via SendToWorker
+
+	stepCost int64
+	aggLocal map[string][]float32
+}
+
+func (w *worker[V, M]) send(dst int32, m M) {
+	dw := w.engine.part.WorkerFor(dst)
+	p := &w.out[dw]
+	if w.engine.cfg.Combiner != nil {
+		if i, ok := p.byDst[dst]; ok {
+			if merged, ok := w.engine.cfg.Combiner(p.msgs[i], m); ok {
+				p.msgs[i] = merged
+				w.engine.metrics[len(w.engine.metrics)-1][w.id].CombinedAway++
+				return
+			}
+		} else {
+			p.byDst[dst] = len(p.dsts)
+		}
+	}
+	p.dsts = append(p.dsts, dst)
+	p.msgs = append(p.msgs, m)
+}
+
+func (w *worker[V, M]) sendToWorker(dw int, m M) {
+	p := &w.out[dw]
+	p.dsts = append(p.dsts, -1)
+	p.msgs = append(p.msgs, m)
+}
+
+func (w *worker[V, M]) aggPut(key string, value []float32) {
+	if w.aggLocal == nil {
+		w.aggLocal = map[string][]float32{}
+	}
+	w.aggLocal[key] = value
+}
+
+// Engine executes a vertex program over a topology.
+type Engine[V, M any] struct {
+	topo Topology
+	prog VertexProgram[V, M]
+	cfg  Config[M]
+	part *graph.Partitioner
+
+	values  []V
+	active  []bool
+	workers []*worker[V, M]
+
+	// inbox[v] holds messages for vertex v in the upcoming superstep;
+	// workerInbox[w] holds worker-addressed messages.
+	inbox       [][]M
+	workerInbox [][]M
+
+	aggPrev map[string][]float32
+
+	metrics    [][]StepMetrics // one entry per executed superstep (replays add entries)
+	supersteps int
+
+	checkpoint *snapshot[V, M]
+	recoveries int
+	failArmed  bool
+}
+
+// snapshot is a recovery point: everything the next superstep reads.
+type snapshot[V, M any] struct {
+	step        int
+	values      []V
+	active      []bool
+	inbox       [][]M
+	workerInbox [][]M
+	aggPrev     map[string][]float32
+}
+
+// NewEngine constructs an engine; Run executes it.
+func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M]) *Engine[V, M] {
+	if cfg.NumWorkers <= 0 {
+		panic(fmt.Sprintf("pregel: invalid worker count %d", cfg.NumWorkers))
+	}
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 64
+	}
+	if cfg.MessageBytes == nil {
+		cfg.MessageBytes = func(M) int { return 64 }
+	}
+	e := &Engine[V, M]{
+		topo: topo,
+		prog: prog,
+		cfg:  cfg,
+		part: graph.NewPartitioner(cfg.NumWorkers),
+	}
+	n := topo.NumVertices()
+	e.values = make([]V, n)
+	e.active = make([]bool, n)
+	for i := range e.active {
+		e.active[i] = true
+	}
+	e.inbox = make([][]M, n)
+	e.workerInbox = make([][]M, cfg.NumWorkers)
+	for w := 0; w < cfg.NumWorkers; w++ {
+		wk := &worker[V, M]{engine: e, id: w, verts: e.part.NodesFor(w, n)}
+		e.workers = append(e.workers, wk)
+	}
+	return e
+}
+
+// Run executes supersteps until every vertex has halted with no messages in
+// flight, or MaxSupersteps is reached. When checkpointing is on and a
+// failure is injected, the engine rolls back to the latest checkpoint and
+// re-executes — results are identical to a failure-free run because every
+// superstep is deterministic.
+func (e *Engine[V, M]) Run() error {
+	e.failArmed = failConfigured(e.cfg)
+	if e.cfg.CheckpointEvery > 0 {
+		e.takeCheckpoint(0) // superstep-0 inputs are always recoverable
+	}
+	for step := 0; step < e.cfg.MaxSupersteps; step++ {
+		anyActive := false
+		for v := range e.active {
+			if e.active[v] || len(e.inbox[v]) > 0 {
+				anyActive = true
+				break
+			}
+		}
+		anyWorkerMail := false
+		for _, ms := range e.workerInbox {
+			if len(ms) > 0 {
+				anyWorkerMail = true
+			}
+		}
+		if !anyActive && !anyWorkerMail {
+			return nil
+		}
+
+		if e.failArmed && step == e.cfg.FailAtSuperstep {
+			e.failArmed = false
+			if e.checkpoint == nil {
+				return fmt.Errorf("pregel: worker failure at superstep %d with no checkpoint", step)
+			}
+			e.restoreCheckpoint()
+			e.recoveries++
+			step = e.checkpoint.step - 1 // loop increment re-enters at the checkpoint
+			continue
+		}
+
+		e.runSuperstep(step)
+		if e.cfg.CheckpointEvery > 0 && (step+1)%e.cfg.CheckpointEvery == 0 {
+			e.takeCheckpoint(step + 1)
+		}
+	}
+	// Reaching the cap is normal for fixed-round programs (k-layer GNNs);
+	// programs that expect convergence can inspect Supersteps().
+	return nil
+}
+
+// failConfigured reports whether a failure injection is requested; the
+// Config zero value (FailAtSuperstep == 0) means no failure, so existing
+// configurations are unaffected.
+func failConfigured[M any](cfg Config[M]) bool { return cfg.FailAtSuperstep > 0 }
+
+// takeCheckpoint snapshots everything the upcoming superstep consumes.
+func (e *Engine[V, M]) takeCheckpoint(step int) {
+	cp := &snapshot[V, M]{step: step, aggPrev: e.aggPrev}
+	cp.values = append([]V(nil), e.values...)
+	cp.active = append([]bool(nil), e.active...)
+	cp.inbox = make([][]M, len(e.inbox))
+	for v := range e.inbox {
+		cp.inbox[v] = append([]M(nil), e.inbox[v]...)
+	}
+	cp.workerInbox = make([][]M, len(e.workerInbox))
+	for w := range e.workerInbox {
+		cp.workerInbox[w] = append([]M(nil), e.workerInbox[w]...)
+	}
+	e.checkpoint = cp
+}
+
+// restoreCheckpoint rolls engine state back to the latest checkpoint,
+// discarding the metrics of the lost supersteps.
+func (e *Engine[V, M]) restoreCheckpoint() {
+	cp := e.checkpoint
+	copy(e.values, cp.values)
+	copy(e.active, cp.active)
+	for v := range e.inbox {
+		e.inbox[v] = append([]M(nil), cp.inbox[v]...)
+	}
+	for w := range e.workerInbox {
+		e.workerInbox[w] = append([]M(nil), cp.workerInbox[w]...)
+	}
+	e.aggPrev = cp.aggPrev
+	if len(e.metrics) > cp.step {
+		e.metrics = e.metrics[:cp.step]
+	}
+}
+
+// Recoveries reports how many checkpoint recoveries the run performed.
+func (e *Engine[V, M]) Recoveries() int { return e.recoveries }
+
+func (e *Engine[V, M]) runSuperstep(step int) {
+	e.supersteps = step + 1
+	stepMetrics := make([]StepMetrics, e.cfg.NumWorkers)
+	for w := range stepMetrics {
+		stepMetrics[w] = StepMetrics{Superstep: step, Worker: w}
+	}
+	e.metrics = append(e.metrics, stepMetrics)
+
+	for _, w := range e.workers {
+		w.out = make([]pending[M], e.cfg.NumWorkers)
+		if e.cfg.Combiner != nil {
+			for i := range w.out {
+				w.out[i].byDst = map[int32]int{}
+			}
+		}
+		w.stepCost = 0
+		w.aggLocal = nil
+		w.workerInbox = e.workerInbox[w.id]
+	}
+	e.workerInbox = make([][]M, e.cfg.NumWorkers)
+
+	runWorker := func(w *worker[V, M]) {
+		m := &e.metrics[len(e.metrics)-1][w.id]
+		for _, ms := range w.workerInbox {
+			m.MessagesReceived++
+			m.BytesReceived += int64(e.cfg.MessageBytes(ms))
+		}
+		for _, v := range w.verts {
+			msgs := e.inbox[v]
+			if !e.active[v] && len(msgs) == 0 {
+				continue
+			}
+			m.ActiveVertices++
+			m.MessagesReceived += int64(len(msgs))
+			for _, one := range msgs {
+				m.BytesReceived += int64(e.cfg.MessageBytes(one))
+			}
+			ctx := &Context[V, M]{worker: w, ID: v, Superstep: step, Value: &e.values[v]}
+			e.prog.Compute(ctx, msgs)
+			e.active[v] = !ctx.halted
+		}
+		m.ComputeCost = w.stepCost
+	}
+
+	if e.cfg.Parallel {
+		var wg sync.WaitGroup
+		for _, w := range e.workers {
+			wg.Add(1)
+			go func(w *worker[V, M]) {
+				defer wg.Done()
+				runWorker(w)
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for _, w := range e.workers {
+			runWorker(w)
+		}
+	}
+
+	// Barrier: clear inboxes, deliver pending messages deterministically in
+	// sender-worker order, merge aggregators.
+	for v := range e.inbox {
+		e.inbox[v] = nil
+	}
+	agg := map[string][]float32{}
+	for _, w := range e.workers {
+		m := &e.metrics[len(e.metrics)-1][w.id]
+		for dw := range w.out {
+			p := &w.out[dw]
+			for i, dst := range p.dsts {
+				bytes := int64(e.cfg.MessageBytes(p.msgs[i]))
+				m.MessagesSent++
+				m.BytesSent += bytes
+				if dst < 0 {
+					e.workerInbox[dw] = append(e.workerInbox[dw], p.msgs[i])
+					continue
+				}
+				e.inbox[dst] = append(e.inbox[dst], p.msgs[i])
+				// A message reactivates its destination.
+				e.active[dst] = e.active[dst] || true
+			}
+		}
+		for k, v := range w.aggLocal {
+			agg[k] = v
+		}
+		w.workerInbox = nil
+	}
+	e.aggPrev = agg
+}
+
+// VertexValue returns a pointer to v's value after Run.
+func (e *Engine[V, M]) VertexValue(v int32) *V { return &e.values[v] }
+
+// Values returns the full value slice (indexed by vertex id).
+func (e *Engine[V, M]) Values() []V { return e.values }
+
+// Supersteps reports how many supersteps executed.
+func (e *Engine[V, M]) Supersteps() int { return e.supersteps }
+
+// Metrics returns per-superstep, per-worker metrics.
+func (e *Engine[V, M]) Metrics() [][]StepMetrics { return e.metrics }
+
+// TotalMetrics sums the per-step metrics into one record per worker.
+func (e *Engine[V, M]) TotalMetrics() []StepMetrics {
+	out := make([]StepMetrics, e.cfg.NumWorkers)
+	for w := range out {
+		out[w].Worker = w
+	}
+	for _, step := range e.metrics {
+		for w, m := range step {
+			out[w].ActiveVertices += m.ActiveVertices
+			out[w].MessagesSent += m.MessagesSent
+			out[w].MessagesReceived += m.MessagesReceived
+			out[w].BytesSent += m.BytesSent
+			out[w].BytesReceived += m.BytesReceived
+			out[w].CombinedAway += m.CombinedAway
+			out[w].ComputeCost += m.ComputeCost
+		}
+	}
+	return out
+}

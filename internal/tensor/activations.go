@@ -1,0 +1,174 @@
+package tensor
+
+import "math"
+
+// Activation functions and their derivatives used by the NN layers. All
+// operate elementwise and return new matrices; the *Backward variants take
+// the forward *output* where that is cheaper (sigmoid, tanh) or the forward
+// *input* where required (relu family).
+
+// ReLU returns max(0, x) elementwise.
+func ReLU(m *Matrix) *Matrix {
+	return m.Apply(func(v float32) float32 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// ReLUBackward masks dOut where the forward input was <= 0.
+func ReLUBackward(dOut, in *Matrix) *Matrix {
+	checkSameShape("ReLUBackward", dOut, in)
+	out := New(dOut.Rows, dOut.Cols)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = dOut.Data[i]
+		}
+	}
+	return out
+}
+
+// LeakyReLU returns x if x>0 else slope*x. GAT uses slope 0.2 on attention
+// logits.
+func LeakyReLU(m *Matrix, slope float32) *Matrix {
+	return m.Apply(func(v float32) float32 {
+		if v > 0 {
+			return v
+		}
+		return slope * v
+	})
+}
+
+// LeakyReLUBackward computes the gradient of LeakyReLU given forward input.
+func LeakyReLUBackward(dOut, in *Matrix, slope float32) *Matrix {
+	checkSameShape("LeakyReLUBackward", dOut, in)
+	out := New(dOut.Rows, dOut.Cols)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = dOut.Data[i]
+		} else {
+			out.Data[i] = dOut.Data[i] * slope
+		}
+	}
+	return out
+}
+
+// LeakyReLUScalar applies leaky relu to a scalar.
+func LeakyReLUScalar(v, slope float32) float32 {
+	if v > 0 {
+		return v
+	}
+	return slope * v
+}
+
+// LeakyReLUGradScalar is the derivative of LeakyReLUScalar at v.
+func LeakyReLUGradScalar(v, slope float32) float32 {
+	if v > 0 {
+		return 1
+	}
+	return slope
+}
+
+// Sigmoid returns 1/(1+e^-x) elementwise.
+func Sigmoid(m *Matrix) *Matrix {
+	return m.Apply(func(v float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(v))))
+	})
+}
+
+// SigmoidBackward computes dIn from dOut and the forward output.
+func SigmoidBackward(dOut, out *Matrix) *Matrix {
+	checkSameShape("SigmoidBackward", dOut, out)
+	g := New(dOut.Rows, dOut.Cols)
+	for i, y := range out.Data {
+		g.Data[i] = dOut.Data[i] * y * (1 - y)
+	}
+	return g
+}
+
+// Tanh returns tanh(x) elementwise.
+func Tanh(m *Matrix) *Matrix {
+	return m.Apply(func(v float32) float32 {
+		return float32(math.Tanh(float64(v)))
+	})
+}
+
+// TanhBackward computes dIn from dOut and the forward output.
+func TanhBackward(dOut, out *Matrix) *Matrix {
+	checkSameShape("TanhBackward", dOut, out)
+	g := New(dOut.Rows, dOut.Cols)
+	for i, y := range out.Data {
+		g.Data[i] = dOut.Data[i] * (1 - y*y)
+	}
+	return g
+}
+
+// Softmax applies a numerically stable softmax to each row.
+func Softmax(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		max := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		orow := out.Row(i)
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			orow[j] = float32(e)
+			sum += e
+		}
+		if sum > 0 {
+			inv := float32(1 / sum)
+			for j := range orow {
+				orow[j] *= inv
+			}
+		}
+	}
+	return out
+}
+
+// LogSoftmax applies a numerically stable log-softmax to each row.
+func LogSoftmax(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		max := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - max))
+		}
+		logSum := float32(math.Log(sum)) + max
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = v - logSum
+		}
+	}
+	return out
+}
+
+// ArgmaxRows returns the index of the maximum element in each row. Ties break
+// toward the lower index, which keeps predictions deterministic.
+func ArgmaxRows(m *Matrix) []int32 {
+	out := make([]int32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best := 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		out[i] = int32(best)
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReLU(t *testing.T) {
+	m := FromRows([][]float32{{-1, 0, 2}})
+	got := ReLU(m)
+	want := FromRows([][]float32{{0, 0, 2}})
+	if !got.Equal(want) {
+		t.Fatalf("ReLU = %v", got.Data)
+	}
+}
+
+func TestReLUBackwardMasks(t *testing.T) {
+	in := FromRows([][]float32{{-1, 0, 2}})
+	dOut := FromRows([][]float32{{5, 5, 5}})
+	got := ReLUBackward(dOut, in)
+	want := FromRows([][]float32{{0, 0, 5}})
+	if !got.Equal(want) {
+		t.Fatalf("ReLUBackward = %v", got.Data)
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	m := FromRows([][]float32{{-10, 10}})
+	got := LeakyReLU(m, 0.2)
+	if got.At(0, 0) != -2 || got.At(0, 1) != 10 {
+		t.Fatalf("LeakyReLU = %v", got.Data)
+	}
+}
+
+func TestLeakyReLUBackward(t *testing.T) {
+	in := FromRows([][]float32{{-1, 3}})
+	dOut := FromRows([][]float32{{10, 10}})
+	got := LeakyReLUBackward(dOut, in, 0.1)
+	if got.At(0, 0) != 1 || got.At(0, 1) != 10 {
+		t.Fatalf("LeakyReLUBackward = %v", got.Data)
+	}
+}
+
+func TestLeakyReLUScalarAndGrad(t *testing.T) {
+	if LeakyReLUScalar(-2, 0.5) != -1 || LeakyReLUScalar(2, 0.5) != 2 {
+		t.Fatal("LeakyReLUScalar wrong")
+	}
+	if LeakyReLUGradScalar(-2, 0.5) != 0.5 || LeakyReLUGradScalar(2, 0.5) != 1 {
+		t.Fatal("LeakyReLUGradScalar wrong")
+	}
+}
+
+func TestSigmoidRangeAndSymmetry(t *testing.T) {
+	m := FromRows([][]float32{{-3, 0, 3}})
+	got := Sigmoid(m)
+	if got.At(0, 1) != 0.5 {
+		t.Fatalf("sigmoid(0) = %v, want 0.5", got.At(0, 1))
+	}
+	if s := got.At(0, 0) + got.At(0, 2); math.Abs(float64(s-1)) > 1e-5 {
+		t.Fatalf("sigmoid(-x)+sigmoid(x) = %v, want 1", s)
+	}
+}
+
+func TestSigmoidBackwardNumeric(t *testing.T) {
+	in := FromRows([][]float32{{0.3, -0.7}})
+	out := Sigmoid(in)
+	dOut := FromRows([][]float32{{1, 1}})
+	grad := SigmoidBackward(dOut, out)
+	const eps = 1e-3
+	for j := 0; j < 2; j++ {
+		plus := in.Clone()
+		plus.Set(0, j, in.At(0, j)+eps)
+		minus := in.Clone()
+		minus.Set(0, j, in.At(0, j)-eps)
+		num := (Sigmoid(plus).At(0, j) - Sigmoid(minus).At(0, j)) / (2 * eps)
+		if math.Abs(float64(num-grad.At(0, j))) > 1e-3 {
+			t.Fatalf("sigmoid grad[%d] = %v, numeric %v", j, grad.At(0, j), num)
+		}
+	}
+}
+
+func TestTanhBackwardNumeric(t *testing.T) {
+	in := FromRows([][]float32{{0.5}})
+	out := Tanh(in)
+	grad := TanhBackward(FromRows([][]float32{{1}}), out)
+	const eps = 1e-3
+	plus := Tanh(FromRows([][]float32{{0.5 + eps}})).At(0, 0)
+	minus := Tanh(FromRows([][]float32{{0.5 - eps}})).At(0, 0)
+	num := (plus - minus) / (2 * eps)
+	if math.Abs(float64(num-grad.At(0, 0))) > 1e-3 {
+		t.Fatalf("tanh grad = %v, numeric %v", grad.At(0, 0), num)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		m := New(3, 5)
+		g.Uniform(m, -4, 4)
+		sm := Softmax(m)
+		for i := 0; i < sm.Rows; i++ {
+			var s float64
+			for _, v := range sm.Row(i) {
+				if v < 0 {
+					return false
+				}
+				s += float64(v)
+			}
+			if math.Abs(s-1) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariant(t *testing.T) {
+	m := FromRows([][]float32{{1, 2, 3}})
+	shifted := FromRows([][]float32{{101, 102, 103}})
+	if !Softmax(m).AllClose(Softmax(shifted), 1e-5) {
+		t.Fatal("softmax must be shift invariant")
+	}
+}
+
+func TestSoftmaxStableAtExtremes(t *testing.T) {
+	m := FromRows([][]float32{{1e4, -1e4}})
+	sm := Softmax(m)
+	if math.IsNaN(float64(sm.At(0, 0))) || sm.At(0, 0) < 0.999 {
+		t.Fatalf("softmax extreme = %v", sm.Data)
+	}
+}
+
+func TestLogSoftmaxMatchesLogOfSoftmax(t *testing.T) {
+	g := NewRNG(5)
+	m := New(2, 4)
+	g.Uniform(m, -3, 3)
+	ls := LogSoftmax(m)
+	sm := Softmax(m)
+	for i := range ls.Data {
+		if math.Abs(float64(ls.Data[i])-math.Log(float64(sm.Data[i]))) > 1e-4 {
+			t.Fatal("LogSoftmax != log(Softmax)")
+		}
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	m := FromRows([][]float32{{0, 5, 2}, {7, 1, 7}})
+	got := ArgmaxRows(m)
+	if got[0] != 1 {
+		t.Fatalf("argmax row0 = %d", got[0])
+	}
+	if got[1] != 0 {
+		t.Fatalf("argmax must break ties low, got %d", got[1])
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float32() != b.Float32() {
+			t.Fatal("same-seed RNGs must agree")
+		}
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	g := NewRNG(1)
+	counts := map[int]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := g.Zipf(2.0, 1000)
+		if v < 1 || v > 1000 {
+			t.Fatalf("Zipf out of bounds: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[1] < n/3 {
+		t.Fatalf("Zipf(2.0) should be heavily skewed to 1: got %d of %d", counts[1], n)
+	}
+	if g.Zipf(2.0, 1) != 1 {
+		t.Fatal("Zipf with max=1 must return 1")
+	}
+}
+
+func TestXavierWithinLimit(t *testing.T) {
+	g := NewRNG(3)
+	m := New(50, 50)
+	g.Xavier(m)
+	limit := float32(math.Sqrt(6.0 / 100))
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("Xavier value %v outside ±%v", v, limit)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	g := NewRNG(9)
+	got := g.SampleWithoutReplacement(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid sample %v", got)
+		}
+		seen[v] = true
+	}
+	all := g.SampleWithoutReplacement(3, 10)
+	if len(all) != 3 {
+		t.Fatal("k>=n must return all indices")
+	}
+}

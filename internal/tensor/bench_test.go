@@ -1,0 +1,69 @@
+package tensor
+
+import "testing"
+
+func BenchmarkMatMul128(b *testing.B) {
+	g := NewRNG(1)
+	x := New(128, 128)
+	y := New(128, 128)
+	g.Uniform(x, -1, 1)
+	g.Uniform(y, -1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulTall(b *testing.B) {
+	g := NewRNG(2)
+	x := New(10000, 64)
+	w := New(64, 64)
+	g.Uniform(x, -1, 1)
+	g.Uniform(w, -1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, w)
+	}
+}
+
+func BenchmarkSegmentSum(b *testing.B) {
+	g := NewRNG(3)
+	data := New(50000, 64)
+	g.Uniform(data, -1, 1)
+	seg := make([]int32, 50000)
+	for i := range seg {
+		seg[i] = int32(g.Intn(5000))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SegmentSum(data, seg, 5000)
+	}
+}
+
+func BenchmarkSegmentSoftmax(b *testing.B) {
+	g := NewRNG(4)
+	logits := make([]float32, 50000)
+	seg := make([]int32, 50000)
+	for i := range seg {
+		logits[i] = g.Float32()
+		seg[i] = int32(g.Intn(5000))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SegmentSoftmax(logits, seg, 5000)
+	}
+}
+
+func BenchmarkGatherRows(b *testing.B) {
+	g := NewRNG(5)
+	m := New(10000, 64)
+	g.Uniform(m, -1, 1)
+	idx := make([]int32, 50000)
+	for i := range idx {
+		idx[i] = int32(g.Intn(10000))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GatherRows(m, idx)
+	}
+}

@@ -1,0 +1,415 @@
+// Package tensor provides the dense float32 matrix and segment primitives
+// that every other layer of the system builds on: the GAS convolutions, the
+// mini-batch trainer, and the vectorization step of both inference backends.
+//
+// Everything here is deterministic: no parallel reductions, no map iteration,
+// so repeated runs produce bit-identical results. That property is load-
+// bearing — InferTurbo's headline guarantee is consistent predictions across
+// runs, and it is enforced by tests all the way up the stack.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix.
+//
+// Rows*Cols == len(Data) always holds for a valid Matrix. The zero value is
+// an empty 0x0 matrix ready to use.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New allocates a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows x cols matrix.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d needs %d values, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix by copying the given equal-length rows.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: FromRows ragged input, row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float32) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: SetRow length %d != cols %d", len(v), m.Cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// Shape returns (rows, cols).
+func (m *Matrix) Shape() (int, int) { return m.Rows, m.Cols }
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// Zero resets all elements in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Equal reports whether m and o have the same shape and identical elements.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether m and o have the same shape and elementwise
+// |a-b| <= tol.
+func (m *Matrix) AllClose(o *Matrix, tol float32) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - o.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest elementwise absolute difference between two
+// same-shaped matrices.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float32 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var max float32
+	for i, v := range m.Data {
+		d := v - o.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MatMul returns a @ b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulAT returns aᵀ @ b, used by backprop for weight gradients.
+func MatMulAT(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulAT %dx%d / %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulBT returns a @ bᵀ, used by backprop for input gradients.
+func MatMulBT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBT %dx%d / %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	checkSameShape("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Matrix) {
+	checkSameShape("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	checkSameShape("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Hadamard returns the elementwise product a * b.
+func Hadamard(a, b *Matrix) *Matrix {
+	checkSameShape("Hadamard", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns m * s.
+func (m *Matrix) Scale(s float32) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddBias adds the bias row vector b to every row of m, returning a new
+// matrix.
+func AddBias(m *Matrix, b []float32) *Matrix {
+	if len(b) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddBias bias length %d != cols %d", len(b), m.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = v + b[j]
+		}
+	}
+	return out
+}
+
+// Apply returns f applied elementwise.
+func (m *Matrix) Apply(f func(float32) float32) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ConcatCols returns [a | b] with the same row count.
+func ConcatCols(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: ConcatCols rows %d != %d", a.Rows, b.Rows))
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i)[:a.Cols], a.Row(i))
+		copy(out.Row(i)[a.Cols:], b.Row(i))
+	}
+	return out
+}
+
+// SplitCols undoes ConcatCols, returning copies of the first aCols columns
+// and the remainder.
+func SplitCols(m *Matrix, aCols int) (*Matrix, *Matrix) {
+	if aCols < 0 || aCols > m.Cols {
+		panic(fmt.Sprintf("tensor: SplitCols at %d of %d", aCols, m.Cols))
+	}
+	a := New(m.Rows, aCols)
+	b := New(m.Rows, m.Cols-aCols)
+	for i := 0; i < m.Rows; i++ {
+		copy(a.Row(i), m.Row(i)[:aCols])
+		copy(b.Row(i), m.Row(i)[aCols:])
+	}
+	return a, b
+}
+
+// GatherRows returns a matrix whose row r is m.Row(idx[r]).
+func GatherRows(m *Matrix, idx []int32) *Matrix {
+	out := New(len(idx), m.Cols)
+	for r, i := range idx {
+		if int(i) < 0 || int(i) >= m.Rows {
+			panic(fmt.Sprintf("tensor: GatherRows index %d out of %d rows", i, m.Rows))
+		}
+		copy(out.Row(r), m.Row(int(i)))
+	}
+	return out
+}
+
+// ScatterAddRows accumulates src.Row(r) into dst.Row(idx[r]). Accumulation
+// order is the order of idx, making the result deterministic.
+func ScatterAddRows(dst, src *Matrix, idx []int32) {
+	if src.Rows != len(idx) {
+		panic(fmt.Sprintf("tensor: ScatterAddRows %d rows, %d indices", src.Rows, len(idx)))
+	}
+	if src.Cols != dst.Cols {
+		panic(fmt.Sprintf("tensor: ScatterAddRows cols %d != %d", src.Cols, dst.Cols))
+	}
+	for r, i := range idx {
+		drow := dst.Row(int(i))
+		srow := src.Row(r)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// SumRows returns the column-wise sum of m as a length-Cols vector.
+func SumRows(m *Matrix) []float32 {
+	out := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// RowNorm returns the L2 norm of each row.
+func RowNorm(m *Matrix) []float32 {
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += float64(v) * float64(v)
+		}
+		out[i] = float32(math.Sqrt(s))
+	}
+	return out
+}
+
+// NormalizeRowsL2 scales each row of m in place to unit L2 norm; zero rows
+// are left untouched.
+func NormalizeRowsL2(m *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += float64(v) * float64(v)
+		}
+		if s == 0 {
+			continue
+		}
+		inv := float32(1 / math.Sqrt(s))
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+func checkSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

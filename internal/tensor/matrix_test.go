@@ -1,0 +1,360 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndZero(t *testing.T) {
+	m := New(3, 4)
+	if r, c := m.Shape(); r != 3 || c != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", r, c)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New must return a zeroed matrix")
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dims")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if m.At(0, 0) != 1 || m.At(2, 1) != 6 {
+		t.Fatalf("At mismatch: %v", m.Data)
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatal("Set did not update value")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func TestFromSliceLengthChecked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong length")
+		}
+	}()
+	FromSlice(2, 2, []float32{1, 2, 3})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias storage")
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	m.Row(1)[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must alias the backing storage")
+	}
+}
+
+func TestSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.SetRow(1, []float32{1, 2, 3})
+	if m.At(1, 2) != 3 {
+		t.Fatal("SetRow failed")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	got := MatMul(a, b)
+	want := FromRows([][]float32{{19, 22}, {43, 50}})
+	if !got.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	g := NewRNG(1)
+	a := New(4, 4)
+	g.Uniform(a, -1, 1)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	if !MatMul(a, id).AllClose(a, 1e-6) {
+		t.Fatal("A @ I != A")
+	}
+	if !MatMul(id, a).AllClose(a, 1e-6) {
+		t.Fatal("I @ A != A")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulATMatchesExplicitTranspose(t *testing.T) {
+	g := NewRNG(2)
+	a := New(5, 3)
+	b := New(5, 4)
+	g.Uniform(a, -1, 1)
+	g.Uniform(b, -1, 1)
+	got := MatMulAT(a, b)
+	want := MatMul(a.Transpose(), b)
+	if !got.AllClose(want, 1e-5) {
+		t.Fatal("MatMulAT != Aᵀ@B")
+	}
+}
+
+func TestMatMulBTMatchesExplicitTranspose(t *testing.T) {
+	g := NewRNG(3)
+	a := New(5, 3)
+	b := New(4, 3)
+	g.Uniform(a, -1, 1)
+	g.Uniform(b, -1, 1)
+	got := MatMulBT(a, b)
+	want := MatMul(a, b.Transpose())
+	if !got.AllClose(want, 1e-5) {
+		t.Fatal("MatMulBT != A@Bᵀ")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		rows := 1 + g.Intn(8)
+		cols := 1 + g.Intn(8)
+		m := New(rows, cols)
+		g.Uniform(m, -10, 10)
+		return m.Transpose().Transpose().Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		m := New(3, 3)
+		n := New(3, 3)
+		g.Uniform(m, -5, 5)
+		g.Uniform(n, -5, 5)
+		return Sub(Add(m, n), n).AllClose(m, 1e-5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	AddInPlace(a, FromRows([][]float32{{3, 4}}))
+	if a.At(0, 1) != 6 {
+		t.Fatal("AddInPlace failed")
+	}
+}
+
+func TestHadamardCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		a := New(2, 5)
+		b := New(2, 5)
+		g.Uniform(a, -3, 3)
+		g.Uniform(b, -3, 3)
+		return Hadamard(a, b).Equal(Hadamard(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := FromRows([][]float32{{1, -2}})
+	got := m.Scale(2)
+	if got.At(0, 0) != 2 || got.At(0, 1) != -4 {
+		t.Fatal("Scale failed")
+	}
+	m.ScaleInPlace(3)
+	if m.At(0, 0) != 3 {
+		t.Fatal("ScaleInPlace failed")
+	}
+}
+
+func TestAddBias(t *testing.T) {
+	m := FromRows([][]float32{{1, 1}, {2, 2}})
+	got := AddBias(m, []float32{10, 20})
+	want := FromRows([][]float32{{11, 21}, {12, 22}})
+	if !got.Equal(want) {
+		t.Fatal("AddBias failed")
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	g := NewRNG(7)
+	a := New(4, 3)
+	b := New(4, 2)
+	g.Uniform(a, -1, 1)
+	g.Uniform(b, -1, 1)
+	cat := ConcatCols(a, b)
+	a2, b2 := SplitCols(cat, 3)
+	if !a2.Equal(a) || !b2.Equal(b) {
+		t.Fatal("ConcatCols/SplitCols must round-trip")
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	m := FromRows([][]float32{{1, 1}, {2, 2}, {3, 3}})
+	got := GatherRows(m, []int32{2, 0, 2})
+	want := FromRows([][]float32{{3, 3}, {1, 1}, {3, 3}})
+	if !got.Equal(want) {
+		t.Fatal("GatherRows failed")
+	}
+}
+
+func TestGatherRowsOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GatherRows(New(2, 2), []int32{5})
+}
+
+func TestScatterAddRows(t *testing.T) {
+	dst := New(3, 2)
+	src := FromRows([][]float32{{1, 1}, {2, 2}, {4, 4}})
+	ScatterAddRows(dst, src, []int32{0, 0, 2})
+	want := FromRows([][]float32{{3, 3}, {0, 0}, {4, 4}})
+	if !dst.Equal(want) {
+		t.Fatalf("ScatterAddRows = %v", dst.Data)
+	}
+}
+
+func TestGatherScatterAdjoint(t *testing.T) {
+	// <Gather(x), y> == <x, ScatterAdd(y)> — the property backprop relies on.
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		n := 3 + g.Intn(5)
+		e := 1 + g.Intn(10)
+		x := New(n, 2)
+		y := New(e, 2)
+		g.Uniform(x, -2, 2)
+		g.Uniform(y, -2, 2)
+		idx := make([]int32, e)
+		for i := range idx {
+			idx[i] = int32(g.Intn(n))
+		}
+		gx := GatherRows(x, idx)
+		var lhs float64
+		for i := range gx.Data {
+			lhs += float64(gx.Data[i]) * float64(y.Data[i])
+		}
+		sy := New(n, 2)
+		ScatterAddRows(sy, y, idx)
+		var rhs float64
+		for i := range x.Data {
+			rhs += float64(x.Data[i]) * float64(sy.Data[i])
+		}
+		return math.Abs(lhs-rhs) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumRows(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	got := SumRows(m)
+	if got[0] != 4 || got[1] != 6 {
+		t.Fatalf("SumRows = %v", got)
+	}
+}
+
+func TestRowNormAndNormalize(t *testing.T) {
+	m := FromRows([][]float32{{3, 4}, {0, 0}})
+	norms := RowNorm(m)
+	if math.Abs(float64(norms[0]-5)) > 1e-6 || norms[1] != 0 {
+		t.Fatalf("RowNorm = %v", norms)
+	}
+	NormalizeRowsL2(m)
+	if math.Abs(float64(m.At(0, 0)-0.6)) > 1e-6 {
+		t.Fatal("NormalizeRowsL2 failed")
+	}
+	if m.At(1, 0) != 0 {
+		t.Fatal("zero rows must remain zero")
+	}
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := FromRows([][]float32{{1, 2.0005}})
+	if a.Equal(b) {
+		t.Fatal("Equal must be exact")
+	}
+	if !a.AllClose(b, 1e-3) {
+		t.Fatal("AllClose tolerance failed")
+	}
+	if a.AllClose(New(2, 1), 1) {
+		t.Fatal("AllClose must reject shape mismatch")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromRows([][]float32{{1, 5}})
+	b := FromRows([][]float32{{2, 3}})
+	if d := a.MaxAbsDiff(b); d != 2 {
+		t.Fatalf("MaxAbsDiff = %v, want 2", d)
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	m := New(2, 2)
+	m.Fill(3)
+	if m.At(1, 1) != 3 {
+		t.Fatal("Fill failed")
+	}
+	m.Zero()
+	if m.At(0, 0) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestMatMulAssociativityWithVector(t *testing.T) {
+	// (A@B)@C == A@(B@C) within float tolerance.
+	g := NewRNG(11)
+	a := New(3, 4)
+	b := New(4, 2)
+	c := New(2, 5)
+	g.Uniform(a, -1, 1)
+	g.Uniform(b, -1, 1)
+	g.Uniform(c, -1, 1)
+	lhs := MatMul(MatMul(a, b), c)
+	rhs := MatMul(a, MatMul(b, c))
+	if !lhs.AllClose(rhs, 1e-4) {
+		t.Fatal("MatMul associativity violated beyond tolerance")
+	}
+}

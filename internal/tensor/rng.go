@@ -1,0 +1,113 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a seeded source so every stochastic choice in the system —
+// weight init, dataset synthesis, neighbor sampling — is reproducible from a
+// single seed. Each consumer owns its own RNG; nothing shares global state.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (g *RNG) Float32() float32 { return g.r.Float32() }
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes n elements via the provided swap function.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Zipf draws values in [1, max] with P(k) ∝ 1/k^s, the degree law used by the
+// power-law dataset generator. Implemented by inverse-CDF over a precomputed
+// table would cost memory at large max, so we use rejection-free inversion on
+// the continuous approximation, which matches the paper's "synthesized
+// following the power-law" without requiring an exact discrete Zipf.
+func (g *RNG) Zipf(s float64, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	// Inverse CDF of the Pareto density p(x) ∝ x^-s on [1, max].
+	u := g.r.Float64()
+	if s == 1 {
+		return clampInt(int(math.Exp(u*math.Log(float64(max)))), 1, max)
+	}
+	oneMinusS := 1 - s
+	hi := math.Pow(float64(max), oneMinusS)
+	x := math.Pow(u*(hi-1)+1, 1/oneMinusS)
+	return clampInt(int(x), 1, max)
+}
+
+// Xavier fills m with Glorot-uniform values scaled by fan-in and fan-out,
+// the init used by the reference GNN implementations.
+func (g *RNG) Xavier(m *Matrix) {
+	limit := float32(math.Sqrt(6 / float64(m.Rows+m.Cols)))
+	for i := range m.Data {
+		m.Data[i] = (g.r.Float32()*2 - 1) * limit
+	}
+}
+
+// Normal fills m with N(0, std²) samples.
+func (g *RNG) Normal(m *Matrix, std float32) {
+	for i := range m.Data {
+		m.Data[i] = float32(g.r.NormFloat64()) * std
+	}
+}
+
+// Uniform fills m with uniform values in [lo, hi).
+func (g *RNG) Uniform(m *Matrix, lo, hi float32) {
+	for i := range m.Data {
+		m.Data[i] = lo + g.r.Float32()*(hi-lo)
+	}
+}
+
+// SampleWithoutReplacement picks k distinct values from [0, n). If k >= n it
+// returns all of [0, n) in order. The partial Fisher–Yates keeps cost O(k).
+func (g *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + g.r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

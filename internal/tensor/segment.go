@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment operations reduce edge-level rows into node-level rows keyed by a
+// destination index. They are the tensor form of the paper's "aggregate"
+// stage: every reduction here is commutative and associative (sum, mean, max,
+// min), which is exactly the property the partial-gather strategy relies on.
+
+// SegmentSum sums rows of data sharing the same segment id. seg[r] is the
+// output row that data row r accumulates into; nSeg is the output row count.
+func SegmentSum(data *Matrix, seg []int32, nSeg int) *Matrix {
+	checkSegments("SegmentSum", data, seg, nSeg)
+	out := New(nSeg, data.Cols)
+	for r, s := range seg {
+		orow := out.Row(int(s))
+		drow := data.Row(r)
+		for j, v := range drow {
+			orow[j] += v
+		}
+	}
+	return out
+}
+
+// SegmentCount returns how many rows map to each segment.
+func SegmentCount(seg []int32, nSeg int) []int32 {
+	out := make([]int32, nSeg)
+	for _, s := range seg {
+		if int(s) < 0 || int(s) >= nSeg {
+			panic(fmt.Sprintf("tensor: SegmentCount id %d out of %d", s, nSeg))
+		}
+		out[s]++
+	}
+	return out
+}
+
+// SegmentMean averages rows per segment. Empty segments produce zero rows.
+func SegmentMean(data *Matrix, seg []int32, nSeg int) *Matrix {
+	out := SegmentSum(data, seg, nSeg)
+	counts := SegmentCount(seg, nSeg)
+	for i := 0; i < nSeg; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		inv := 1 / float32(counts[i])
+		row := out.Row(i)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return out
+}
+
+// SegmentMax takes the elementwise max per segment. Empty segments produce
+// zero rows (not -inf) so downstream layers see neutral input for isolated
+// nodes, matching the behaviour of the reference GNN implementations.
+func SegmentMax(data *Matrix, seg []int32, nSeg int) *Matrix {
+	checkSegments("SegmentMax", data, seg, nSeg)
+	out := New(nSeg, data.Cols)
+	seen := make([]bool, nSeg)
+	for r, s := range seg {
+		orow := out.Row(int(s))
+		drow := data.Row(r)
+		if !seen[s] {
+			copy(orow, drow)
+			seen[s] = true
+			continue
+		}
+		for j, v := range drow {
+			if v > orow[j] {
+				orow[j] = v
+			}
+		}
+	}
+	return out
+}
+
+// SegmentMin takes the elementwise min per segment; empty segments are zero.
+func SegmentMin(data *Matrix, seg []int32, nSeg int) *Matrix {
+	checkSegments("SegmentMin", data, seg, nSeg)
+	out := New(nSeg, data.Cols)
+	seen := make([]bool, nSeg)
+	for r, s := range seg {
+		orow := out.Row(int(s))
+		drow := data.Row(r)
+		if !seen[s] {
+			copy(orow, drow)
+			seen[s] = true
+			continue
+		}
+		for j, v := range drow {
+			if v < orow[j] {
+				orow[j] = v
+			}
+		}
+	}
+	return out
+}
+
+// SegmentSoftmax normalizes the scalar logits per segment with a numerically
+// stable softmax: out[r] = exp(x[r]-max_seg)/sum_seg. This is GAT's
+// SparseSoftmax over edges grouped by destination node.
+func SegmentSoftmax(logits []float32, seg []int32, nSeg int) []float32 {
+	maxes := make([]float32, nSeg)
+	for i := range maxes {
+		maxes[i] = float32(math.Inf(-1))
+	}
+	for r, s := range seg {
+		if int(s) < 0 || int(s) >= nSeg {
+			panic(fmt.Sprintf("tensor: SegmentSoftmax id %d out of %d", s, nSeg))
+		}
+		if logits[r] > maxes[s] {
+			maxes[s] = logits[r]
+		}
+	}
+	out := make([]float32, len(logits))
+	sums := make([]float64, nSeg)
+	for r, s := range seg {
+		e := float32(math.Exp(float64(logits[r] - maxes[s])))
+		out[r] = e
+		sums[s] += float64(e)
+	}
+	for r, s := range seg {
+		if sums[s] > 0 {
+			out[r] = float32(float64(out[r]) / sums[s])
+		}
+	}
+	return out
+}
+
+// SegmentSoftmaxBackward computes d logits given d probs for a segment
+// softmax: dx = p * (dy - sum_seg(p*dy)).
+func SegmentSoftmaxBackward(probs, dProbs []float32, seg []int32, nSeg int) []float32 {
+	if len(probs) != len(dProbs) || len(probs) != len(seg) {
+		panic("tensor: SegmentSoftmaxBackward length mismatch")
+	}
+	dots := make([]float64, nSeg)
+	for r, s := range seg {
+		dots[s] += float64(probs[r]) * float64(dProbs[r])
+	}
+	out := make([]float32, len(probs))
+	for r, s := range seg {
+		out[r] = probs[r] * (dProbs[r] - float32(dots[s]))
+	}
+	return out
+}
+
+// SegmentMeanBackward distributes dOut back to data rows for a SegmentMean:
+// dData[r] = dOut[seg[r]] / count[seg[r]].
+func SegmentMeanBackward(dOut *Matrix, seg []int32, counts []int32) *Matrix {
+	out := New(len(seg), dOut.Cols)
+	for r, s := range seg {
+		c := counts[s]
+		if c == 0 {
+			continue
+		}
+		inv := 1 / float32(c)
+		orow := out.Row(r)
+		drow := dOut.Row(int(s))
+		for j, v := range drow {
+			orow[j] = v * inv
+		}
+	}
+	return out
+}
+
+// SegmentSumBackward distributes dOut back to data rows for a SegmentSum:
+// dData[r] = dOut[seg[r]].
+func SegmentSumBackward(dOut *Matrix, seg []int32) *Matrix {
+	out := New(len(seg), dOut.Cols)
+	for r, s := range seg {
+		copy(out.Row(r), dOut.Row(int(s)))
+	}
+	return out
+}
+
+func checkSegments(op string, data *Matrix, seg []int32, nSeg int) {
+	if data.Rows != len(seg) {
+		panic(fmt.Sprintf("tensor: %s %d rows but %d segment ids", op, data.Rows, len(seg)))
+	}
+	for _, s := range seg {
+		if int(s) < 0 || int(s) >= nSeg {
+			panic(fmt.Sprintf("tensor: %s id %d out of %d segments", op, s, nSeg))
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentSumKnown(t *testing.T) {
+	data := FromRows([][]float32{{1, 1}, {2, 2}, {3, 3}})
+	got := SegmentSum(data, []int32{0, 1, 0}, 2)
+	want := FromRows([][]float32{{4, 4}, {2, 2}})
+	if !got.Equal(want) {
+		t.Fatalf("SegmentSum = %v", got.Data)
+	}
+}
+
+func TestSegmentSumEmptySegmentIsZero(t *testing.T) {
+	data := FromRows([][]float32{{5, 5}})
+	got := SegmentSum(data, []int32{2}, 3)
+	if got.At(0, 0) != 0 || got.At(1, 0) != 0 || got.At(2, 0) != 5 {
+		t.Fatalf("empty segments must be zero: %v", got.Data)
+	}
+}
+
+func TestSegmentMeanKnown(t *testing.T) {
+	data := FromRows([][]float32{{2, 4}, {4, 8}, {9, 9}})
+	got := SegmentMean(data, []int32{0, 0, 1}, 2)
+	want := FromRows([][]float32{{3, 6}, {9, 9}})
+	if !got.Equal(want) {
+		t.Fatalf("SegmentMean = %v", got.Data)
+	}
+}
+
+func TestSegmentMaxMin(t *testing.T) {
+	data := FromRows([][]float32{{-1, 5}, {3, -2}, {0, 0}})
+	seg := []int32{0, 0, 1}
+	mx := SegmentMax(data, seg, 2)
+	if mx.At(0, 0) != 3 || mx.At(0, 1) != 5 {
+		t.Fatalf("SegmentMax = %v", mx.Data)
+	}
+	mn := SegmentMin(data, seg, 2)
+	if mn.At(0, 0) != -1 || mn.At(0, 1) != -2 {
+		t.Fatalf("SegmentMin = %v", mn.Data)
+	}
+}
+
+func TestSegmentMaxNegativeValuesOnly(t *testing.T) {
+	// A segment whose rows are all negative must keep the true max, not 0:
+	// the first row seeds the accumulator.
+	data := FromRows([][]float32{{-5}, {-3}})
+	got := SegmentMax(data, []int32{0, 0}, 1)
+	if got.At(0, 0) != -3 {
+		t.Fatalf("SegmentMax with negatives = %v, want -3", got.At(0, 0))
+	}
+}
+
+func TestSegmentCount(t *testing.T) {
+	got := SegmentCount([]int32{0, 2, 2, 2}, 3)
+	if got[0] != 1 || got[1] != 0 || got[2] != 3 {
+		t.Fatalf("SegmentCount = %v", got)
+	}
+}
+
+func TestSegmentSumPermutationInvariant(t *testing.T) {
+	// The paper's rule: aggregate must obey commutative+associative laws, so
+	// permuting edge order must not change results beyond float tolerance.
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		e := 1 + g.Intn(20)
+		n := 1 + g.Intn(5)
+		data := New(e, 3)
+		g.Uniform(data, -2, 2)
+		seg := make([]int32, e)
+		for i := range seg {
+			seg[i] = int32(g.Intn(n))
+		}
+		base := SegmentSum(data, seg, n)
+
+		perm := g.Perm(e)
+		pd := New(e, 3)
+		ps := make([]int32, e)
+		for i, p := range perm {
+			copy(pd.Row(i), data.Row(p))
+			ps[i] = seg[p]
+		}
+		return SegmentSum(pd, ps, n).AllClose(base, 1e-4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentMaxPermutationInvariantExactly(t *testing.T) {
+	// Max is exactly order-independent (no float rounding), so require Equal.
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		e := 1 + g.Intn(20)
+		n := 1 + g.Intn(5)
+		data := New(e, 2)
+		g.Uniform(data, -2, 2)
+		seg := make([]int32, e)
+		for i := range seg {
+			seg[i] = int32(g.Intn(n))
+		}
+		base := SegmentMax(data, seg, n)
+		perm := g.Perm(e)
+		pd := New(e, 2)
+		ps := make([]int32, e)
+		for i, p := range perm {
+			copy(pd.Row(i), data.Row(p))
+			ps[i] = seg[p]
+		}
+		return SegmentMax(pd, ps, n).Equal(base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentSumSplitMerge(t *testing.T) {
+	// Partial-gather correctness at the tensor level: splitting the edge set
+	// arbitrarily, aggregating each part, then aggregating the partials gives
+	// the same result as one global aggregate.
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		e := 2 + g.Intn(30)
+		n := 1 + g.Intn(6)
+		data := New(e, 2)
+		g.Uniform(data, -2, 2)
+		seg := make([]int32, e)
+		for i := range seg {
+			seg[i] = int32(g.Intn(n))
+		}
+		full := SegmentSum(data, seg, n)
+
+		cut := 1 + g.Intn(e-1)
+		partA := SegmentSum(FromSlice(cut, 2, data.Data[:cut*2]), seg[:cut], n)
+		partB := SegmentSum(FromSlice(e-cut, 2, data.Data[cut*2:]), seg[cut:], n)
+		merged := Add(partA, partB)
+		return merged.AllClose(full, 1e-4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentSoftmaxSumsToOne(t *testing.T) {
+	logits := []float32{1, 2, 3, -1, 0}
+	seg := []int32{0, 0, 0, 1, 1}
+	probs := SegmentSoftmax(logits, seg, 2)
+	var s0, s1 float64
+	for i, p := range probs {
+		if seg[i] == 0 {
+			s0 += float64(p)
+		} else {
+			s1 += float64(p)
+		}
+	}
+	if math.Abs(s0-1) > 1e-5 || math.Abs(s1-1) > 1e-5 {
+		t.Fatalf("segment softmax sums = %v, %v", s0, s1)
+	}
+	if !(probs[2] > probs[1] && probs[1] > probs[0]) {
+		t.Fatal("softmax must be monotone in logits")
+	}
+}
+
+func TestSegmentSoftmaxStableAtLargeLogits(t *testing.T) {
+	probs := SegmentSoftmax([]float32{1000, 1001}, []int32{0, 0}, 1)
+	for _, p := range probs {
+		if math.IsNaN(float64(p)) || math.IsInf(float64(p), 0) {
+			t.Fatal("softmax must be numerically stable")
+		}
+	}
+}
+
+func TestSegmentSoftmaxBackwardMatchesNumeric(t *testing.T) {
+	logits := []float32{0.5, -0.2, 0.1}
+	seg := []int32{0, 0, 0}
+	probs := SegmentSoftmax(logits, seg, 1)
+	dProbs := []float32{1, 2, 3}
+	got := SegmentSoftmaxBackward(probs, dProbs, seg, 1)
+
+	const eps = 1e-3
+	for i := range logits {
+		plus := append([]float32(nil), logits...)
+		minus := append([]float32(nil), logits...)
+		plus[i] += eps
+		minus[i] -= eps
+		pp := SegmentSoftmax(plus, seg, 1)
+		pm := SegmentSoftmax(minus, seg, 1)
+		var num float64
+		for j := range pp {
+			num += float64(dProbs[j]) * float64(pp[j]-pm[j]) / (2 * eps)
+		}
+		if math.Abs(num-float64(got[i])) > 1e-2 {
+			t.Fatalf("grad[%d] = %v, numeric %v", i, got[i], num)
+		}
+	}
+}
+
+func TestSegmentSumBackwardShape(t *testing.T) {
+	dOut := FromRows([][]float32{{1, 2}, {3, 4}})
+	got := SegmentSumBackward(dOut, []int32{1, 1, 0})
+	want := FromRows([][]float32{{3, 4}, {3, 4}, {1, 2}})
+	if !got.Equal(want) {
+		t.Fatalf("SegmentSumBackward = %v", got.Data)
+	}
+}
+
+func TestSegmentMeanBackwardDividesByCount(t *testing.T) {
+	dOut := FromRows([][]float32{{6, 6}})
+	counts := []int32{3}
+	got := SegmentMeanBackward(dOut, []int32{0, 0, 0}, counts)
+	for r := 0; r < 3; r++ {
+		if got.At(r, 0) != 2 {
+			t.Fatalf("row %d = %v, want 2", r, got.Row(r))
+		}
+	}
+}
+
+func TestSegmentMeanGradientNumeric(t *testing.T) {
+	// d/dx of mean-aggregate matches finite differences.
+	data := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	seg := []int32{0, 0, 1}
+	counts := SegmentCount(seg, 2)
+	dOut := FromRows([][]float32{{1, 1}, {1, 1}})
+	grad := SegmentMeanBackward(dOut, seg, counts)
+
+	const eps = 1e-2
+	for r := 0; r < data.Rows; r++ {
+		for c := 0; c < data.Cols; c++ {
+			orig := data.At(r, c)
+			data.Set(r, c, orig+eps)
+			plus := SegmentMean(data, seg, 2)
+			data.Set(r, c, orig-eps)
+			minus := SegmentMean(data, seg, 2)
+			data.Set(r, c, orig)
+			var num float64
+			for i := range plus.Data {
+				num += float64(plus.Data[i]-minus.Data[i]) / (2 * eps)
+			}
+			if math.Abs(num-float64(grad.At(r, c))) > 1e-2 {
+				t.Fatalf("numeric grad mismatch at (%d,%d): %v vs %v", r, c, num, grad.At(r, c))
+			}
+		}
+	}
+}
+
+func TestSegmentOpsPanicOnBadIDs(t *testing.T) {
+	for name, f := range map[string]func(){
+		"sum":     func() { SegmentSum(New(1, 1), []int32{5}, 2) },
+		"mean":    func() { SegmentMean(New(1, 1), []int32{-1}, 2) },
+		"max":     func() { SegmentMax(New(1, 1), []int32{2}, 2) },
+		"min":     func() { SegmentMin(New(1, 1), []int32{9}, 2) },
+		"softmax": func() { SegmentSoftmax([]float32{1}, []int32{3}, 2) },
+		"count":   func() { SegmentCount([]int32{4}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic for out-of-range segment id", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

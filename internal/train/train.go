@@ -1,0 +1,187 @@
+// Package train implements the paper's training half of the pipeline:
+// mini-batch training over sampled k-hop neighborhoods (the efficient,
+// data-parallel mode) of a gas.Model that will later run full-batch
+// inference unchanged. The hand-off artifact is the signature file written
+// by gas.Save.
+package train
+
+import (
+	"fmt"
+	"io"
+
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/nn"
+	"inferturbo/internal/tensor"
+)
+
+// Config tunes a training run.
+type Config struct {
+	Epochs      int
+	BatchSize   int
+	LR          float32
+	WeightDecay float32
+	// Fanouts bounds sampled in-neighbors per hop during neighborhood
+	// extraction; nil = information-complete neighborhoods.
+	Fanouts []int
+	// PosWeight scales the positive class in multi-label BCE (0 ⇒ 1);
+	// counteracts sparse positives on many-class tasks.
+	PosWeight float32
+	Seed      int64
+	// Log, when non-nil, receives one line per epoch.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	return c
+}
+
+// EpochStats records one epoch's loss and validation score.
+type EpochStats struct {
+	Epoch    int
+	Loss     float64
+	ValScore float64
+}
+
+// History is the training trajectory.
+type History struct {
+	Epochs []EpochStats
+}
+
+// Best returns the highest validation score seen.
+func (h *History) Best() float64 {
+	best := 0.0
+	for _, e := range h.Epochs {
+		if e.ValScore > best {
+			best = e.ValScore
+		}
+	}
+	return best
+}
+
+// Train optimizes m on g's train-masked nodes with Adam over sampled k-hop
+// mini-batches. The graph must carry labels matching the model's task.
+func Train(m *gas.Model, g *graph.Graph, cfg Config) (*History, error) {
+	cfg = cfg.withDefaults()
+	if g.FeatureDim() != m.InDim() {
+		return nil, fmt.Errorf("train: feature dim %d, model expects %d", g.FeatureDim(), m.InDim())
+	}
+	switch m.Task {
+	case gas.TaskSingleLabel:
+		if g.Labels == nil {
+			return nil, fmt.Errorf("train: single-label model but graph has no labels")
+		}
+	case gas.TaskMultiLabel:
+		if g.MultiLabels == nil {
+			return nil, fmt.Errorf("train: multi-label model but graph has no label matrix")
+		}
+	default:
+		return nil, fmt.Errorf("train: unknown task %q", m.Task)
+	}
+
+	trainNodes := graph.MaskedNodes(g.TrainMask)
+	if len(trainNodes) == 0 {
+		return nil, fmt.Errorf("train: no nodes in the train mask")
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	hops := m.NumLayers()
+
+	hist := &History{}
+	order := append([]int32(nil), trainNodes...)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			sub := graph.KHop(g, batch, graph.KHopOptions{Hops: hops, Fanouts: cfg.Fanouts, RNG: rng})
+			ctx := &gas.Context{
+				NodeState: sub.GatherFeatures(g),
+				SrcIndex:  sub.Src,
+				DstIndex:  sub.Dst,
+				EdgeState: sub.GatherEdgeFeatures(g),
+				NumNodes:  sub.NumNodes(),
+			}
+			logits := m.Forward(ctx)
+
+			// Loss only on the batch roots (local ids 0..len(batch)).
+			rootLogits := tensor.New(len(batch), logits.Cols)
+			for i := range batch {
+				copy(rootLogits.Row(i), logits.Row(i))
+			}
+			var loss float64
+			var dRoot *tensor.Matrix
+			if m.Task == gas.TaskSingleLabel {
+				labels := make([]int32, len(batch))
+				for i, v := range batch {
+					labels[i] = g.Labels[v]
+				}
+				loss, dRoot = nn.SoftmaxCrossEntropy(rootLogits, labels)
+			} else {
+				targets := tensor.New(len(batch), g.MultiLabels.Cols)
+				for i, v := range batch {
+					copy(targets.Row(i), g.MultiLabels.Row(int(v)))
+				}
+				loss, dRoot = nn.BCEWithLogitsWeighted(rootLogits, targets, cfg.PosWeight)
+			}
+			dLogits := tensor.New(logits.Rows, logits.Cols)
+			for i := range batch {
+				copy(dLogits.Row(i), dRoot.Row(i))
+			}
+			m.Backward(dLogits)
+			opt.Step(m.Params())
+			epochLoss += loss
+			batches++
+		}
+		val := Evaluate(m, g, g.ValMask)
+		st := EpochStats{Epoch: epoch, Loss: epochLoss / float64(batches), ValScore: val}
+		hist.Epochs = append(hist.Epochs, st)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %3d  loss %.4f  val %.4f\n", epoch, st.Loss, st.ValScore)
+		}
+	}
+	return hist, nil
+}
+
+// Evaluate scores m on the masked nodes with a full-graph forward:
+// accuracy for single-label tasks, micro-F1 for multi-label.
+func Evaluate(m *gas.Model, g *graph.Graph, mask []bool) float64 {
+	src, dst := g.EdgeList()
+	ctx := &gas.Context{
+		NodeState: g.Features,
+		SrcIndex:  src,
+		DstIndex:  dst,
+		EdgeState: g.EdgeFeatures,
+		NumNodes:  g.NumNodes,
+	}
+	logits := m.Infer(ctx)
+	nodes := graph.MaskedNodes(mask)
+	if len(nodes) == 0 {
+		return 0
+	}
+	sel := tensor.GatherRows(logits, nodes)
+	if m.Task == gas.TaskMultiLabel {
+		targets := tensor.GatherRows(g.MultiLabels, nodes)
+		return nn.MicroF1(sel, targets)
+	}
+	labels := make([]int32, len(nodes))
+	for i, v := range nodes {
+		labels[i] = g.Labels[v]
+	}
+	return nn.Accuracy(sel, labels)
+}

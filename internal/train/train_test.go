@@ -1,0 +1,149 @@
+package train
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"inferturbo/internal/datagen"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/tensor"
+)
+
+func learnableDataset(t *testing.T, nodes int) *datagen.Dataset {
+	t.Helper()
+	return datagen.Generate(datagen.Config{
+		Name: "learn", Nodes: nodes, AvgDegree: 8, Skew: datagen.SkewNone,
+		FeatureDim: 12, NumClasses: 3, Homophily: 0.85, Noise: 0.6,
+		TrainFrac: 0.5, ValFrac: 0.25, Seed: 101,
+	})
+}
+
+func TestSAGETrainingLearns(t *testing.T) {
+	ds := learnableDataset(t, 600)
+	m := gas.NewSAGEModel("s", gas.TaskSingleLabel, 12, 16, 3, 2, 0, tensor.NewRNG(1))
+	before := Evaluate(m, ds.Graph, ds.Graph.TestMask)
+	hist, err := Train(m, ds.Graph, Config{Epochs: 15, BatchSize: 64, LR: 0.01, Fanouts: []int{10, 10}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Evaluate(m, ds.Graph, ds.Graph.TestMask)
+	if after < 0.8 {
+		t.Fatalf("test accuracy = %v, want >= 0.8 (before training: %v)", after, before)
+	}
+	if after <= before {
+		t.Fatalf("training did not improve: %v -> %v", before, after)
+	}
+	if len(hist.Epochs) != 15 {
+		t.Fatalf("history has %d epochs", len(hist.Epochs))
+	}
+	// Loss should fall substantially from the first epoch.
+	if hist.Epochs[len(hist.Epochs)-1].Loss >= hist.Epochs[0].Loss {
+		t.Fatalf("loss did not decrease: %v -> %v", hist.Epochs[0].Loss, hist.Epochs[len(hist.Epochs)-1].Loss)
+	}
+}
+
+func TestGATTrainingLearns(t *testing.T) {
+	ds := learnableDataset(t, 500)
+	m := gas.NewGATModel("g", gas.TaskSingleLabel, 12, 8, 2, 3, 2, tensor.NewRNG(3))
+	_, err := Train(m, ds.Graph, Config{Epochs: 12, BatchSize: 64, LR: 0.01, Fanouts: []int{10, 10}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Evaluate(m, ds.Graph, ds.Graph.TestMask); acc < 0.7 {
+		t.Fatalf("GAT test accuracy = %v, want >= 0.7", acc)
+	}
+}
+
+func TestMultiLabelTraining(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{
+		Name: "ml", Nodes: 400, AvgDegree: 8, Skew: datagen.SkewNone,
+		FeatureDim: 12, NumClasses: 6, MultiLabel: true, Homophily: 0.85,
+		TrainFrac: 0.5, ValFrac: 0.25, Seed: 7,
+	})
+	m := gas.NewSAGEModel("ml", gas.TaskMultiLabel, 12, 16, 6, 2, 0, tensor.NewRNG(5))
+	before := Evaluate(m, ds.Graph, ds.Graph.TestMask)
+	_, err := Train(m, ds.Graph, Config{Epochs: 10, BatchSize: 64, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Evaluate(m, ds.Graph, ds.Graph.TestMask)
+	if after <= before || after < 0.4 {
+		t.Fatalf("multi-label micro-F1 = %v (before %v)", after, before)
+	}
+}
+
+func TestTrainingDeterministicPerSeed(t *testing.T) {
+	ds := learnableDataset(t, 300)
+	run := func() *gas.Model {
+		m := gas.NewSAGEModel("d", gas.TaskSingleLabel, 12, 8, 3, 2, 0, tensor.NewRNG(9))
+		if _, err := Train(m, ds.Graph, Config{Epochs: 3, BatchSize: 32, Fanouts: []int{5, 5}, Seed: 10}); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	for i, p := range a.Params() {
+		if !p.Value.Equal(b.Params()[i].Value) {
+			t.Fatalf("parameter %s differs across identical runs", p.Name)
+		}
+	}
+}
+
+func TestTrainedModelSurvivesSignatureRoundTrip(t *testing.T) {
+	ds := learnableDataset(t, 300)
+	m := gas.NewSAGEModel("rt", gas.TaskSingleLabel, 12, 8, 3, 2, 0, tensor.NewRNG(11))
+	if _, err := Train(m, ds.Graph, Config{Epochs: 3, BatchSize: 32, Seed: 12}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gas.Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := gas.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Evaluate(m, ds.Graph, ds.Graph.TestMask) != Evaluate(m2, ds.Graph, ds.Graph.TestMask) {
+		t.Fatal("loaded model must score identically")
+	}
+}
+
+func TestTrainLogOutput(t *testing.T) {
+	ds := learnableDataset(t, 200)
+	m := gas.NewSAGEModel("log", gas.TaskSingleLabel, 12, 8, 3, 1, 0, tensor.NewRNG(13))
+	var buf bytes.Buffer
+	if _, err := Train(m, ds.Graph, Config{Epochs: 2, BatchSize: 32, Seed: 14, Log: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "epoch"); n != 2 {
+		t.Fatalf("expected 2 log lines, got %d:\n%s", n, buf.String())
+	}
+}
+
+func TestTrainRejectsMismatches(t *testing.T) {
+	ds := learnableDataset(t, 100)
+	badDim := gas.NewSAGEModel("bad", gas.TaskSingleLabel, 99, 8, 3, 1, 0, tensor.NewRNG(15))
+	if _, err := Train(badDim, ds.Graph, Config{Epochs: 1}); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+	badTask := gas.NewSAGEModel("bad", gas.TaskMultiLabel, 12, 8, 3, 1, 0, tensor.NewRNG(16))
+	if _, err := Train(badTask, ds.Graph, Config{Epochs: 1}); err == nil {
+		t.Fatal("task mismatch must error")
+	}
+	noTrain := learnableDataset(t, 100)
+	for i := range noTrain.Graph.TrainMask {
+		noTrain.Graph.TrainMask[i] = false
+	}
+	ok := gas.NewSAGEModel("ok", gas.TaskSingleLabel, 12, 8, 3, 1, 0, tensor.NewRNG(17))
+	if _, err := Train(ok, noTrain.Graph, Config{Epochs: 1}); err == nil {
+		t.Fatal("empty train mask must error")
+	}
+}
+
+func TestHistoryBest(t *testing.T) {
+	h := &History{Epochs: []EpochStats{{ValScore: 0.3}, {ValScore: 0.9}, {ValScore: 0.5}}}
+	if h.Best() != 0.9 {
+		t.Fatalf("Best = %v", h.Best())
+	}
+}
