@@ -6,9 +6,12 @@ package inferturbo
 // records the paper-vs-measured comparison.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"inferturbo/internal/experiments"
+	"inferturbo/internal/tensor"
 )
 
 func BenchmarkTable1Datasets(b *testing.B) {
@@ -27,12 +30,27 @@ func BenchmarkTable2Effectiveness(b *testing.B) {
 	}
 }
 
+// BenchmarkTable3Efficiency runs the end-to-end efficiency experiment with
+// serial kernels (kernelWorkers=1) and with the parallel kernel layer at the
+// machine's core count — results are bit-identical, so the delta is pure
+// kernel-layer wall-clock and allocation savings.
 func BenchmarkTable3Efficiency(b *testing.B) {
 	s := experiments.Quick()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Table3(s); err != nil {
-			b.Fatal(err)
-		}
+	workers := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("kernelWorkers=%d", w), func(b *testing.B) {
+			prev := tensor.SetTuning(tensor.Tuning{Workers: w})
+			defer tensor.SetTuning(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiments.Table3(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -17,14 +17,22 @@ import (
 	"time"
 
 	"inferturbo/internal/experiments"
+	"inferturbo/internal/tensor"
 )
 
 func main() {
 	var (
 		exp   = flag.String("exp", "all", "table1|table2|table3|table4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|all")
 		scale = flag.String("scale", "full", "quick | full")
+
+		// Kernel tuning knobs (0 = default). Any setting is bit-identical;
+		// these trade wall-clock only.
+		kWorkers   = flag.Int("kernel-workers", 0, "tensor kernel goroutines per call (0 = GOMAXPROCS, 1 = serial)")
+		kBlock     = flag.Int("kernel-block", 0, "MatMul cache-block size in k-rows (0 = 64)")
+		kThreshold = flag.Int("kernel-threshold", 0, "min scalar ops before a kernel parallelizes (0 = 32768)")
 	)
 	flag.Parse()
+	tensor.SetTuning(tensor.Tuning{Workers: *kWorkers, BlockSize: *kBlock, ParallelThreshold: *kThreshold})
 
 	var s experiments.Scale
 	switch *scale {

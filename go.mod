@@ -1,0 +1,3 @@
+module inferturbo
+
+go 1.24

@@ -7,7 +7,10 @@
 // execution backends — a Pregel-like graph processing engine or a MapReduce
 // batch engine — with the paper's three skew strategies (partial-gather,
 // broadcast, shadow-nodes). Predictions are deterministic: identical across
-// runs, worker counts, backends and strategy combinations.
+// runs, worker counts, backends and strategy combinations — including the
+// goroutine-parallel compute kernels, which are bit-identical at any
+// KernelTuning ("parallel over owned row blocks, serial within a
+// reduction"; see DESIGN.md).
 //
 // A minimal end-to-end flow:
 //
@@ -47,6 +50,10 @@ type (
 	Matrix = tensor.Matrix
 	// RNG is a deterministic random source.
 	RNG = tensor.RNG
+	// KernelTuning configures the deterministic parallel tensor kernels
+	// (worker goroutines, MatMul cache block, serial-fallback threshold).
+	// Every setting produces bit-identical results; see DESIGN.md.
+	KernelTuning = tensor.Tuning
 	// Dataset is a generated graph plus its generation config.
 	Dataset = datagen.Dataset
 	// DatasetConfig parameterizes synthetic dataset generation.
@@ -105,6 +112,13 @@ const (
 
 // NewRNG returns a deterministic random source for the given seed.
 func NewRNG(seed int64) *RNG { return tensor.NewRNG(seed) }
+
+// SetKernelTuning installs a process-wide tuning for the parallel compute
+// kernels and returns the previous value. The zero value selects defaults
+// (GOMAXPROCS workers). Per-run overrides go through InferOptions.Tuning.
+// Tuning trades wall-clock only — predictions are bit-identical at any
+// setting, preserving the paper's consistency guarantee.
+func SetKernelTuning(t KernelTuning) KernelTuning { return tensor.SetTuning(t) }
 
 // NewGraphBuilder creates a builder for a graph with numNodes nodes.
 func NewGraphBuilder(numNodes int) *GraphBuilder { return graph.NewBuilder(numNodes) }

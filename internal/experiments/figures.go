@@ -63,14 +63,20 @@ func Fig7(s Scale) (*Table, *Fig7Result, error) {
 		out.Histogram[fanout] = countClasses(runs)
 	}
 
-	// Ours: two runs on each backend; the histogram must be all-ones.
+	// Ours: two runs on each backend; the histogram must be all-ones. The
+	// runs deliberately vary the kernel tuning — serial vs. 8-way parallel
+	// kernels — extending the consistency claim to the parallel compute
+	// layer: worker count must never change a prediction.
+	tunings := []tensor.Tuning{{Workers: 1}, {Workers: 8}}
 	var ourRuns [][]int32
 	for run := 0; run < 2; run++ {
-		p, err := inference.RunPregel(m, g, defaultOpts(s))
+		opts := defaultOpts(s)
+		opts.Tuning = tunings[run]
+		p, err := inference.RunPregel(m, g, opts)
 		if err != nil {
 			return nil, nil, err
 		}
-		mr, err := inference.RunMapReduce(m, g, defaultOpts(s))
+		mr, err := inference.RunMapReduce(m, g, opts)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -175,8 +175,13 @@ type Conv interface {
 	// Reduce is the aggregate annotation.
 	Reduce() ReduceKind
 	// BroadcastSafe reports whether every out-edge of a node carries an
-	// identical message (apply_edge ignores edge state), enabling the
-	// broadcast strategy.
+	// identical message, enabling the broadcast strategy. Contract: a
+	// BroadcastSafe layer's ApplyEdge must be the identity on its message
+	// input — not merely edge-state-independent. The whole stack relies on
+	// this: both drivers' scatter sends the raw state without calling
+	// ApplyEdge for broadcast-safe layers, and InferLayer's fused
+	// scatter_and_gather path skips ApplyEdge entirely. A layer that
+	// transforms its message uniformly per out-edge must return false.
 	BroadcastSafe() bool
 	// InDim / OutDim are the node-state dimensions consumed and produced.
 	InDim() int
@@ -197,36 +202,81 @@ type Conv interface {
 	Params() []*nn.Param
 }
 
+// scratch is the package buffer pool backing the full-graph inference path
+// (InferLayer / Model.Infer). Per-vertex driver loops in internal/inference
+// use their own per-worker pools instead, so this one only sees the
+// layer-granularity reference path and stays uncontended.
+var scratch = tensor.NewPool()
+
+// PooledApplier is implemented by convs whose apply_node can run with its
+// intermediates (and its result) drawn from a buffer pool. The returned
+// matrix belongs to the caller, who may Put it back once consumed; values
+// are identical to ApplyNode.
+type PooledApplier interface {
+	ApplyNodePooled(nodeState *tensor.Matrix, aggr *Aggregated, p *tensor.Pool) *tensor.Matrix
+}
+
+// ApplyNodePooled dispatches to the conv's pooled apply_node when it
+// implements PooledApplier, falling back to the allocating path.
+func ApplyNodePooled(c Conv, nodeState *tensor.Matrix, aggr *Aggregated, p *tensor.Pool) *tensor.Matrix {
+	if pa, ok := c.(PooledApplier); ok && p != nil {
+		return pa.ApplyNodePooled(nodeState, aggr, p)
+	}
+	return c.ApplyNode(nodeState, aggr)
+}
+
 // InferLayer is the canonical stateless data flow every Conv.Infer uses:
-// the default_scatter_and_gather of the paper's pseudocode.
+// the default_scatter_and_gather of the paper's pseudocode. Broadcast-safe
+// sum/mean layers (identity apply_edge — the annotation the paper keys the
+// broadcast strategy on) take the fused scatter_and_gather path, skipping
+// the E×D message matrix entirely; everything else gathers into a pooled
+// buffer. Both paths accumulate in the same order as the naive loop, so
+// outputs are bit-identical to it.
 func InferLayer(c Conv, ctx *Context) *tensor.Matrix {
-	msg := tensor.GatherRows(ctx.NodeState, ctx.SrcIndex) // scatter_nbrs
-	msg = c.ApplyEdge(msg, ctx.EdgeState)                 // apply_edge
-	aggr := Gather(c.Reduce(), msg, ctx.DstIndex, ctx.NumNodes)
-	return c.ApplyNode(ctx.NodeState, aggr) // apply_node
+	kind := c.Reduce()
+	var aggr *Aggregated
+	var msg *tensor.Matrix
+	if c.BroadcastSafe() && (kind == ReduceSum || kind == ReduceMean) {
+		aggr = FusedScatterGather(kind, ctx.NodeState, ctx.SrcIndex, ctx.DstIndex, ctx.NumNodes)
+	} else {
+		msg = scratch.GetNoZero(len(ctx.SrcIndex), ctx.NodeState.Cols)
+		tensor.GatherRowsInto(msg, ctx.NodeState, ctx.SrcIndex) // scatter_nbrs
+		applied := c.ApplyEdge(msg, ctx.EdgeState)              // apply_edge
+		aggr = Gather(kind, applied, ctx.DstIndex, ctx.NumNodes)
+		if applied != msg {
+			// apply_edge produced its own matrix; the gather buffer is done.
+			scratch.Put(msg)
+			msg = applied
+		}
+	}
+	out := ApplyNodePooled(c, ctx.NodeState, aggr, scratch) // apply_node
+	// A Union aggregate references the message matrix until apply_node has
+	// consumed it, so buffers are recycled only now.
+	if msg != nil {
+		scratch.Put(msg)
+	}
+	if aggr.Pooled != nil {
+		scratch.Put(aggr.Pooled)
+	}
+	return out
 }
 
 // FusedScatterGather is the paper's scatter_and_gather fusion (the sparse
 // A@X product of the GraphSAGE example): it folds scatter_nbrs + aggregate
-// into one pass without materializing the E×D edge-message matrix. Legal
-// only for identity apply_edge and sum/mean reduces; callers fall back to
-// the default path otherwise. The ablation bench in this package measures
-// the saving.
+// into one pass without materializing the E×D edge-message matrix, via the
+// parallel fused kernel in tensor. Legal only for identity apply_edge and
+// sum/mean reduces; callers fall back to the default path otherwise. The
+// returned Pooled buffer comes from the package pool — hot-loop callers
+// (InferLayer, GCNConv.Infer) Put it back once apply_node has consumed it;
+// other callers may simply let it go to the GC. The ablation bench in this
+// package measures the saving.
 func FusedScatterGather(kind ReduceKind, nodeState *tensor.Matrix, src, dst []int32, numNodes int) *Aggregated {
 	if kind != ReduceSum && kind != ReduceMean {
 		panic("gas: fusion requires a sum or mean reduce")
 	}
-	out := tensor.New(numNodes, nodeState.Cols)
-	for e := range src {
-		srow := nodeState.Row(int(src[e]))
-		orow := out.Row(int(dst[e]))
-		for j, v := range srow {
-			orow[j] += v
-		}
-	}
-	a := &Aggregated{Kind: kind, Pooled: out}
+	out := tensor.GatherSegmentSumInto(scratch.GetNoZero(numNodes, nodeState.Cols), nodeState, src, dst)
+	a := &Aggregated{Kind: kind, Pooled: out, Counts: tensor.SegmentCount(dst, numNodes)}
 	if kind == ReduceMean {
-		a.Counts = tensor.SegmentCount(dst, numNodes)
 		divideByCounts(out, a.Counts)
 	}
 	return a
@@ -247,6 +297,21 @@ func applyActivation(name string, m *tensor.Matrix) *tensor.Matrix {
 		return tensor.ReLU(m)
 	case ActLeaky:
 		return tensor.LeakyReLU(m, 0.2)
+	default:
+		panic(fmt.Sprintf("gas: unknown activation %q", name))
+	}
+}
+
+// applyActivationInPlace is applyActivation operating on m's own buffer —
+// values are identical, only the allocation disappears.
+func applyActivationInPlace(name string, m *tensor.Matrix) *tensor.Matrix {
+	switch name {
+	case ActNone, "":
+		return m
+	case ActReLU:
+		return tensor.ReLUInPlace(m)
+	case ActLeaky:
+		return tensor.LeakyReLUInPlace(m, 0.2)
 	default:
 		panic(fmt.Sprintf("gas: unknown activation %q", name))
 	}

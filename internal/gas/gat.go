@@ -170,6 +170,21 @@ func (c *GATConv) attention(zAll, zMsg *tensor.Matrix, dst []int32, n int) (out,
 	return out, pre, alpha
 }
 
+// ApplyNodePooled implements PooledApplier: the two projection matrices —
+// the layer's dominant intermediates — are recycled through p; attention
+// itself is unchanged, so values are identical to ApplyNode.
+func (c *GATConv) ApplyNodePooled(nodeState *tensor.Matrix, aggr *Aggregated, p *tensor.Pool) *tensor.Matrix {
+	if aggr.Kind != ReduceUnion {
+		panic("gas: GATConv needs a union aggregate")
+	}
+	zAll := c.MsgLin.ApplyPooled(p, nodeState)
+	zMsg := c.MsgLin.ApplyPooled(p, aggr.Messages)
+	out, _, _ := c.attention(zAll, zMsg, aggr.Dst, nodeState.Rows)
+	p.Put(zAll)
+	p.Put(zMsg)
+	return applyActivationInPlace(c.activation, out)
+}
+
 // Infer implements Conv.
 func (c *GATConv) Infer(ctx *Context) *tensor.Matrix { return InferLayer(c, ctx) }
 

@@ -104,6 +104,20 @@ func (c *GCNConv) ApplyNode(nodeState *tensor.Matrix, aggr *Aggregated) *tensor.
 	return applyActivation(c.activation, pre)
 }
 
+// ApplyNodePooled implements PooledApplier: identical values to ApplyNode
+// with the normalized aggregate and both linear outputs recycled through p.
+func (c *GCNConv) ApplyNodePooled(nodeState *tensor.Matrix, aggr *Aggregated, p *tensor.Pool) *tensor.Matrix {
+	norm := p.GetNoZero(aggr.Pooled.Rows, aggr.Pooled.Cols)
+	copy(norm.Data, aggr.Pooled.Data)
+	scaleRowsByCount(norm, aggr.Counts)
+	pre := c.SelfLin.ApplyPooled(p, nodeState)
+	nbr := c.NbrLin.ApplyPooled(p, norm)
+	tensor.AddInPlace(pre, nbr)
+	p.Put(nbr)
+	p.Put(norm)
+	return applyActivationInPlace(c.activation, pre)
+}
+
 func scaleRowsByCount(m *tensor.Matrix, counts []int32) {
 	for i := 0; i < m.Rows; i++ {
 		s := float32(1 / math.Sqrt(float64(1+counts[i])))
@@ -115,19 +129,25 @@ func scaleRowsByCount(m *tensor.Matrix, counts []int32) {
 }
 
 // Infer implements Conv. GCN overrides the generic data flow to apply the
-// sender-side scaling locally (it derives out-degrees from the context).
+// sender-side scaling locally (it derives out-degrees from the context),
+// then runs the fused scatter_and_gather kernel — the scaled message is
+// identical on every out-edge, so no E×D materialization is needed.
 func (c *GCNConv) Infer(ctx *Context) *tensor.Matrix {
 	scaled := c.scaleAll(ctx)
-	msg := tensor.GatherRows(scaled, ctx.SrcIndex)
-	aggr := Gather(ReduceSum, msg, ctx.DstIndex, ctx.NumNodes)
-	return c.ApplyNode(ctx.NodeState, aggr)
+	aggr := FusedScatterGather(ReduceSum, scaled, ctx.SrcIndex, ctx.DstIndex, ctx.NumNodes)
+	scratch.Put(scaled)
+	out := ApplyNodePooled(c, ctx.NodeState, aggr, scratch)
+	scratch.Put(aggr.Pooled)
+	return out
 }
 
 // scaleAll returns node states scaled by 1/√(1+outdeg), with out-degrees
-// counted from the context's edges.
+// counted from the context's edges. The result comes from the package pool
+// (every element is overwritten); callers Put it back once the gather has
+// consumed it.
 func (c *GCNConv) scaleAll(ctx *Context) *tensor.Matrix {
 	outDeg := tensor.SegmentCount(ctx.SrcIndex, ctx.NumNodes)
-	scaled := tensor.New(ctx.NumNodes, ctx.NodeState.Cols)
+	scaled := scratch.GetNoZero(ctx.NumNodes, ctx.NodeState.Cols)
 	for v := 0; v < ctx.NumNodes; v++ {
 		s := float32(1 / math.Sqrt(float64(1+outDeg[v])))
 		src := ctx.NodeState.Row(v)
@@ -152,6 +172,7 @@ func (c *GCNConv) Forward(ctx *Context) *tensor.Matrix {
 	}
 	scaled := c.scaleAll(ctx)
 	msg := tensor.GatherRows(scaled, ctx.SrcIndex)
+	scratch.Put(scaled) // pooled by scaleAll; dead once gathered
 	sum := tensor.SegmentSum(msg, ctx.DstIndex, ctx.NumNodes)
 	norm := sum
 	for v := 0; v < ctx.NumNodes; v++ {

@@ -86,6 +86,22 @@ func (c *GINConv) ApplyNode(nodeState *tensor.Matrix, aggr *Aggregated) *tensor.
 	return applyActivation(c.activation, c.Lin2.Apply(tensor.ReLU(c.Lin1.Apply(sum))))
 }
 
+// ApplyNodePooled implements PooledApplier: identical values to ApplyNode
+// with the MLP intermediates recycled through p.
+func (c *GINConv) ApplyNodePooled(nodeState *tensor.Matrix, aggr *Aggregated, p *tensor.Pool) *tensor.Matrix {
+	eps := 1 + c.Eps.Value.Data[0]
+	sum := p.GetNoZero(nodeState.Rows, nodeState.Cols)
+	for i, v := range nodeState.Data {
+		sum.Data[i] = v*eps + aggr.Pooled.Data[i]
+	}
+	hidden := c.Lin1.ApplyPooled(p, sum)
+	p.Put(sum)
+	tensor.ReLUInPlace(hidden)
+	out := c.Lin2.ApplyPooled(p, hidden)
+	p.Put(hidden)
+	return applyActivationInPlace(c.activation, out)
+}
+
 // Infer implements Conv.
 func (c *GINConv) Infer(ctx *Context) *tensor.Matrix { return InferLayer(c, ctx) }
 

@@ -34,7 +34,9 @@ func (m *Model) InDim() int { return m.Layers[0].InDim() }
 
 // Infer runs the full stateless forward over a local context, returning the
 // logits for all ctx nodes. This is the reference semantics both distributed
-// backends must reproduce.
+// backends must reproduce. Intermediate layer states are recycled through
+// the package pool once the next layer has consumed them (the caller's
+// input features and the returned logits never are).
 func (m *Model) Infer(ctx *Context) *tensor.Matrix {
 	state := ctx.NodeState
 	for _, l := range m.Layers {
@@ -45,8 +47,16 @@ func (m *Model) Infer(ctx *Context) *tensor.Matrix {
 			EdgeState: ctx.EdgeState,
 			NumNodes:  ctx.NumNodes,
 		}
-		state = l.Infer(layerCtx)
+		next := l.Infer(layerCtx)
+		if state != ctx.NodeState {
+			scratch.Put(state)
+		}
+		state = next
 	}
+	// Release the package pool's free list so a large graph's working set
+	// does not stay resident after the call; within-call reuse above is
+	// unaffected.
+	scratch.Reset()
 	return state
 }
 

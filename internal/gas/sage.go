@@ -99,6 +99,16 @@ func (c *SAGEConv) ApplyNode(nodeState *tensor.Matrix, aggr *Aggregated) *tensor
 	return applyActivation(c.activation, pre)
 }
 
+// ApplyNodePooled implements PooledApplier: identical values to ApplyNode
+// with all intermediates (and the result) recycled through p.
+func (c *SAGEConv) ApplyNodePooled(nodeState *tensor.Matrix, aggr *Aggregated, p *tensor.Pool) *tensor.Matrix {
+	pre := c.SelfLin.ApplyPooled(p, nodeState)
+	nbr := c.NbrLin.ApplyPooled(p, aggr.Pooled)
+	tensor.AddInPlace(pre, nbr)
+	p.Put(nbr)
+	return applyActivationInPlace(c.activation, pre)
+}
+
 // Infer implements Conv.
 func (c *SAGEConv) Infer(ctx *Context) *tensor.Matrix { return InferLayer(c, ctx) }
 

@@ -14,6 +14,7 @@ package inference
 
 import (
 	"fmt"
+	"sync"
 
 	"inferturbo/internal/cluster"
 	"inferturbo/internal/gas"
@@ -46,6 +47,52 @@ type Options struct {
 	// state (the paper's final superstep "outputs node embeddings or
 	// scores"). One-layer models emit the input features.
 	EmitEmbeddings bool
+	// Tuning configures the deterministic parallel tensor kernels for the
+	// duration of the run (worker goroutines per kernel, MatMul cache block,
+	// serial-fallback threshold). The zero value inherits the process-wide
+	// tuning (tensor.SetTuning). Any setting produces bit-identical results;
+	// this knob only trades wall-clock.
+	Tuning tensor.Tuning
+}
+
+// Kernel-tuning override bookkeeping. The tensor tuning is process-global,
+// so overlapping runs with different explicit Tuning values share it (the
+// last writer wins mid-run — results are bit-identical either way, only
+// wall-clock differs). The baseline/depth pair guarantees the one thing
+// that must hold: once every tuned run has finished, the process-wide
+// tuning is back to its pre-run value, never a leaked override.
+var (
+	tuneMu    sync.Mutex
+	tuneDepth int
+	tuneBase  tensor.Tuning
+	tuneCur   tensor.Tuning // the override most recently installed by a run
+)
+
+// applyTuning installs the run's kernel tuning (when explicitly set) and
+// returns the restore function for defer.
+func applyTuning(o Options) func() {
+	if o.Tuning == (tensor.Tuning{}) {
+		return func() {}
+	}
+	tuneMu.Lock()
+	if tuneDepth == 0 {
+		tuneBase = tensor.CurrentTuning()
+	}
+	tuneDepth++
+	tensor.SetTuning(o.Tuning)
+	tuneCur = tensor.CurrentTuning()
+	tuneMu.Unlock()
+	return func() {
+		tuneMu.Lock()
+		tuneDepth--
+		// Restore the pre-run tuning only if ours is still installed; if the
+		// application called SetTuning mid-run, its choice wins — restoring
+		// the stale baseline would silently revert it.
+		if tuneDepth == 0 && tensor.CurrentTuning() == tuneCur {
+			tensor.SetTuning(tuneBase)
+		}
+		tuneMu.Unlock()
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +111,79 @@ func (o Options) threshold(g *graph.Graph) int {
 		return o.HubThreshold
 	}
 	return graph.StrategyThreshold(o.Lambda, g.NumEdges, o.NumWorkers)
+}
+
+// vectorizeAggregate reduces n resolved payload vectors into a single
+// destination's gas.Aggregated per the layer's reduce annotation — the
+// shared vectorization step of both backends (Pregel's gatherStage and
+// MapReduce's aggregate). payload(i) returns the i-th incoming state vector
+// (always exactly dim long by construction: scatter builds payloads at the
+// layer dim and the combiners preserve length) and its folded contribution
+// count. Buffers come from pool; callers release them with
+// releaseAggregated once apply_node has consumed the aggregate.
+func vectorizeAggregate(kind gas.ReduceKind, dim, n int, payload func(i int) ([]float32, int32), pool *tensor.Pool) *gas.Aggregated {
+	a := &gas.Aggregated{Kind: kind}
+	switch kind {
+	case gas.ReduceUnion:
+		// Every row is fully overwritten, so the unzeroed buffer is safe.
+		mm := pool.GetNoZero(n, dim)
+		for i := 0; i < n; i++ {
+			p, _ := payload(i)
+			copy(mm.Row(i), p)
+		}
+		a.Messages = mm
+		a.Dst = make([]int32, n) // all rows aggregate into local row 0
+	case gas.ReduceSum, gas.ReduceMean:
+		pooled := pool.Get(1, dim)
+		sum := pooled.Row(0)
+		var count int32
+		for i := 0; i < n; i++ {
+			p, c := payload(i)
+			for j, v := range p {
+				sum[j] += v
+			}
+			count += c
+		}
+		if kind == gas.ReduceMean && count > 0 {
+			inv := 1 / float32(count)
+			for j := range sum {
+				sum[j] *= inv
+			}
+		}
+		a.Pooled = pooled
+		a.Counts = []int32{count}
+	case gas.ReduceMax, gas.ReduceMin:
+		pooled := pool.Get(1, dim)
+		acc := pooled.Row(0)
+		for i := 0; i < n; i++ {
+			p, _ := payload(i)
+			if i == 0 {
+				copy(acc, p)
+				continue
+			}
+			for j, v := range p {
+				if kind == gas.ReduceMax && v > acc[j] {
+					acc[j] = v
+				}
+				if kind == gas.ReduceMin && v < acc[j] {
+					acc[j] = v
+				}
+			}
+		}
+		a.Pooled = pooled
+	}
+	return a
+}
+
+// releaseAggregated returns an aggregate's pooled buffers once apply_node
+// has consumed them.
+func releaseAggregated(pool *tensor.Pool, a *gas.Aggregated) {
+	if a.Pooled != nil {
+		pool.Put(a.Pooled)
+	}
+	if a.Messages != nil {
+		pool.Put(a.Messages)
+	}
 }
 
 // Stats aggregates run-wide counters for the experiment harness.

@@ -91,6 +91,9 @@ type mrDriver struct {
 
 	// Per-task broadcast tables for the current round.
 	tables []map[int32][]float32
+	// Per-task buffer pools: per-key aggregate and apply_node scratch
+	// recycles here instead of allocating for every reduced key.
+	pools []*tensor.Pool
 	// Per-task flop counters per round, and peak single-key group bytes
 	// (the streaming-reducer memory model).
 	roundFlops [][]int64
@@ -176,51 +179,9 @@ func (d *mrDriver) aggregate(task int, layer gas.Conv, values []mrVal) (*gas.Agg
 		}
 	}
 
-	kind := layer.Reduce()
-	a := &gas.Aggregated{Kind: kind}
-	switch kind {
-	case gas.ReduceUnion:
-		mm := tensor.New(len(payloads), dim)
-		for i, p := range payloads {
-			copy(mm.Row(i), p)
-		}
-		a.Messages = mm
-		a.Dst = make([]int32, len(payloads))
-	case gas.ReduceSum, gas.ReduceMean:
-		sum := make([]float32, dim)
-		var count int32
-		for i, p := range payloads {
-			for j, x := range p {
-				sum[j] += x
-			}
-			count += counts[i]
-		}
-		if kind == gas.ReduceMean && count > 0 {
-			inv := 1 / float32(count)
-			for j := range sum {
-				sum[j] *= inv
-			}
-		}
-		a.Pooled = tensor.FromSlice(1, dim, sum)
-		a.Counts = []int32{count}
-	case gas.ReduceMax, gas.ReduceMin:
-		acc := make([]float32, dim)
-		for i, p := range payloads {
-			if i == 0 {
-				copy(acc, p)
-				continue
-			}
-			for j, x := range p {
-				if kind == gas.ReduceMax && x > acc[j] {
-					acc[j] = x
-				}
-				if kind == gas.ReduceMin && x < acc[j] {
-					acc[j] = x
-				}
-			}
-		}
-		a.Pooled = tensor.FromSlice(1, dim, acc)
-	}
+	a := vectorizeAggregate(layer.Reduce(), dim, len(payloads), func(i int) ([]float32, int32) {
+		return payloads[i], counts[i]
+	}, d.pools[task])
 	return a, len(payloads), nil
 }
 
@@ -231,6 +192,7 @@ func RunMapReduce(model *gas.Model, g *graph.Graph, opts Options) (*Result, erro
 	if err := validateModelGraph(model, g); err != nil {
 		return nil, err
 	}
+	defer applyTuning(opts)()
 	threshold := opts.threshold(g)
 
 	sg := IdentityShadow(g)
@@ -244,6 +206,10 @@ func RunMapReduce(model *gas.Model, g *graph.Graph, opts Options) (*Result, erro
 		opts:      opts,
 		threshold: threshold,
 		tables:    make([]map[int32][]float32, opts.NumWorkers),
+		pools:     make([]*tensor.Pool, opts.NumWorkers),
+	}
+	for i := range d.pools {
+		d.pools[i] = tensor.NewPool()
 	}
 
 	cfg := mapreduce.Config[int32, mrVal]{
@@ -351,9 +317,11 @@ func RunMapReduce(model *gas.Model, g *graph.Graph, opts Options) (*Result, erro
 					return
 				}
 				state := tensor.FromSlice(1, len(selfState), selfState)
-				out := layer.ApplyNode(state, aggr)
+				out := gas.ApplyNodePooled(layer, state, aggr, d.pools[task])
 				h := make([]float32, out.Cols)
 				copy(h, out.Row(0))
+				d.pools[task].Put(out)
+				releaseAggregated(d.pools[task], aggr)
 				flops[task] += layerNodeFlops(layer) + int64(numMsgs)*layerMsgFlops(layer)
 
 				if last {

@@ -96,6 +96,9 @@ type pregelDriver struct {
 	bcTables []map[int32][]float32
 	bcStep   []int
 	bcHubs   []int64
+	// Per-worker buffer pools: the per-vertex aggregate and apply_node
+	// scratch recycles here instead of allocating every superstep.
+	pools []*tensor.Pool
 }
 
 // Compute implements pregel.VertexProgram: superstep 0 initializes and
@@ -117,12 +120,15 @@ func (d *pregelDriver) Compute(ctx *pregel.Context[vtxValue, gnnMsg], msgs []gnn
 	if d.opts.EmitEmbeddings && k == numLayers {
 		ctx.Value.emb = ctx.Value.h // penultimate state, about to be replaced
 	}
+	pool := d.pools[ctx.WorkerID()]
 	state := tensor.FromSlice(1, len(ctx.Value.h), ctx.Value.h)
-	aggr := d.gatherStage(ctx, layer, msgs)
-	out := layer.ApplyNode(state, aggr)
+	aggr := d.gatherStage(ctx, layer, msgs, pool)
+	out := gas.ApplyNodePooled(layer, state, aggr, pool)
 	next := make([]float32, out.Cols)
 	copy(next, out.Row(0))
 	ctx.Value.h = next
+	pool.Put(out)
+	releaseAggregated(pool, aggr)
 	ctx.AddCost(layerNodeFlops(layer) + int64(len(msgs))*layerMsgFlops(layer))
 
 	if k == numLayers {
@@ -136,8 +142,9 @@ func (d *pregelDriver) Compute(ctx *pregel.Context[vtxValue, gnnMsg], msgs []gnn
 
 // gatherStage is gather_nbrs + aggregate: vectorize received messages
 // (resolving broadcast references through the worker table) and reduce them
-// per the layer's annotation.
-func (d *pregelDriver) gatherStage(ctx *pregel.Context[vtxValue, gnnMsg], layer gas.Conv, msgs []gnnMsg) *gas.Aggregated {
+// per the layer's annotation. Aggregate buffers come from the worker's pool;
+// the caller releases them via releaseAggregated once apply_node is done.
+func (d *pregelDriver) gatherStage(ctx *pregel.Context[vtxValue, gnnMsg], layer gas.Conv, msgs []gnnMsg, pool *tensor.Pool) *gas.Aggregated {
 	table := d.workerTable(ctx)
 	dim := layer.InDim()
 
@@ -156,58 +163,9 @@ func (d *pregelDriver) gatherStage(ctx *pregel.Context[vtxValue, gnnMsg], layer 
 		}
 	}
 
-	kind := layer.Reduce()
-	a := &gas.Aggregated{Kind: kind}
-	switch kind {
-	case gas.ReduceUnion:
-		mm := tensor.New(len(msgs), dim)
-		dst := make([]int32, len(msgs))
-		for i, m := range msgs {
-			p, _ := resolve(m)
-			copy(mm.Row(i), p)
-		}
-		a.Messages = mm
-		a.Dst = dst // all rows aggregate into local row 0 (this vertex)
-	case gas.ReduceSum, gas.ReduceMean:
-		sum := make([]float32, dim)
-		var count int32
-		for _, m := range msgs {
-			p, c := resolve(m)
-			for j, v := range p {
-				sum[j] += v
-			}
-			count += c
-		}
-		if kind == gas.ReduceMean && count > 0 {
-			inv := 1 / float32(count)
-			for j := range sum {
-				sum[j] *= inv
-			}
-		}
-		a.Pooled = tensor.FromSlice(1, dim, sum)
-		a.Counts = []int32{count}
-	case gas.ReduceMax, gas.ReduceMin:
-		acc := make([]float32, dim)
-		seen := false
-		for _, m := range msgs {
-			p, _ := resolve(m)
-			if !seen {
-				copy(acc, p)
-				seen = true
-				continue
-			}
-			for j, v := range p {
-				if kind == gas.ReduceMax && v > acc[j] {
-					acc[j] = v
-				}
-				if kind == gas.ReduceMin && v < acc[j] {
-					acc[j] = v
-				}
-			}
-		}
-		a.Pooled = tensor.FromSlice(1, dim, acc)
-	}
-	return a
+	return vectorizeAggregate(layer.Reduce(), dim, len(msgs), func(i int) ([]float32, int32) {
+		return resolve(msgs[i])
+	}, pool)
 }
 
 // workerTable lazily builds this worker's broadcast lookup table for the
@@ -293,6 +251,7 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 	if err := validateModelGraph(model, g); err != nil {
 		return nil, err
 	}
+	defer applyTuning(opts)()
 	threshold := opts.threshold(g)
 
 	sg := IdentityShadow(g)
@@ -309,9 +268,11 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 		bcTables:  make([]map[int32][]float32, opts.NumWorkers),
 		bcStep:    make([]int, opts.NumWorkers),
 		bcHubs:    make([]int64, opts.NumWorkers),
+		pools:     make([]*tensor.Pool, opts.NumWorkers),
 	}
 	for i := range driver.bcStep {
 		driver.bcStep[i] = -1
+		driver.pools[i] = tensor.NewPool()
 	}
 
 	cfg := pregel.Config[gnnMsg]{

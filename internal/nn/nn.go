@@ -65,6 +65,16 @@ func (l *Linear) Apply(x *tensor.Matrix) *tensor.Matrix {
 	return tensor.AddBias(tensor.MatMul(x, l.W.Value), l.B.Value.Row(0))
 }
 
+// ApplyPooled is Apply with the output buffer drawn from p instead of
+// allocated, so superstep hot loops can recycle it (values are identical to
+// Apply). The returned matrix belongs to the caller, who may Put it back.
+func (l *Linear) ApplyPooled(p *tensor.Pool, x *tensor.Matrix) *tensor.Matrix {
+	out := p.GetNoZero(x.Rows, l.W.Value.Cols)
+	tensor.MatMulInto(out, x, l.W.Value)
+	tensor.AddBiasInPlace(out, l.B.Value.Row(0))
+	return out
+}
+
 // Backward accumulates dW, db and returns dX for the most recent Forward.
 func (l *Linear) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 	if l.lastInput == nil {

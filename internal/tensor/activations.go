@@ -17,6 +17,27 @@ func ReLU(m *Matrix) *Matrix {
 	})
 }
 
+// ReLUInPlace clamps m to max(0, x) elementwise in place — the buffer-reuse
+// form of ReLU for pooled inference paths.
+func ReLUInPlace(m *Matrix) *Matrix {
+	for i, v := range m.Data {
+		if !(v > 0) {
+			m.Data[i] = 0
+		}
+	}
+	return m
+}
+
+// LeakyReLUInPlace applies leaky relu elementwise in place.
+func LeakyReLUInPlace(m *Matrix, slope float32) *Matrix {
+	for i, v := range m.Data {
+		if !(v > 0) {
+			m.Data[i] = slope * v
+		}
+	}
+	return m
+}
+
 // ReLUBackward masks dOut where the forward input was <= 0.
 func ReLUBackward(dOut, in *Matrix) *Matrix {
 	checkSameShape("ReLUBackward", dOut, in)

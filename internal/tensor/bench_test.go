@@ -1,6 +1,110 @@
 package tensor
 
-import "testing"
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchWorkerCounts compares the serial kernel (workers=1) against the
+// parallel kernel at the machine's core count (and a fixed mid point when
+// the machine is wide enough). The CI smoke step runs these at -benchtime=1x
+// just to prove they execute; real numbers belong on a multicore box.
+func benchWorkerCounts() []int {
+	n := runtime.GOMAXPROCS(0)
+	ws := []int{1}
+	if n >= 4 {
+		ws = append(ws, 4)
+	}
+	if n > 1 && n != 4 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+// BenchmarkMatMul is the headline kernel comparison: a 512x512x512 dense
+// product, serial vs. parallel (the two are bit-identical; only wall-clock
+// differs).
+func BenchmarkMatMul(b *testing.B) {
+	g := NewRNG(11)
+	x := New(512, 512)
+	y := New(512, 512)
+	g.Uniform(x, -1, 1)
+	g.Uniform(y, -1, 1)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := SetTuning(Tuning{Workers: w})
+			defer SetTuning(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMul(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulInto measures the pooled, allocation-free form.
+func BenchmarkMatMulInto(b *testing.B) {
+	g := NewRNG(12)
+	x := New(512, 512)
+	y := New(512, 512)
+	dst := New(512, 512)
+	g.Uniform(x, -1, 1)
+	g.Uniform(y, -1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+// BenchmarkSegmentSumParallel compares the serial segment reduction against
+// the CSR-partitioned parallel kernel on a power-law-ish id distribution.
+func BenchmarkSegmentSumParallel(b *testing.B) {
+	g := NewRNG(13)
+	data := New(200000, 64)
+	g.Uniform(data, -1, 1)
+	seg := make([]int32, data.Rows)
+	for i := range seg {
+		seg[i] = int32(g.Intn(g.Intn(20000) + 1)) // skewed toward low ids
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := SetTuning(Tuning{Workers: w})
+			defer SetTuning(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SegmentSum(data, seg, 20000)
+			}
+		})
+	}
+}
+
+// BenchmarkGatherSegmentSum measures the fused gather→aggregate kernel
+// against the two-step gather + segment-sum it replaces.
+func BenchmarkGatherSegmentSum(b *testing.B) {
+	g := NewRNG(14)
+	state := New(20000, 64)
+	g.Uniform(state, -1, 1)
+	e := 120000
+	src := make([]int32, e)
+	dst := make([]int32, e)
+	for i := range src {
+		src[i] = int32(g.Intn(20000))
+		dst[i] = int32(g.Intn(20000))
+	}
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			GatherSegmentSum(state, src, dst, 20000)
+		}
+	})
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			SegmentSum(GatherRows(state, src), dst, 20000)
+		}
+	})
+}
 
 func BenchmarkMatMul128(b *testing.B) {
 	g := NewRNG(1)

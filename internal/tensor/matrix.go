@@ -2,10 +2,22 @@
 // that every other layer of the system builds on: the GAS convolutions, the
 // mini-batch trainer, and the vectorization step of both inference backends.
 //
-// Everything here is deterministic: no parallel reductions, no map iteration,
-// so repeated runs produce bit-identical results. That property is load-
-// bearing — InferTurbo's headline guarantee is consistent predictions across
-// runs, and it is enforced by tests all the way up the stack.
+// Everything here is deterministic, including the goroutine-parallel
+// kernels. The determinism model is "parallel over owned row blocks, serial
+// within a reduction": a kernel may fan out over contiguous blocks of
+// *output* rows, but each output row (and therefore each per-element
+// floating-point summation) is owned by exactly one goroutine and reduced
+// serially, in the same operand order as the serial loop. Consequently the
+// parallel kernels are bit-identical to their serial counterparts at every
+// Tuning — worker count, block size, and threshold change wall-clock, never
+// results. No map iteration order is ever observable. That property is
+// load-bearing: InferTurbo's headline guarantee is consistent predictions
+// across runs, worker counts and backends, and it is enforced by tests all
+// the way up the stack (see TestMatMulParallelBitIdentical and the Fig 7
+// consistency experiment).
+//
+// Tuning configures the kernels process-wide via SetTuning; Pool provides
+// buffer reuse for the ...Into variants so hot loops stop allocating.
 package tensor
 
 import (
@@ -150,69 +162,131 @@ func (m *Matrix) MaxAbsDiff(o *Matrix) float32 {
 	return max
 }
 
-// MatMul returns a @ b.
+// MatMul returns a @ b. The kernel is cache-blocked over the shared (k)
+// dimension and parallel over blocks of output rows; every output row is
+// accumulated by a single goroutine in ascending-k order, so the result is
+// bit-identical to the serial triple loop at any Tuning.
 func MatMul(a, b *Matrix) *Matrix {
+	return matMulInto(New(a.Rows, b.Cols), a, b) // New is already zeroed
+}
+
+// MatMulInto computes a @ b into dst (which must be a.Rows x b.Cols),
+// overwriting it, and returns dst. This is the allocation-free form of
+// MatMul for use with a Pool.
+func MatMulInto(dst, a, b *Matrix) *Matrix {
+	dst.Zero()
+	return matMulInto(dst, a, b)
+}
+
+// matMulInto accumulates a @ b into dst, which must be zeroed.
+func matMulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	kb := CurrentTuning().BlockSize
+	work := 2 * a.Rows * a.Cols * b.Cols
+	parallelRowBlocks(a.Rows, work, func(lo, hi int) {
+		// k-tiles keep a kb-row band of b hot in cache across the block's
+		// rows. For a fixed output element the adds still arrive in
+		// ascending k order — tiles are visited in order, serially — so
+		// blocking never reorders a summation.
+		for k0 := 0; k0 < a.Cols; k0 += kb {
+			k1 := min(k0+kb, a.Cols)
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				orow := dst.Row(i)
+				for k := k0; k < k1; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.Row(k)
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
 			}
 		}
-	}
-	return out
+	})
+	return dst
 }
 
-// MatMulAT returns aᵀ @ b, used by backprop for weight gradients.
+// MatMulAT returns aᵀ @ b, used by backprop for weight gradients. Parallel
+// over blocks of output rows (a's columns); for each output element the
+// accumulation runs in ascending input-row order, matching the serial loop
+// bit-for-bit.
 func MatMulAT(a, b *Matrix) *Matrix {
+	return matMulATInto(New(a.Cols, b.Cols), a, b) // New is already zeroed
+}
+
+// MatMulATInto computes aᵀ @ b into dst (a.Cols x b.Cols), overwriting it.
+func MatMulATInto(dst, a, b *Matrix) *Matrix {
+	dst.Zero()
+	return matMulATInto(dst, a, b)
+}
+
+// matMulATInto accumulates aᵀ @ b into dst, which must be zeroed.
+func matMulATInto(dst, a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulAT %dx%d / %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Cols, b.Cols)
-	for r := 0; r < a.Rows; r++ {
-		arow := a.Row(r)
-		brow := b.Row(r)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	work := 2 * a.Rows * a.Cols * b.Cols
+	parallelRowBlocks(a.Cols, work, func(lo, hi int) {
+		for r := 0; r < a.Rows; r++ {
+			arow := a.Row(r)
+			brow := b.Row(r)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := dst.Row(i)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
-	return out
+	})
+	return dst
 }
 
-// MatMulBT returns a @ bᵀ, used by backprop for input gradients.
+// MatMulBT returns a @ bᵀ, used by backprop for input gradients. Parallel
+// over blocks of output rows; each dot product is computed serially by its
+// row's owner.
 func MatMulBT(a, b *Matrix) *Matrix {
+	return MatMulBTInto(New(a.Rows, b.Rows), a, b)
+}
+
+// MatMulBTInto computes a @ bᵀ into dst (a.Rows x b.Rows), overwriting it.
+func MatMulBTInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulBT %dx%d / %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float32
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
-		}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulBTInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	return out
+	work := 2 * a.Rows * a.Cols * b.Rows
+	parallelRowBlocks(a.Rows, work, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float32
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return dst
 }
 
 // Transpose returns mᵀ.
@@ -297,6 +371,20 @@ func AddBias(m *Matrix, b []float32) *Matrix {
 	return out
 }
 
+// AddBiasInPlace adds the bias row vector b to every row of m in place —
+// the buffer-reuse form of AddBias.
+func AddBiasInPlace(m *Matrix, b []float32) {
+	if len(b) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddBias bias length %d != cols %d", len(b), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+}
+
 // Apply returns f applied elementwise.
 func (m *Matrix) Apply(f func(float32) float32) *Matrix {
 	out := New(m.Rows, m.Cols)
@@ -336,14 +424,30 @@ func SplitCols(m *Matrix, aCols int) (*Matrix, *Matrix) {
 
 // GatherRows returns a matrix whose row r is m.Row(idx[r]).
 func GatherRows(m *Matrix, idx []int32) *Matrix {
-	out := New(len(idx), m.Cols)
-	for r, i := range idx {
+	return GatherRowsInto(New(len(idx), m.Cols), m, idx)
+}
+
+// GatherRowsInto copies m.Row(idx[r]) into dst row r for every r,
+// overwriting dst (which must be len(idx) x m.Cols), and returns dst.
+// Parallel over blocks of destination rows; pure copies, so trivially
+// deterministic.
+func GatherRowsInto(dst, m *Matrix, idx []int32) *Matrix {
+	if dst.Rows != len(idx) || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: GatherRowsInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, len(idx), m.Cols))
+	}
+	// Validate before fanning out so a bad index panics in the caller's
+	// goroutine, where it can be recovered, not inside a worker.
+	for _, i := range idx {
 		if int(i) < 0 || int(i) >= m.Rows {
 			panic(fmt.Sprintf("tensor: GatherRows index %d out of %d rows", i, m.Rows))
 		}
-		copy(out.Row(r), m.Row(int(i)))
 	}
-	return out
+	parallelRowBlocks(len(idx), len(idx)*m.Cols, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			copy(dst.Row(r), m.Row(int(idx[r])))
+		}
+	})
+	return dst
 }
 
 // ScatterAddRows accumulates src.Row(r) into dst.Row(idx[r]). Accumulation

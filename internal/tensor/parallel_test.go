@@ -1,0 +1,442 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Serial reference kernels, written as the naive loops the parallel layer
+// must reproduce bit-for-bit (not AllClose — Equal).
+
+func refMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+func refMatMulAT(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		for i := 0; i < a.Cols; i++ {
+			av := a.At(r, i)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.At(r, j)
+			}
+		}
+	}
+	return out
+}
+
+func refMatMulBT(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float32
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func refSegmentSum(data *Matrix, seg []int32, nSeg int) *Matrix {
+	out := New(nSeg, data.Cols)
+	for r, s := range seg {
+		for j, v := range data.Row(r) {
+			out.Data[int(s)*out.Cols+j] += v
+		}
+	}
+	return out
+}
+
+func refSegmentMean(data *Matrix, seg []int32, nSeg int) *Matrix {
+	out := refSegmentSum(data, seg, nSeg)
+	counts := SegmentCount(seg, nSeg)
+	for i := 0; i < nSeg; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		inv := 1 / float32(counts[i])
+		for j := range out.Row(i) {
+			out.Row(i)[j] *= inv
+		}
+	}
+	return out
+}
+
+func refSegmentExtreme(data *Matrix, seg []int32, nSeg int, isMax bool) *Matrix {
+	out := New(nSeg, data.Cols)
+	seen := make([]bool, nSeg)
+	for r, s := range seg {
+		drow := data.Row(r)
+		orow := out.Row(int(s))
+		if !seen[s] {
+			copy(orow, drow)
+			seen[s] = true
+			continue
+		}
+		for j, v := range drow {
+			if (isMax && v > orow[j]) || (!isMax && v < orow[j]) {
+				orow[j] = v
+			}
+		}
+	}
+	return out
+}
+
+// forceParallel makes every kernel call eligible for the parallel path
+// regardless of size, with w workers; the returned func restores tuning.
+func forceParallel(w int) func() {
+	prev := SetTuning(Tuning{Workers: w, BlockSize: 7, ParallelThreshold: 1})
+	return func() { SetTuning(prev) }
+}
+
+var workerCounts = []int{1, 2, 3, 4, 5, 7, 8, 11, 13, 16}
+
+func TestMatMulParallelBitIdentical(t *testing.T) {
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 7, 5}, {17, 33, 9}, {64, 64, 64},
+		{129, 65, 33}, {1, 100, 1}, {100, 1, 100}, {0, 5, 3}, {5, 0, 3},
+	}
+	g := NewRNG(42)
+	for _, sh := range shapes {
+		a := New(sh.m, sh.k)
+		b := New(sh.k, sh.n)
+		g.Uniform(a, -2, 2)
+		g.Uniform(b, -2, 2)
+		// Sprinkle exact zeros so the zero-skip path is exercised.
+		for i := 0; i < len(a.Data); i += 3 {
+			a.Data[i] = 0
+		}
+		want := refMatMul(a, b)
+		for _, w := range workerCounts {
+			restore := forceParallel(w)
+			got := MatMul(a, b)
+			restore()
+			if !want.Equal(got) {
+				t.Fatalf("MatMul %dx%dx%d workers=%d not bit-identical to serial", sh.m, sh.k, sh.n, w)
+			}
+		}
+	}
+}
+
+func TestMatMulATBTParallelBitIdentical(t *testing.T) {
+	g := NewRNG(43)
+	a := New(57, 23)
+	b := New(57, 31)
+	g.Uniform(a, -1, 1)
+	g.Uniform(b, -1, 1)
+	wantAT := refMatMulAT(a, b)
+
+	c := New(41, 29)
+	d := New(19, 29)
+	g.Uniform(c, -1, 1)
+	g.Uniform(d, -1, 1)
+	wantBT := refMatMulBT(c, d)
+
+	for _, w := range workerCounts {
+		restore := forceParallel(w)
+		gotAT := MatMulAT(a, b)
+		gotBT := MatMulBT(c, d)
+		restore()
+		if !wantAT.Equal(gotAT) {
+			t.Fatalf("MatMulAT workers=%d not bit-identical", w)
+		}
+		if !wantBT.Equal(gotBT) {
+			t.Fatalf("MatMulBT workers=%d not bit-identical", w)
+		}
+	}
+}
+
+func TestSegmentOpsParallelBitIdentical(t *testing.T) {
+	g := NewRNG(44)
+	cases := []struct {
+		name string
+		rows int
+		nSeg int
+		seg  func(r int) int32
+	}{
+		{"skewed", 501, 17, func(r int) int32 { return int32(r * r % 17) }},
+		{"empty-segments", 100, 50, func(r int) int32 { return int32((r % 10) * 5) }},
+		{"singletons", 37, 37, func(r int) int32 { return int32(r) }},
+		{"one-heavy", 400, 9, func(r int) int32 {
+			if r%4 != 0 {
+				return 3
+			}
+			return int32(r % 9)
+		}},
+		{"no-rows", 0, 11, nil},
+	}
+	for _, tc := range cases {
+		data := New(tc.rows, 13)
+		g.Uniform(data, -3, 3)
+		seg := make([]int32, tc.rows)
+		for r := range seg {
+			seg[r] = tc.seg(r)
+		}
+		wantSum := refSegmentSum(data, seg, tc.nSeg)
+		wantMean := refSegmentMean(data, seg, tc.nSeg)
+		wantMax := refSegmentExtreme(data, seg, tc.nSeg, true)
+		wantMin := refSegmentExtreme(data, seg, tc.nSeg, false)
+		for _, w := range workerCounts {
+			restore := forceParallel(w)
+			gotSum := SegmentSum(data, seg, tc.nSeg)
+			gotMean := SegmentMean(data, seg, tc.nSeg)
+			gotMax := SegmentMax(data, seg, tc.nSeg)
+			gotMin := SegmentMin(data, seg, tc.nSeg)
+			restore()
+			for _, p := range []struct {
+				op        string
+				want, got *Matrix
+			}{
+				{"SegmentSum", wantSum, gotSum},
+				{"SegmentMean", wantMean, gotMean},
+				{"SegmentMax", wantMax, gotMax},
+				{"SegmentMin", wantMin, gotMin},
+			} {
+				if !p.want.Equal(p.got) {
+					t.Fatalf("%s/%s workers=%d not bit-identical to serial", p.op, tc.name, w)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherSegmentSumMatchesUnfused(t *testing.T) {
+	g := NewRNG(45)
+	state := New(40, 11)
+	g.Uniform(state, -1, 1)
+	e := 333
+	src := make([]int32, e)
+	seg := make([]int32, e)
+	for i := range src {
+		src[i] = int32(g.Intn(40))
+		seg[i] = int32(g.Intn(25))
+	}
+	want := refSegmentSum(refGather(state, src), seg, 25)
+	for _, w := range workerCounts {
+		restore := forceParallel(w)
+		got := GatherSegmentSum(state, src, seg, 25)
+		restore()
+		if !want.Equal(got) {
+			t.Fatalf("GatherSegmentSum workers=%d differs from gather+sum", w)
+		}
+	}
+}
+
+func refGather(m *Matrix, idx []int32) *Matrix {
+	out := New(len(idx), m.Cols)
+	for r, i := range idx {
+		copy(out.Row(r), m.Row(int(i)))
+	}
+	return out
+}
+
+func TestGatherRowsIntoMatchesGatherRows(t *testing.T) {
+	g := NewRNG(46)
+	m := New(64, 9)
+	g.Uniform(m, -1, 1)
+	idx := make([]int32, 777)
+	for i := range idx {
+		idx[i] = int32(g.Intn(64))
+	}
+	want := refGather(m, idx)
+	for _, w := range workerCounts {
+		restore := forceParallel(w)
+		got := GatherRows(m, idx)
+		restore()
+		if !want.Equal(got) {
+			t.Fatalf("GatherRows workers=%d differs", w)
+		}
+	}
+}
+
+// TestIntoVariantsOverwriteStaleDst pins the contract of every exported
+// ...Into kernel: a dst full of stale values is fully overwritten, matching
+// the allocating form bit-for-bit.
+func TestIntoVariantsOverwriteStaleDst(t *testing.T) {
+	g := NewRNG(47)
+	a := New(9, 7)
+	b := New(7, 11)
+	g.Uniform(a, -1, 1)
+	g.Uniform(b, -1, 1)
+
+	dst := New(9, 11)
+	dst.Fill(99)
+	if !MatMulInto(dst, a, b).Equal(refMatMul(a, b)) {
+		t.Fatal("MatMulInto did not overwrite dst with a@b")
+	}
+
+	c := New(9, 11) // rows match a for AT
+	g.Uniform(c, -1, 1)
+	dst = New(7, 11)
+	dst.Fill(-5)
+	if !MatMulATInto(dst, a, c).Equal(refMatMulAT(a, c)) {
+		t.Fatal("MatMulATInto did not overwrite dst with aT@b")
+	}
+
+	d := New(4, 7) // cols match a for BT
+	g.Uniform(d, -1, 1)
+	dst = New(9, 4)
+	dst.Fill(3)
+	if !MatMulBTInto(dst, a, d).Equal(refMatMulBT(a, d)) {
+		t.Fatal("MatMulBTInto did not overwrite dst with a@bT")
+	}
+
+	data := New(20, 6)
+	g.Uniform(data, -1, 1)
+	seg := make([]int32, 20)
+	for i := range seg {
+		seg[i] = int32(i % 5)
+	}
+	dst = New(5, 6)
+	dst.Fill(42)
+	if !SegmentSumInto(dst, data, seg).Equal(refSegmentSum(data, seg, 5)) {
+		t.Fatal("SegmentSumInto did not overwrite dst")
+	}
+
+	state := New(10, 6)
+	g.Uniform(state, -1, 1)
+	src := make([]int32, 20)
+	for i := range src {
+		src[i] = int32(i % 10)
+	}
+	dst = New(5, 6)
+	dst.Fill(-7)
+	if !GatherSegmentSumInto(dst, state, src, seg).Equal(refSegmentSum(refGather(state, src), seg, 5)) {
+		t.Fatal("GatherSegmentSumInto did not overwrite dst")
+	}
+}
+
+func TestPoolReuseAndZeroing(t *testing.T) {
+	p := NewPool()
+	m := p.Get(4, 8)
+	m.Fill(7)
+	backing := &m.Data[0]
+	p.Put(m)
+
+	// Same size class comes back with the same backing array, zeroed.
+	n := p.Get(2, 16)
+	if &n.Data[0] != backing {
+		t.Fatal("pool did not reuse the buffer for a same-class request")
+	}
+	for _, v := range n.Data {
+		if v != 0 {
+			t.Fatal("pool.Get returned a non-zeroed buffer")
+		}
+	}
+	if n.Rows != 2 || n.Cols != 16 {
+		t.Fatalf("pool returned wrong shape %dx%d", n.Rows, n.Cols)
+	}
+	p.Put(n)
+
+	// A larger request must not receive the too-small buffer.
+	big := p.GetNoZero(100, 100)
+	if big.Rows*big.Cols != 10000 || len(big.Data) != 10000 {
+		t.Fatalf("pool returned bad large buffer %dx%d", big.Rows, big.Cols)
+	}
+
+	// Empty shapes round-trip without pooling.
+	z := p.Get(0, 5)
+	if z.Rows != 0 || z.Cols != 5 {
+		t.Fatal("pool mishandled empty shape")
+	}
+	p.Put(z)
+}
+
+func TestTuningDefaultsAndRestore(t *testing.T) {
+	prev := SetTuning(Tuning{Workers: 3, BlockSize: 5, ParallelThreshold: 9})
+	cur := CurrentTuning()
+	if cur.Workers != 3 || cur.BlockSize != 5 || cur.ParallelThreshold != 9 {
+		t.Fatalf("SetTuning did not install values: %+v", cur)
+	}
+	zeroed := SetTuning(Tuning{})
+	if zeroed.Workers != 3 {
+		t.Fatalf("SetTuning did not return previous tuning: %+v", zeroed)
+	}
+	def := CurrentTuning()
+	if def.Workers <= 0 || def.BlockSize != defaultBlockSize || def.ParallelThreshold != defaultParallelThreshold {
+		t.Fatalf("zero Tuning did not normalize to defaults: %+v", def)
+	}
+	SetTuning(prev)
+}
+
+// TestParallelRowBlocksCoverage asserts the partitioner covers [0,n) with
+// disjoint blocks for every n/worker combination — the ownership invariant
+// the determinism model rests on.
+func TestParallelRowBlocksCoverage(t *testing.T) {
+	for _, w := range workerCounts {
+		for n := 0; n < 40; n++ {
+			restore := forceParallel(w)
+			owned := make([]int, n)
+			var mu = make(chan struct{}, 1)
+			mu <- struct{}{}
+			parallelRowBlocks(n, 1<<20, func(lo, hi int) {
+				<-mu
+				for i := lo; i < hi; i++ {
+					owned[i]++
+				}
+				mu <- struct{}{}
+			})
+			restore()
+			for i, c := range owned {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: row %d owned %d times", n, w, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelWeightedBlocksCoverage(t *testing.T) {
+	g := NewRNG(48)
+	for _, w := range workerCounts {
+		for trial := 0; trial < 20; trial++ {
+			n := g.Intn(30)
+			starts := make([]int32, n+1)
+			for s := 0; s < n; s++ {
+				starts[s+1] = starts[s] + int32(g.Intn(50))
+			}
+			restore := forceParallel(w)
+			owned := make([]int, n)
+			mu := make(chan struct{}, 1)
+			mu <- struct{}{}
+			parallelWeightedBlocks(n, 1<<20, starts, func(lo, hi int) {
+				<-mu
+				for s := lo; s < hi; s++ {
+					owned[s]++
+				}
+				mu <- struct{}{}
+			})
+			restore()
+			for s, c := range owned {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: segment %d owned %d times (weights %v)", w, n, s, c, starts)
+				}
+			}
+		}
+	}
+}
+
+func ExampleSetTuning() {
+	prev := SetTuning(Tuning{Workers: 1}) // force serial kernels
+	defer SetTuning(prev)
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	fmt.Println(MatMul(a, a).Data)
+	// Output: [7 10 15 22]
+}

@@ -9,20 +9,90 @@ import (
 // destination index. They are the tensor form of the paper's "aggregate"
 // stage: every reduction here is commutative and associative (sum, mean, max,
 // min), which is exactly the property the partial-gather strategy relies on.
+//
+// The parallel variants follow the package determinism model: work is split
+// over contiguous ranges of *segments* via a precomputed CSR row-range
+// partition (segmentIndex), each segment is reduced serially by its owner in
+// ascending input-row order — the same order the serial loop visits — so
+// every worker count produces bit-identical output.
+
+// segmentIndex is a CSR partition of input rows by segment: rows of segment
+// s are order[starts[s]:starts[s+1]], in ascending row order (the counting
+// sort is stable), which is exactly the per-segment accumulation order of
+// the serial kernels.
+type segmentIndex struct {
+	starts []int32 // len nSeg+1
+	order  []int32 // input row ids grouped by segment
+}
+
+func buildSegmentIndex(seg []int32, nSeg int) *segmentIndex {
+	counts := SegmentCount(seg, nSeg)
+	starts := make([]int32, nSeg+1)
+	for s, c := range counts {
+		starts[s+1] = starts[s] + c
+	}
+	next := counts // reuse: rewound to starts as the write cursor
+	copy(next, starts[:nSeg])
+	order := make([]int32, len(seg))
+	for r, s := range seg {
+		order[next[s]] = int32(r)
+		next[s]++
+	}
+	return &segmentIndex{starts: starts, order: order}
+}
+
+// segmentWorthParallel reports whether a segment reduction over rows x cols
+// clears the tuning bar for the indexed parallel path (building the index
+// costs O(rows), only worth it when the reduction dominates).
+func segmentWorthParallel(rows, cols int) bool {
+	t := tuning.Load()
+	return t.Workers > 1 && rows*cols >= t.ParallelThreshold
+}
 
 // SegmentSum sums rows of data sharing the same segment id. seg[r] is the
 // output row that data row r accumulates into; nSeg is the output row count.
 func SegmentSum(data *Matrix, seg []int32, nSeg int) *Matrix {
+	return segmentSumInto(New(nSeg, data.Cols), data, seg) // New is already zeroed
+}
+
+// SegmentSumInto computes SegmentSum into dst (nSeg x data.Cols),
+// overwriting it, and returns dst.
+func SegmentSumInto(dst, data *Matrix, seg []int32) *Matrix {
+	dst.Zero()
+	return segmentSumInto(dst, data, seg)
+}
+
+// segmentSumInto accumulates the segment sums into dst, which must be
+// zeroed.
+func segmentSumInto(dst, data *Matrix, seg []int32) *Matrix {
+	nSeg := dst.Rows
 	checkSegments("SegmentSum", data, seg, nSeg)
-	out := New(nSeg, data.Cols)
-	for r, s := range seg {
-		orow := out.Row(int(s))
-		drow := data.Row(r)
-		for j, v := range drow {
-			orow[j] += v
-		}
+	if dst.Cols != data.Cols {
+		panic(fmt.Sprintf("tensor: SegmentSumInto cols %d != %d", dst.Cols, data.Cols))
 	}
-	return out
+	if !segmentWorthParallel(data.Rows, data.Cols) {
+		for r, s := range seg {
+			orow := dst.Row(int(s))
+			drow := data.Row(r)
+			for j, v := range drow {
+				orow[j] += v
+			}
+		}
+		return dst
+	}
+	idx := buildSegmentIndex(seg, nSeg)
+	parallelWeightedBlocks(nSeg, data.Rows*data.Cols, idx.starts, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			orow := dst.Row(s)
+			for _, r := range idx.order[idx.starts[s]:idx.starts[s+1]] {
+				drow := data.Row(int(r))
+				for j, v := range drow {
+					orow[j] += v
+				}
+			}
+		}
+	})
+	return dst
 }
 
 // SegmentCount returns how many rows map to each segment.
@@ -41,16 +111,18 @@ func SegmentCount(seg []int32, nSeg int) []int32 {
 func SegmentMean(data *Matrix, seg []int32, nSeg int) *Matrix {
 	out := SegmentSum(data, seg, nSeg)
 	counts := SegmentCount(seg, nSeg)
-	for i := 0; i < nSeg; i++ {
-		if counts[i] == 0 {
-			continue
+	parallelRowBlocks(nSeg, nSeg*data.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if counts[i] == 0 {
+				continue
+			}
+			inv := 1 / float32(counts[i])
+			row := out.Row(i)
+			for j := range row {
+				row[j] *= inv
+			}
 		}
-		inv := 1 / float32(counts[i])
-		row := out.Row(i)
-		for j := range row {
-			row[j] *= inv
-		}
-	}
+	})
 	return out
 }
 
@@ -58,46 +130,126 @@ func SegmentMean(data *Matrix, seg []int32, nSeg int) *Matrix {
 // zero rows (not -inf) so downstream layers see neutral input for isolated
 // nodes, matching the behaviour of the reference GNN implementations.
 func SegmentMax(data *Matrix, seg []int32, nSeg int) *Matrix {
-	checkSegments("SegmentMax", data, seg, nSeg)
-	out := New(nSeg, data.Cols)
-	seen := make([]bool, nSeg)
-	for r, s := range seg {
-		orow := out.Row(int(s))
-		drow := data.Row(r)
-		if !seen[s] {
-			copy(orow, drow)
-			seen[s] = true
-			continue
-		}
-		for j, v := range drow {
-			if v > orow[j] {
-				orow[j] = v
-			}
-		}
-	}
-	return out
+	return segmentExtreme("SegmentMax", data, seg, nSeg, true)
 }
 
 // SegmentMin takes the elementwise min per segment; empty segments are zero.
 func SegmentMin(data *Matrix, seg []int32, nSeg int) *Matrix {
-	checkSegments("SegmentMin", data, seg, nSeg)
+	return segmentExtreme("SegmentMin", data, seg, nSeg, false)
+}
+
+// segmentExtreme is the shared max/min kernel: the segment's first row (in
+// input order) seeds the accumulator, later rows replace elements that
+// compare better. The parallel path visits each segment's rows in the same
+// input order as the serial loop, so results are bit-identical (relevant
+// for NaN propagation, where comparison order is observable).
+func segmentExtreme(op string, data *Matrix, seg []int32, nSeg int, isMax bool) *Matrix {
+	checkSegments(op, data, seg, nSeg)
 	out := New(nSeg, data.Cols)
-	seen := make([]bool, nSeg)
-	for r, s := range seg {
-		orow := out.Row(int(s))
-		drow := data.Row(r)
-		if !seen[s] {
-			copy(orow, drow)
-			seen[s] = true
-			continue
-		}
-		for j, v := range drow {
-			if v < orow[j] {
-				orow[j] = v
+	fold := func(orow, drow []float32) {
+		if isMax {
+			for j, v := range drow {
+				if v > orow[j] {
+					orow[j] = v
+				}
+			}
+		} else {
+			for j, v := range drow {
+				if v < orow[j] {
+					orow[j] = v
+				}
 			}
 		}
 	}
+	if !segmentWorthParallel(data.Rows, data.Cols) {
+		seen := make([]bool, nSeg)
+		for r, s := range seg {
+			drow := data.Row(r)
+			if !seen[s] {
+				copy(out.Row(int(s)), drow)
+				seen[s] = true
+				continue
+			}
+			fold(out.Row(int(s)), drow)
+		}
+		return out
+	}
+	idx := buildSegmentIndex(seg, nSeg)
+	parallelWeightedBlocks(nSeg, data.Rows*data.Cols, idx.starts, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			rows := idx.order[idx.starts[s]:idx.starts[s+1]]
+			if len(rows) == 0 {
+				continue
+			}
+			orow := out.Row(s)
+			copy(orow, data.Row(int(rows[0])))
+			for _, r := range rows[1:] {
+				fold(orow, data.Row(int(r)))
+			}
+		}
+	})
 	return out
+}
+
+// GatherSegmentSum is the fused gather→segment-aggregate kernel:
+// out.Row(s) = Σ_{e: seg[e]==s} state.Row(src[e]), without materializing the
+// E x D gathered message matrix — the sparse A@X product at the heart of the
+// broadcast-safe sum/mean layers. Parallel over owned segment ranges; each
+// segment accumulates in ascending edge order, bit-identical to
+// SegmentSum(GatherRows(state, src), seg, nSeg).
+func GatherSegmentSum(state *Matrix, src, seg []int32, nSeg int) *Matrix {
+	return gatherSegmentSumInto(New(nSeg, state.Cols), state, src, seg) // New is already zeroed
+}
+
+// GatherSegmentSumInto computes GatherSegmentSum into dst (nSeg x
+// state.Cols), overwriting it, and returns dst.
+func GatherSegmentSumInto(dst, state *Matrix, src, seg []int32) *Matrix {
+	dst.Zero()
+	return gatherSegmentSumInto(dst, state, src, seg)
+}
+
+// gatherSegmentSumInto accumulates into dst, which must be zeroed.
+func gatherSegmentSumInto(dst, state *Matrix, src, seg []int32) *Matrix {
+	nSeg := dst.Rows
+	if len(src) != len(seg) {
+		panic(fmt.Sprintf("tensor: GatherSegmentSum %d src vs %d seg ids", len(src), len(seg)))
+	}
+	if dst.Cols != state.Cols {
+		panic(fmt.Sprintf("tensor: GatherSegmentSumInto cols %d != %d", dst.Cols, state.Cols))
+	}
+	for _, s := range seg {
+		if int(s) < 0 || int(s) >= nSeg {
+			panic(fmt.Sprintf("tensor: GatherSegmentSum id %d out of %d segments", s, nSeg))
+		}
+	}
+	for _, v := range src {
+		if int(v) < 0 || int(v) >= state.Rows {
+			panic(fmt.Sprintf("tensor: GatherSegmentSum src %d out of %d rows", v, state.Rows))
+		}
+	}
+	if !segmentWorthParallel(len(seg), state.Cols) {
+		for e, s := range seg {
+			orow := dst.Row(int(s))
+			srow := state.Row(int(src[e]))
+			for j, v := range srow {
+				orow[j] += v
+			}
+		}
+		return dst
+	}
+	idx := buildSegmentIndex(seg, nSeg)
+	parallelWeightedBlocks(nSeg, len(seg)*state.Cols, idx.starts, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			orow := dst.Row(s)
+			for _, e := range idx.order[idx.starts[s]:idx.starts[s+1]] {
+				srow := state.Row(int(src[e]))
+				for j, v := range srow {
+					orow[j] += v
+				}
+			}
+		}
+	})
+	return dst
 }
 
 // SegmentSoftmax normalizes the scalar logits per segment with a numerically

@@ -1,0 +1,160 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Tuning configures the deterministic parallel kernel layer: how many
+// goroutines the dense and segment kernels may use, the cache-blocking
+// factor of the MatMul family, and the work threshold below which every
+// kernel falls back to its serial loop.
+//
+// Any worker count produces bit-identical results: parallelism is only ever
+// over *owned row blocks* (each output row is written by exactly one
+// goroutine) and every per-element reduction runs serially, in the same
+// order as the serial kernel, inside its owner. See the package comment.
+//
+// The zero value means "defaults": Workers = GOMAXPROCS, BlockSize = 64,
+// ParallelThreshold = 32768 scalar ops.
+type Tuning struct {
+	// Workers is the maximum number of goroutines a single kernel call may
+	// fan out to. <= 0 selects runtime.GOMAXPROCS(0). Workers == 1 forces
+	// the serial path.
+	Workers int
+	// BlockSize is the k-dimension cache tile of the MatMul kernels, in
+	// rows of the right-hand operand. <= 0 selects 64 (a 64x64 float32
+	// tile is 16 KiB — comfortably inside L1/L2).
+	BlockSize int
+	// ParallelThreshold is the minimum estimated scalar-op count of a
+	// kernel call before it parallelizes; smaller calls run serially to
+	// avoid goroutine overhead on tiny operands (e.g. the per-vertex 1xD
+	// states inside the Pregel driver). <= 0 selects 32768.
+	ParallelThreshold int
+}
+
+const (
+	defaultBlockSize         = 64
+	defaultParallelThreshold = 1 << 15
+)
+
+func (t Tuning) withDefaults() Tuning {
+	if t.Workers <= 0 {
+		t.Workers = runtime.GOMAXPROCS(0)
+	}
+	if t.BlockSize <= 0 {
+		t.BlockSize = defaultBlockSize
+	}
+	if t.ParallelThreshold <= 0 {
+		t.ParallelThreshold = defaultParallelThreshold
+	}
+	return t
+}
+
+var tuning atomic.Pointer[Tuning]
+
+func init() {
+	t := Tuning{}.withDefaults()
+	tuning.Store(&t)
+}
+
+// SetTuning installs t (normalized with defaults) as the process-wide kernel
+// tuning and returns the previous value, so callers can scope an override:
+//
+//	prev := tensor.SetTuning(tensor.Tuning{Workers: 1})
+//	defer tensor.SetTuning(prev)
+//
+// Changing the tuning never changes results, only how they are computed.
+func SetTuning(t Tuning) Tuning {
+	nt := t.withDefaults()
+	old := tuning.Swap(&nt)
+	return *old
+}
+
+// CurrentTuning returns the active kernel tuning.
+func CurrentTuning() Tuning { return *tuning.Load() }
+
+// parallelRowBlocks splits [0, n) into at most Workers contiguous blocks and
+// runs fn once per block, concurrently. Each index is covered by exactly one
+// block, so fn owns its rows exclusively. work is the estimated scalar-op
+// count of the whole call; below the tuning threshold (or with one worker)
+// fn runs once, inline, over the full range.
+func parallelRowBlocks(n, work int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	t := tuning.Load()
+	w := t.Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || work < t.ParallelThreshold {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		if hi == n {
+			// Last block runs inline on the caller instead of parking it in
+			// Wait — one fewer spawn and handoff per kernel call.
+			fn(lo, hi)
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelWeightedBlocks splits [0, n) into contiguous blocks whose summed
+// weights are approximately balanced (weight(i) = starts[i+1]-starts[i], a
+// CSR offset array) and runs fn once per block, concurrently. Used by the
+// segment kernels so a handful of heavy segments — power-law graphs make
+// them the norm — do not serialize behind one worker. The same serial
+// fallback rules as parallelRowBlocks apply.
+func parallelWeightedBlocks(n, work int, starts []int32, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	t := tuning.Load()
+	w := t.Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || work < t.ParallelThreshold {
+		fn(0, n)
+		return
+	}
+	total := int(starts[n])
+	var wg sync.WaitGroup
+	lo := 0
+	for b := 0; b < w && lo < n; b++ {
+		// Everything with cumulative weight below the block's share belongs
+		// to it; the last block takes the remainder.
+		target := int32((total * (b + 1)) / w)
+		hi := lo
+		for hi < n && (starts[hi+1] <= target || b == w-1) {
+			hi++
+		}
+		if hi == lo {
+			hi++ // a single over-heavy segment still advances
+		}
+		if hi == n {
+			fn(lo, hi) // final block runs inline on the caller
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
