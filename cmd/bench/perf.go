@@ -1,0 +1,310 @@
+package main
+
+// The -perf mode: machine-readable message-plane benchmarks. Each run
+// measures the Pregel backend end to end on both message planes (plus the
+// MapReduce backend and the reference forward as fixed points), verifies
+// that predictions are byte-identical across planes, strategies and worker
+// counts, and writes everything as JSON so CI can track the perf
+// trajectory commit over commit. BENCH_PR2.json at the repository root
+// records the run that landed the columnar plane.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"inferturbo/internal/datagen"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/inference"
+	"inferturbo/internal/tensor"
+)
+
+type perfBenchResult struct {
+	Name           string  `json:"name"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	Supersteps     int     `json:"supersteps,omitempty"`
+	NsPerSuperstep float64 `json:"ns_per_superstep,omitempty"`
+}
+
+type perfIdentity struct {
+	Combos                 int      `json:"combos"`
+	PlanesBitIdentical     bool     `json:"planes_bit_identical"`
+	ClassesMatchReference  bool     `json:"classes_match_reference"`
+	Failures               []string `json:"failures,omitempty"`
+	WorkersTested          []int    `json:"workers_tested"`
+	StrategyCombosPerCount int      `json:"strategy_combos_per_worker_count"`
+}
+
+type perfBaseline struct {
+	Commit    string             `json:"commit"`
+	Note      string             `json:"note"`
+	AllocsPer map[string]int64   `json:"allocs_per_op"`
+	NsPer     map[string]float64 `json:"ns_per_op"`
+	BytesPer  map[string]int64   `json:"bytes_per_op"`
+}
+
+type perfReduction struct {
+	Benchmark          string  `json:"benchmark"`
+	Baseline           string  `json:"baseline"`
+	AllocsReductionPct float64 `json:"allocs_reduction_pct"`
+	NsReductionPct     float64 `json:"ns_reduction_pct"`
+}
+
+type perfReport struct {
+	PR          int               `json:"pr"`
+	Description string            `json:"description"`
+	Generated   string            `json:"generated"`
+	GoVersion   string            `json:"go_version"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Scale       string            `json:"scale"`
+	Benchmarks  []perfBenchResult `json:"benchmarks"`
+	BaselinePR1 perfBaseline      `json:"baseline_pr1"`
+	Reductions  []perfReduction   `json:"reduction_vs_pr1"`
+	Identity    perfIdentity      `json:"identity"`
+}
+
+// baselinePR1 records the PR 1 HEAD numbers these benchmarks are tracked
+// against (same dataset, shapes and options as perfBenchmarks below).
+var baselinePR1 = perfBaseline{
+	Commit: "d48b002",
+	Note: "measured at PR 1 HEAD on the dev container (1 vCPU Xeon 2.10GHz, " +
+		"go1.24.0, -benchtime 2x) with the full-scale 3000-node bench graph",
+	AllocsPer: map[string]int64{
+		"pregel/partial-gather/skew-in": 93290,
+		"pregel/none":                   73180,
+		"pregel/partial-gather":         89258,
+		"pregel/broadcast":              73348,
+		"pregel/shadow-nodes":           73743,
+		"mapreduce/partial-gather":      148611,
+	},
+	NsPer: map[string]float64{
+		"pregel/partial-gather/skew-in": 19614337,
+		"pregel/none":                   20565774,
+		"pregel/partial-gather":         21367918,
+		"pregel/broadcast":              21792150,
+		"pregel/shadow-nodes":           22041254,
+		"mapreduce/partial-gather":      43734424,
+	},
+	BytesPer: map[string]int64{
+		"pregel/partial-gather/skew-in": 11089448,
+		"pregel/none":                   14578432,
+		"pregel/partial-gather":         13822040,
+		"pregel/broadcast":              14614112,
+		"pregel/shadow-nodes":           16260648,
+		"mapreduce/partial-gather":      72368416,
+	},
+}
+
+func perfDataset(nodes int, skew datagen.Skew) (*gas.Model, *datagen.Dataset) {
+	ds := datagen.Generate(datagen.Config{
+		Name: "bench", Nodes: nodes, AvgDegree: 8, Skew: skew, Exponent: 1.8,
+		FeatureDim: 32, NumClasses: 4, Seed: 1,
+	})
+	m := gas.NewSAGEModel("bench", gas.TaskSingleLabel, 32, 32, 4, 2, 0, tensor.NewRNG(2))
+	return m, ds
+}
+
+// runPerf executes the message-plane benchmark suite and writes the JSON
+// report to path. Baselines were recorded at full scale; the quick preset
+// shrinks the graph (for CI smoke) and is labelled accordingly.
+func runPerf(path, scale string) error {
+	nodes := 3000
+	if scale == "quick" {
+		nodes = 1000
+	}
+	mIn, dsIn := perfDataset(nodes, datagen.SkewIn)
+	mOut, dsOut := perfDataset(nodes, datagen.SkewOut)
+	supersteps := mIn.NumLayers() + 1
+
+	type spec struct {
+		name  string
+		skew  datagen.Skew
+		steps int
+		run   func() error
+	}
+	pregelSpec := func(name string, skew datagen.Skew, opts inference.Options) spec {
+		m, ds := mOut, dsOut
+		if skew == datagen.SkewIn {
+			m, ds = mIn, dsIn
+		}
+		return spec{name: name, skew: skew, steps: supersteps, run: func() error {
+			_, err := inference.RunPregel(m, ds.Graph, opts)
+			return err
+		}}
+	}
+	planes := func(name string, skew datagen.Skew, opts inference.Options) []spec {
+		boxed := opts
+		boxed.BoxedMessages = true
+		return []spec{
+			pregelSpec(name+"/columnar", skew, opts),
+			pregelSpec(name+"/boxed", skew, boxed),
+		}
+	}
+
+	var specs []spec
+	specs = append(specs, planes("pregel/partial-gather/skew-in", datagen.SkewIn, inference.Options{NumWorkers: 8, PartialGather: true})...)
+	specs = append(specs, planes("pregel/none", datagen.SkewOut, inference.Options{NumWorkers: 8})...)
+	specs = append(specs, planes("pregel/partial-gather", datagen.SkewOut, inference.Options{NumWorkers: 8, PartialGather: true})...)
+	specs = append(specs, planes("pregel/broadcast", datagen.SkewOut, inference.Options{NumWorkers: 8, Broadcast: true})...)
+	specs = append(specs, planes("pregel/shadow-nodes", datagen.SkewOut, inference.Options{NumWorkers: 8, ShadowNodes: true})...)
+	specs = append(specs, planes("pregel/all-strategies", datagen.SkewOut, inference.Options{NumWorkers: 8, PartialGather: true, Broadcast: true, ShadowNodes: true})...)
+	specs = append(specs, spec{name: "mapreduce/partial-gather", skew: datagen.SkewIn, run: func() error {
+		_, err := inference.RunMapReduce(mIn, dsIn.Graph, inference.Options{NumWorkers: 8, PartialGather: true})
+		return err
+	}})
+	specs = append(specs, spec{name: "reference-forward", skew: datagen.SkewIn, run: func() error {
+		inference.ReferenceForward(mIn, dsIn.Graph)
+		return nil
+	}})
+
+	report := perfReport{
+		PR: 2,
+		Description: "Columnar zero-copy message plane for the Pregel backend: " +
+			"end-to-end full-graph inference benchmarks per message plane and strategy",
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       scale,
+		BaselinePR1: baselinePR1,
+	}
+
+	for _, s := range specs {
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := s.run(); err != nil {
+					runErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if runErr != nil {
+			return fmt.Errorf("bench %s: %w", s.name, runErr)
+		}
+		res := perfBenchResult{
+			Name:        s.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Supersteps:  s.steps,
+		}
+		if s.steps > 0 {
+			res.NsPerSuperstep = res.NsPerOp / float64(s.steps)
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+		fmt.Printf("%-40s %12.0f ns/op %10d allocs/op %12d B/op (n=%d)\n",
+			s.name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, r.N)
+	}
+
+	// Reductions vs. the PR 1 baseline, for the columnar results whose
+	// baseline was recorded at the same (full) scale.
+	if scale == "full" {
+		for _, b := range report.Benchmarks {
+			base := b.Name
+			if len(base) > len("/columnar") && base[len(base)-len("/columnar"):] == "/columnar" {
+				base = base[:len(base)-len("/columnar")]
+			}
+			ba, okA := baselinePR1.AllocsPer[base]
+			bn, okN := baselinePR1.NsPer[base]
+			if !okA || !okN {
+				continue
+			}
+			report.Reductions = append(report.Reductions, perfReduction{
+				Benchmark:          b.Name,
+				Baseline:           base,
+				AllocsReductionPct: 100 * (1 - float64(b.AllocsPerOp)/float64(ba)),
+				NsReductionPct:     100 * (1 - b.NsPerOp/bn),
+			})
+		}
+	}
+
+	report.Identity = verifyIdentity()
+	fmt.Printf("identity: %d combos, planes bit-identical = %v, classes match reference = %v\n",
+		report.Identity.Combos, report.Identity.PlanesBitIdentical, report.Identity.ClassesMatchReference)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	// The identity section is a gate, not an observation: fail the run (and
+	// therefore the CI step) after the JSON is on disk for inspection.
+	if id := report.Identity; !id.PlanesBitIdentical || !id.ClassesMatchReference || len(id.Failures) > 0 {
+		return fmt.Errorf("identity checks failed (%d recorded failures; see %s)", len(id.Failures), path)
+	}
+	return nil
+}
+
+// verifyIdentity re-checks the acceptance invariant outside the test suite:
+// for every strategy combination and worker count, the columnar plane's
+// logits are bit-identical to the boxed plane's and the predicted classes
+// are byte-identical to the reference forward.
+func verifyIdentity() perfIdentity {
+	m, ds := perfDataset(400, datagen.SkewOut)
+	g := ds.Graph
+	want := tensor.ArgmaxRows(inference.ReferenceForward(m, g))
+	workers := []int{1, 2, 4, 8}
+	id := perfIdentity{
+		PlanesBitIdentical:    true,
+		ClassesMatchReference: true,
+		WorkersTested:         workers,
+	}
+	for _, w := range workers {
+		combos := 0
+		for _, pg := range []bool{false, true} {
+			for _, bc := range []bool{false, true} {
+				for _, sn := range []bool{false, true} {
+					for _, par := range []bool{false, true} {
+						opts := inference.Options{
+							NumWorkers: w, PartialGather: pg, Broadcast: bc, ShadowNodes: sn, Parallel: par,
+						}
+						name := fmt.Sprintf("w%d/pg=%v/bc=%v/sn=%v/par=%v", w, pg, bc, sn, par)
+						col, err := inference.RunPregel(m, g, opts)
+						if err != nil {
+							id.fail(name + ": columnar: " + err.Error())
+							continue
+						}
+						boxedOpts := opts
+						boxedOpts.BoxedMessages = true
+						boxed, err := inference.RunPregel(m, g, boxedOpts)
+						if err != nil {
+							id.fail(name + ": boxed: " + err.Error())
+							continue
+						}
+						if !col.Logits.Equal(boxed.Logits) {
+							id.PlanesBitIdentical = false
+							id.fail(name + ": logits diverge between planes")
+						}
+						for v, c := range col.Classes {
+							if c != want[v] {
+								id.ClassesMatchReference = false
+								id.fail(fmt.Sprintf("%s: node %d class %d != reference %d", name, v, c, want[v]))
+								break
+							}
+						}
+						combos++
+						id.Combos++
+					}
+				}
+			}
+		}
+		id.StrategyCombosPerCount = combos
+	}
+	return id
+}
+
+func (id *perfIdentity) fail(msg string) {
+	if len(id.Failures) < 16 {
+		id.Failures = append(id.Failures, msg)
+	}
+}

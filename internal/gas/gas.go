@@ -225,6 +225,24 @@ func ApplyNodePooled(c Conv, nodeState *tensor.Matrix, aggr *Aggregated, p *tens
 	return c.ApplyNode(nodeState, aggr)
 }
 
+// PooledEdgeApplier is implemented by convs whose apply_edge can draw its
+// result from a buffer pool — the per-out-edge hot path of the inference
+// drivers' scatter for edge-featured models. The returned matrix belongs
+// to the caller (Put it back once consumed) unless it is msg itself: an
+// identity apply_edge returns its input, which the caller must not recycle.
+type PooledEdgeApplier interface {
+	ApplyEdgePooled(msg, edgeState *tensor.Matrix, p *tensor.Pool) *tensor.Matrix
+}
+
+// ApplyEdgePooled dispatches to the conv's pooled apply_edge when it
+// implements PooledEdgeApplier, falling back to the allocating path.
+func ApplyEdgePooled(c Conv, msg, edgeState *tensor.Matrix, p *tensor.Pool) *tensor.Matrix {
+	if pa, ok := c.(PooledEdgeApplier); ok && p != nil {
+		return pa.ApplyEdgePooled(msg, edgeState, p)
+	}
+	return c.ApplyEdge(msg, edgeState)
+}
+
 // InferLayer is the canonical stateless data flow every Conv.Infer uses:
 // the default_scatter_and_gather of the paper's pseudocode. Broadcast-safe
 // sum/mean layers (identity apply_edge — the annotation the paper keys the

@@ -93,6 +93,18 @@ func (c *SAGEConv) ApplyEdge(msg, edgeState *tensor.Matrix) *tensor.Matrix {
 	return tensor.Add(msg, c.EdgeLin.Apply(edgeState))
 }
 
+// ApplyEdgePooled implements PooledEdgeApplier: identical values to
+// ApplyEdge (IEEE addition of two operands is commutative bit for bit)
+// with the edge projection — which is also the result — drawn from p.
+func (c *SAGEConv) ApplyEdgePooled(msg, edgeState *tensor.Matrix, p *tensor.Pool) *tensor.Matrix {
+	if c.EdgeLin == nil || edgeState == nil {
+		return msg
+	}
+	out := c.EdgeLin.ApplyPooled(p, edgeState)
+	tensor.AddInPlace(out, msg)
+	return out
+}
+
 // ApplyNode implements Conv.
 func (c *SAGEConv) ApplyNode(nodeState *tensor.Matrix, aggr *Aggregated) *tensor.Matrix {
 	pre := tensor.Add(c.SelfLin.Apply(nodeState), c.NbrLin.Apply(aggr.Pooled))

@@ -4,6 +4,12 @@ import "fmt"
 
 // Partitioner assigns nodes to workers. The paper follows Pregel: hash the
 // node id (mod N); each partition owns its nodes' state and out-edges.
+//
+// The mod-N layout makes ownership a pure arithmetic property, which the
+// engines exploit for dense per-partition indexing: worker w owns node v iff
+// v % N == w, and v is the LocalIndex(v)-th node of that worker. Both are
+// O(1) with no lookup tables, so per-superstep structures (counting-sort
+// inboxes, combiner last-seen indexes) can be flat arrays.
 type Partitioner struct {
 	NumWorkers int
 }
@@ -19,9 +25,22 @@ func NewPartitioner(numWorkers int) *Partitioner {
 // WorkerFor returns the worker owning node v.
 func (p *Partitioner) WorkerFor(v int32) int { return int(v) % p.NumWorkers }
 
+// LocalIndex returns v's dense position within its owner's node list (the
+// index of v in NodesFor(WorkerFor(v), n)).
+func (p *Partitioner) LocalIndex(v int32) int { return int(v) / p.NumWorkers }
+
+// OwnedCount returns how many of a graph's n nodes worker w owns, without
+// materializing the list.
+func (p *Partitioner) OwnedCount(w, n int) int {
+	if w >= n {
+		return 0
+	}
+	return (n - w + p.NumWorkers - 1) / p.NumWorkers
+}
+
 // NodesFor lists the nodes of worker w for a graph of n nodes, in id order.
 func (p *Partitioner) NodesFor(w, n int) []int32 {
-	var out []int32
+	out := make([]int32, 0, p.OwnedCount(w, n))
 	for v := w; v < n; v += p.NumWorkers {
 		out = append(out, int32(v))
 	}
@@ -41,10 +60,11 @@ func (p *Partitioner) Stats(g *Graph) PartitionStats {
 		Nodes:    make([]int, p.NumWorkers),
 		OutEdges: make([]int, p.NumWorkers),
 	}
+	for w := range st.Nodes {
+		st.Nodes[w] = p.OwnedCount(w, g.NumNodes)
+	}
 	for v := int32(0); v < int32(g.NumNodes); v++ {
-		w := p.WorkerFor(v)
-		st.Nodes[w]++
-		st.OutEdges[w] += g.OutDegree(v)
+		st.OutEdges[p.WorkerFor(v)] += g.OutDegree(v)
 	}
 	return st
 }

@@ -1,0 +1,60 @@
+package graph
+
+import "testing"
+
+func TestOwnedCountMatchesNodesFor(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 8} {
+		p := NewPartitioner(workers)
+		for _, n := range []int{0, 1, 5, 16, 97} {
+			for w := 0; w < workers; w++ {
+				nodes := p.NodesFor(w, n)
+				if got := p.OwnedCount(w, n); got != len(nodes) {
+					t.Fatalf("OwnedCount(%d, %d) with %d workers = %d, NodesFor has %d",
+						w, n, workers, got, len(nodes))
+				}
+				if cap(nodes) != len(nodes) {
+					t.Fatalf("NodesFor(%d, %d) with %d workers over-allocated: cap %d, len %d",
+						w, n, workers, cap(nodes), len(nodes))
+				}
+			}
+		}
+	}
+}
+
+func TestLocalIndexIsDenseAndStable(t *testing.T) {
+	const n = 53
+	for _, workers := range []int{1, 2, 5, 8} {
+		p := NewPartitioner(workers)
+		for w := 0; w < workers; w++ {
+			for i, v := range p.NodesFor(w, n) {
+				if p.WorkerFor(v) != w {
+					t.Fatalf("node %d listed for worker %d but owned by %d", v, w, p.WorkerFor(v))
+				}
+				if got := p.LocalIndex(v); got != i {
+					t.Fatalf("LocalIndex(%d) = %d, want position %d", v, got, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsNodeCountsCoverGraph(t *testing.T) {
+	b := NewBuilder(23)
+	for v := int32(0); v < 22; v++ {
+		b.AddEdge(v, v+1, nil)
+	}
+	g := b.Build()
+	p := NewPartitioner(4)
+	st := p.Stats(g)
+	nodes, edges := 0, 0
+	for w := range st.Nodes {
+		nodes += st.Nodes[w]
+		edges += st.OutEdges[w]
+	}
+	if nodes != g.NumNodes {
+		t.Fatalf("node counts sum to %d, want %d", nodes, g.NumNodes)
+	}
+	if edges != g.NumEdges {
+		t.Fatalf("edge counts sum to %d, want %d", edges, g.NumEdges)
+	}
+}

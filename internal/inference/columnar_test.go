@@ -1,0 +1,163 @@
+package inference
+
+import (
+	"fmt"
+	"testing"
+
+	"inferturbo/internal/datagen"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/tensor"
+)
+
+// Plane-equivalence tests: the columnar message plane is a pure transport
+// optimization, so against the boxed plane it must produce bit-identical
+// logits AND identical IO accounting under every strategy combination, at
+// every worker count, serial and parallel — and predictions must stay
+// byte-identical to the reference forward throughout.
+
+// strategyCombos enumerates the paper's strategy power set.
+func strategyCombos(workers int, parallel bool) []Options {
+	var out []Options
+	for _, pg := range []bool{false, true} {
+		for _, bc := range []bool{false, true} {
+			for _, sn := range []bool{false, true} {
+				out = append(out, Options{
+					NumWorkers:    workers,
+					PartialGather: pg,
+					Broadcast:     bc,
+					ShadowNodes:   sn,
+					Parallel:      parallel,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func comboName(o Options) string {
+	return fmt.Sprintf("w%d/pg=%v/bc=%v/sn=%v/par=%v",
+		o.NumWorkers, o.PartialGather, o.Broadcast, o.ShadowNodes, o.Parallel)
+}
+
+func TestColumnarPlaneBitIdenticalAllStrategies(t *testing.T) {
+	g := testGraph(t, datagen.SkewOut, 220)
+	m := sageModel(t)
+	wantClasses := tensor.ArgmaxRows(ReferenceForward(m, g))
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, parallel := range []bool{false, true} {
+			for _, opts := range strategyCombos(workers, parallel) {
+				col, err := RunPregel(m, g, opts)
+				if err != nil {
+					t.Fatalf("%s columnar: %v", comboName(opts), err)
+				}
+				boxedOpts := opts
+				boxedOpts.BoxedMessages = true
+				boxed, err := RunPregel(m, g, boxedOpts)
+				if err != nil {
+					t.Fatalf("%s boxed: %v", comboName(opts), err)
+				}
+				if !col.Logits.Equal(boxed.Logits) {
+					t.Fatalf("%s: columnar logits diverge from boxed: max diff %v",
+						comboName(opts), col.Logits.MaxAbsDiff(boxed.Logits))
+				}
+				cs, bs := col.Stats, boxed.Stats
+				if cs.MessagesSent != bs.MessagesSent || cs.BytesSent != bs.BytesSent ||
+					cs.BytesReceived != bs.BytesReceived || cs.CombinedAway != bs.CombinedAway ||
+					cs.BroadcastHubs != bs.BroadcastHubs || cs.Supersteps != bs.Supersteps {
+					t.Fatalf("%s: stats diverge between planes:\ncolumnar %+v\nboxed    %+v",
+						comboName(opts), cs, bs)
+				}
+				for v, c := range col.Classes {
+					if c != wantClasses[v] {
+						t.Fatalf("%s: class of node %d = %d, reference %d", comboName(opts), v, c, wantClasses[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarPlaneBitIdenticalGAT covers the union-reduce (GAT) path,
+// where the combiner must decline and attention consumes raw message rows.
+func TestColumnarPlaneBitIdenticalGAT(t *testing.T) {
+	g := testGraph(t, datagen.SkewOut, 200)
+	m := gatModel(t)
+	wantClasses := tensor.ArgmaxRows(ReferenceForward(m, g))
+	for _, workers := range []int{1, 4, 8} {
+		for _, opts := range []Options{
+			{NumWorkers: workers},
+			{NumWorkers: workers, PartialGather: true, Parallel: true},
+			{NumWorkers: workers, Broadcast: true, ShadowNodes: true, Parallel: true},
+		} {
+			col, err := RunPregel(m, g, opts)
+			if err != nil {
+				t.Fatalf("%s columnar: %v", comboName(opts), err)
+			}
+			boxedOpts := opts
+			boxedOpts.BoxedMessages = true
+			boxed, err := RunPregel(m, g, boxedOpts)
+			if err != nil {
+				t.Fatalf("%s boxed: %v", comboName(opts), err)
+			}
+			if !col.Logits.Equal(boxed.Logits) {
+				t.Fatalf("%s: GAT columnar logits diverge from boxed: max diff %v",
+					comboName(opts), col.Logits.MaxAbsDiff(boxed.Logits))
+			}
+			for v, c := range col.Classes {
+				if c != wantClasses[v] {
+					t.Fatalf("%s: GAT class of node %d = %d, reference %d", comboName(opts), v, c, wantClasses[v])
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarPlaneEdgeFeatures covers the edge-dependent apply_edge
+// scatter path (per-edge payload construction into the arena).
+func TestColumnarPlaneEdgeFeatures(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{
+		Name: "col-ef", Nodes: 180, AvgDegree: 5, Skew: datagen.SkewOut,
+		FeatureDim: 6, NumClasses: 3, Seed: 31, EdgeFeature: true,
+	})
+	m := gas.NewSAGEModel("sage-col-ef", gas.TaskSingleLabel, 6, 8, 3, 2, 4, tensor.NewRNG(32))
+	for _, opts := range []Options{
+		{NumWorkers: 1},
+		{NumWorkers: 4, PartialGather: true},
+		{NumWorkers: 8, PartialGather: true, ShadowNodes: true, Parallel: true},
+	} {
+		col, err := RunPregel(m, ds.Graph, opts)
+		if err != nil {
+			t.Fatalf("%s columnar: %v", comboName(opts), err)
+		}
+		boxedOpts := opts
+		boxedOpts.BoxedMessages = true
+		boxed, err := RunPregel(m, ds.Graph, boxedOpts)
+		if err != nil {
+			t.Fatalf("%s boxed: %v", comboName(opts), err)
+		}
+		if !col.Logits.Equal(boxed.Logits) {
+			t.Fatalf("%s: edge-feature columnar logits diverge: max diff %v",
+				comboName(opts), col.Logits.MaxAbsDiff(boxed.Logits))
+		}
+	}
+}
+
+// TestColumnarEmbeddingsMatchBoxed: EmitEmbeddings retains the penultimate
+// state across the plane's buffer management.
+func TestColumnarEmbeddingsMatchBoxed(t *testing.T) {
+	g := testGraph(t, datagen.SkewIn, 150)
+	m := sageModel(t)
+	opts := Options{NumWorkers: 5, PartialGather: true, EmitEmbeddings: true}
+	col, err := RunPregel(m, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.BoxedMessages = true
+	boxed, err := RunPregel(m, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !col.Embeddings.Equal(boxed.Embeddings) {
+		t.Fatal("columnar embeddings diverge from boxed")
+	}
+}

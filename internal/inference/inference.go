@@ -41,6 +41,12 @@ type Options struct {
 	HubThreshold int
 	// Parallel runs workers on goroutines; results are identical either way.
 	Parallel bool
+	// BoxedMessages forces the Pregel backend onto the legacy per-message
+	// object plane instead of the columnar zero-copy message plane. The two
+	// planes produce bit-identical predictions and IO stats; boxed exists
+	// for comparison benchmarks and the plane-equivalence tests, and costs
+	// one payload allocation per message. MapReduce ignores this.
+	BoxedMessages bool
 	// SpillDir routes MapReduce shuffles through disk when non-empty.
 	SpillDir string
 	// EmitEmbeddings additionally returns each node's penultimate-layer
@@ -122,7 +128,18 @@ func (o Options) threshold(g *graph.Graph) int {
 // count. Buffers come from pool; callers release them with
 // releaseAggregated once apply_node has consumed the aggregate.
 func vectorizeAggregate(kind gas.ReduceKind, dim, n int, payload func(i int) ([]float32, int32), pool *tensor.Pool) *gas.Aggregated {
-	a := &gas.Aggregated{Kind: kind}
+	return vectorizeAggregateInto(&gas.Aggregated{}, kind, dim, n, payload, pool)
+}
+
+// vectorizeAggregateInto is vectorizeAggregate filling a caller-owned
+// aggregate, so per-vertex hot loops can reuse one scratch Aggregated (and
+// its Counts/Dst backing arrays) per worker instead of allocating one per
+// vertex per layer. The scratch must not be reused until apply_node has
+// consumed the previous aggregate and releaseAggregated has run.
+func vectorizeAggregateInto(a *gas.Aggregated, kind gas.ReduceKind, dim, n int, payload func(i int) ([]float32, int32), pool *tensor.Pool) *gas.Aggregated {
+	a.Kind = kind
+	a.Pooled, a.Messages = nil, nil
+	a.Counts, a.Dst = a.Counts[:0], a.Dst[:0]
 	switch kind {
 	case gas.ReduceUnion:
 		// Every row is fully overwritten, so the unzeroed buffer is safe.
@@ -132,7 +149,15 @@ func vectorizeAggregate(kind gas.ReduceKind, dim, n int, payload func(i int) ([]
 			copy(mm.Row(i), p)
 		}
 		a.Messages = mm
-		a.Dst = make([]int32, n) // all rows aggregate into local row 0
+		// All rows aggregate into local row 0.
+		if cap(a.Dst) < n {
+			a.Dst = make([]int32, n)
+		} else {
+			a.Dst = a.Dst[:n]
+			for i := range a.Dst {
+				a.Dst[i] = 0
+			}
+		}
 	case gas.ReduceSum, gas.ReduceMean:
 		pooled := pool.Get(1, dim)
 		sum := pooled.Row(0)
@@ -151,7 +176,7 @@ func vectorizeAggregate(kind gas.ReduceKind, dim, n int, payload func(i int) ([]
 			}
 		}
 		a.Pooled = pooled
-		a.Counts = []int32{count}
+		a.Counts = append(a.Counts, count)
 	case gas.ReduceMax, gas.ReduceMin:
 		pooled := pool.Get(1, dim)
 		acc := pooled.Row(0)

@@ -28,10 +28,14 @@ type gnnMsg struct {
 	Payload []float32
 }
 
-// combineMsgs is the Pregel combiner implementing partial-gather: messages
-// for the same destination merge on the sender side when the consuming
-// layer's reduce is commutative/associative. Union messages (GAT) and
-// broadcast refs decline.
+// combineMsgs is the boxed-plane Pregel combiner implementing
+// partial-gather: messages for the same destination merge on the sender
+// side when the consuming layer's reduce is commutative/associative. Union
+// messages (GAT) and broadcast refs decline. The first merge copies a's
+// payload (a view of the sending vertex's state, which must not be mutated)
+// into an accumulator the combiner owns — marked by Src == -1, so every
+// later merge for the same destination accumulates in place instead of
+// allocating a fresh payload.
 func combineMsgs(a, b gnnMsg) (gnnMsg, bool) {
 	if a.Kind != msgState || b.Kind != msgState || a.Reduce != b.Reduce {
 		return a, false
@@ -40,25 +44,69 @@ func combineMsgs(a, b gnnMsg) (gnnMsg, bool) {
 	if !kind.Commutative() {
 		return a, false
 	}
-	out := gnnMsg{Kind: msgState, Reduce: a.Reduce, Src: -1, Count: a.Count + b.Count,
-		Payload: make([]float32, len(a.Payload))}
+	acc := a.Payload
+	if a.Src != -1 {
+		acc = make([]float32, len(a.Payload))
+		copy(acc, a.Payload)
+	}
 	switch kind {
 	case gas.ReduceSum, gas.ReduceMean:
-		for i := range out.Payload {
-			out.Payload[i] = a.Payload[i] + b.Payload[i]
+		for i, v := range b.Payload {
+			acc[i] += v
 		}
 	case gas.ReduceMax:
-		for i := range out.Payload {
-			out.Payload[i] = max32(a.Payload[i], b.Payload[i])
+		for i, v := range b.Payload {
+			acc[i] = max32(acc[i], v)
 		}
 	case gas.ReduceMin:
-		for i := range out.Payload {
-			out.Payload[i] = min32(a.Payload[i], b.Payload[i])
+		for i, v := range b.Payload {
+			acc[i] = min32(acc[i], v)
 		}
 	default:
 		return a, false
 	}
-	return out, true
+	return gnnMsg{Kind: msgState, Reduce: a.Reduce, Src: -1, Count: a.Count + b.Count, Payload: acc}, true
+}
+
+// Columnar kind tags: the engine's opaque kind byte carries the message
+// kind in the low 2 bits and the reduce annotation above them, so the
+// engine's same-tag gate before combining already implies "both are state
+// messages consumed by the same reduce".
+func colTag(kind, reduce uint8) uint8 { return kind | reduce<<2 }
+
+// combineColumnar is the columnar-plane partial-gather combiner: it
+// accumulates pay into the arena row acc in place — no allocation on any
+// merge. The engine only calls it for equal tags and payload lengths.
+func combineColumnar(tag uint8, acc, pay []float32, accCount, payCount int32) (int32, bool) {
+	if tag&3 != msgState {
+		return 0, false
+	}
+	switch gas.ReduceKind(tag >> 2) {
+	case gas.ReduceSum, gas.ReduceMean:
+		for i, v := range pay {
+			acc[i] += v
+		}
+	case gas.ReduceMax:
+		for i, v := range pay {
+			acc[i] = max32(acc[i], v)
+		}
+	case gas.ReduceMin:
+		for i, v := range pay {
+			acc[i] = min32(acc[i], v)
+		}
+	default: // union is not commutative; refs never carry payloads to merge
+		return 0, false
+	}
+	return accCount + payCount, true
+}
+
+// columnarBytes prices a columnar message from its tag and arena extent,
+// matching the boxed MessageBytes exactly so IO stats are plane-invariant.
+func columnarBytes(tag uint8, payloadLen int) int {
+	if tag&3 == msgBCRef {
+		return refBytes
+	}
+	return payloadBytes(payloadLen)
 }
 
 func max32(a, b float32) float32 {
@@ -84,21 +132,57 @@ type vtxValue struct {
 }
 
 // pregelDriver is the vertex program executing a gas.Model layer-by-layer.
+// It runs on the engine's columnar message plane by default — payload rows
+// in recycled arenas instead of boxed gnnMsg values — and keeps the boxed
+// path alive behind Options.BoxedMessages for comparison benchmarks and the
+// plane-equivalence tests.
 type pregelDriver struct {
 	model     *gas.Model
 	sg        *ShadowGraph
 	opts      Options
 	threshold int
 	part      *graph.Partitioner
+	columnar  bool
 
 	// Per-worker scratch (indexed by worker id; each worker touches only
 	// its own slot, so parallel execution is race-free).
 	bcTables []map[int32][]float32
 	bcStep   []int
 	bcHubs   []int64
+	bcSeen   [][]bool // destination-worker dedup scratch for broadcast hubs
+	// Per-worker reusable aggregate and matrix headers: the per-vertex
+	// gather/apply path wraps existing float slices thousands of times per
+	// superstep, so the wrappers live here instead of on the heap.
+	aggrs     []gas.Aggregated
+	stateMats []tensor.Matrix
+	efMats    []tensor.Matrix
 	// Per-worker buffer pools: the per-vertex aggregate and apply_node
 	// scratch recycles here instead of allocating every superstep.
 	pools []*tensor.Pool
+}
+
+// stateMat wraps h as a 1×len(h) matrix in worker w's reusable header. The
+// view is only valid until the worker's next stateMat call; no callee on
+// the apply_node/apply_edge path retains its matrix arguments.
+func (d *pregelDriver) stateMat(w int, h []float32) *tensor.Matrix {
+	m := &d.stateMats[w]
+	m.Rows, m.Cols, m.Data = 1, len(h), h
+	return m
+}
+
+// seenScratch returns worker w's cleared destination-worker scratch,
+// replacing the per-hub-vertex allocation of the seed scatter.
+func (d *pregelDriver) seenScratch(w int) []bool {
+	s := d.bcSeen[w]
+	if s == nil {
+		s = make([]bool, d.opts.NumWorkers)
+		d.bcSeen[w] = s
+	} else {
+		for i := range s {
+			s[i] = false
+		}
+	}
+	return s
 }
 
 // Compute implements pregel.VertexProgram: superstep 0 initializes and
@@ -121,15 +205,24 @@ func (d *pregelDriver) Compute(ctx *pregel.Context[vtxValue, gnnMsg], msgs []gnn
 		ctx.Value.emb = ctx.Value.h // penultimate state, about to be replaced
 	}
 	pool := d.pools[ctx.WorkerID()]
-	state := tensor.FromSlice(1, len(ctx.Value.h), ctx.Value.h)
-	aggr := d.gatherStage(ctx, layer, msgs, pool)
+	state := d.stateMat(ctx.WorkerID(), ctx.Value.h)
+	var aggr *gas.Aggregated
+	var received int
+	if d.columnar {
+		in := ctx.ColumnarInbox()
+		received = in.Len()
+		aggr = d.gatherColumnar(ctx, layer, in, pool)
+	} else {
+		received = len(msgs)
+		aggr = d.gatherStage(ctx, layer, msgs, pool)
+	}
 	out := gas.ApplyNodePooled(layer, state, aggr, pool)
 	next := make([]float32, out.Cols)
 	copy(next, out.Row(0))
 	ctx.Value.h = next
 	pool.Put(out)
 	releaseAggregated(pool, aggr)
-	ctx.AddCost(layerNodeFlops(layer) + int64(len(msgs))*layerMsgFlops(layer))
+	ctx.AddCost(layerNodeFlops(layer) + int64(received)*layerMsgFlops(layer))
 
 	if k == numLayers {
 		// Last superstep: the prediction slice of the model is attached
@@ -163,8 +256,31 @@ func (d *pregelDriver) gatherStage(ctx *pregel.Context[vtxValue, gnnMsg], layer 
 		}
 	}
 
-	return vectorizeAggregate(layer.Reduce(), dim, len(msgs), func(i int) ([]float32, int32) {
+	return vectorizeAggregateInto(&d.aggrs[ctx.WorkerID()], layer.Reduce(), dim, len(msgs), func(i int) ([]float32, int32) {
 		return resolve(msgs[i])
+	}, pool)
+}
+
+// gatherColumnar is gatherStage for the columnar plane: message fields are
+// read straight out of the inbox's column views (payloads are arena
+// extents, never re-boxed), with broadcast references resolved through the
+// worker table.
+func (d *pregelDriver) gatherColumnar(ctx *pregel.Context[vtxValue, gnnMsg], layer gas.Conv, in pregel.Batch, pool *tensor.Pool) *gas.Aggregated {
+	table := d.workerTableColumnar(ctx)
+	dim := layer.InDim()
+	return vectorizeAggregateInto(&d.aggrs[ctx.WorkerID()], layer.Reduce(), dim, in.Len(), func(i int) ([]float32, int32) {
+		switch in.Kinds[i] & 3 {
+		case msgState:
+			return in.Payloads[i], in.Counts[i]
+		case msgBCRef:
+			p, ok := table[in.Srcs[i]]
+			if !ok {
+				panic(fmt.Sprintf("inference: broadcast payload for node %d missing on worker %d", in.Srcs[i], ctx.WorkerID()))
+			}
+			return p, 1
+		default:
+			panic(fmt.Sprintf("inference: unexpected message kind %d at vertex", in.Kinds[i]&3))
+		}
 	}, pool)
 }
 
@@ -172,7 +288,7 @@ func (d *pregelDriver) gatherStage(ctx *pregel.Context[vtxValue, gnnMsg], layer 
 // current superstep from its mailbox.
 func (d *pregelDriver) workerTable(ctx *pregel.Context[vtxValue, gnnMsg]) map[int32][]float32 {
 	w := ctx.WorkerID()
-	if d.bcStep[w] == ctx.Superstep && d.bcTables[w] != nil {
+	if d.bcStep[w] == ctx.ExecSeq() && d.bcTables[w] != nil {
 		return d.bcTables[w]
 	}
 	t := map[int32][]float32{}
@@ -182,13 +298,47 @@ func (d *pregelDriver) workerTable(ctx *pregel.Context[vtxValue, gnnMsg]) map[in
 		}
 	}
 	d.bcTables[w] = t
-	d.bcStep[w] = ctx.Superstep
+	d.bcStep[w] = ctx.ExecSeq()
 	return t
 }
 
-// scatter is apply_edge + scatter_nbrs for the messages consumed by layer
+// workerTableColumnar is workerTable over the columnar mailbox. The table
+// holds zero-copy payload views and is allocated at most once per worker —
+// later supersteps clear and refill it — and never at all on supersteps
+// without broadcast mail (lookups on the nil map simply miss). Both caches
+// key on ExecSeq, not Superstep: a checkpoint-recovery replay revisits
+// superstep numbers with rebuilt mailboxes, and for the columnar table the
+// pre-failure views would point into recycled arenas.
+func (d *pregelDriver) workerTableColumnar(ctx *pregel.Context[vtxValue, gnnMsg]) map[int32][]float32 {
+	w := ctx.WorkerID()
+	if d.bcStep[w] == ctx.ExecSeq() {
+		return d.bcTables[w]
+	}
+	mail := ctx.ColumnarWorkerMail()
+	t := d.bcTables[w]
+	clear(t)
+	for i := 0; i < mail.Len(); i++ {
+		if mail.Kinds[i]&3 == msgBCPayload {
+			if t == nil {
+				t = map[int32][]float32{}
+			}
+			t[mail.Srcs[i]] = mail.Payloads[i]
+		}
+	}
+	d.bcTables[w] = t
+	d.bcStep[w] = ctx.ExecSeq()
+	return t
+}
+
+// scatter is apply_edge + scatter_nbrs for the messages consumed by
 // sendLayer = Layers[k] in the next superstep, applying the broadcast
-// strategy for eligible hub nodes.
+// strategy for eligible hub nodes. The strategy logic (degree scaling, hub
+// decision, destination-worker dedup, per-edge apply_edge with pooled
+// results) is plane-independent; only the final send differs. On the
+// columnar plane every send copies its payload into the arena, so source
+// buffers stay reusable; on the boxed plane identity payloads are shared
+// (the combiner copies before mutating) and edge-dependent payloads are
+// copied out because the boxed message owns its slice across the superstep.
 func (d *pregelDriver) scatter(ctx *pregel.Context[vtxValue, gnnMsg], k int) {
 	sendLayer := d.model.Layers[k]
 	h := ctx.Value.h
@@ -198,50 +348,82 @@ func (d *pregelDriver) scatter(ctx *pregel.Context[vtxValue, gnnMsg], k int) {
 		// node's out-degree so shadow-nodes stays result-neutral.
 		h = ms.ScaleMessage(h, int(d.sg.OrigOutDeg[ctx.ID]))
 	}
+	reduce := uint8(sendLayer.Reduce())
 
 	if d.opts.Broadcast && sendLayer.BroadcastSafe() && len(dsts) > d.threshold {
 		d.bcHubs[ctx.WorkerID()]++
 		// One payload per destination worker...
-		seen := make([]bool, ctx.NumWorkers())
+		seen := d.seenScratch(ctx.WorkerID())
 		for _, dst := range dsts {
 			seen[d.part.WorkerFor(dst)] = true
 		}
 		for w, ok := range seen {
-			if ok {
+			if !ok {
+				continue
+			}
+			if d.columnar {
+				ctx.SendColumnarToWorker(w, colTag(msgBCPayload, 0), ctx.ID, 0, h)
+			} else {
 				ctx.SendToWorker(w, gnnMsg{Kind: msgBCPayload, Src: ctx.ID, Payload: h})
 			}
 		}
-		// ...and a lightweight reference along every out-edge.
-		ref := gnnMsg{Kind: msgBCRef, Src: ctx.ID, Reduce: uint8(sendLayer.Reduce())}
+		// ...and a lightweight, payload-free reference along every out-edge.
+		refTag := colTag(msgBCRef, reduce)
+		ref := gnnMsg{Kind: msgBCRef, Src: ctx.ID, Reduce: reduce}
 		for _, dst := range dsts {
-			ctx.SendMessage(dst, ref)
+			if d.columnar {
+				ctx.SendColumnar(dst, refTag, ctx.ID, 0, nil)
+			} else {
+				ctx.SendMessage(dst, ref)
+			}
 		}
 		return
 	}
 
-	reduce := uint8(sendLayer.Reduce())
 	if sendLayer.BroadcastSafe() {
-		// apply_edge is the identity: one shared payload for all out-edges
-		// (the combiner copies before mutating, so sharing is safe).
+		// apply_edge is the identity: the vertex state is the payload for
+		// every out-edge.
+		tag := colTag(msgState, reduce)
 		m := gnnMsg{Kind: msgState, Reduce: reduce, Src: ctx.ID, Count: 1, Payload: h}
 		for _, dst := range dsts {
-			ctx.SendMessage(dst, m)
+			if d.columnar {
+				ctx.SendColumnar(dst, tag, ctx.ID, 1, h)
+			} else {
+				ctx.SendMessage(dst, m)
+			}
 		}
 		return
 	}
-	// Edge-dependent messages: run apply_edge per out-edge.
-	state := tensor.FromSlice(1, len(h), h)
+	// Edge-dependent messages: run apply_edge per out-edge. The result is
+	// pool-drawn and recycled as soon as the plane has its copy.
+	state := d.stateMat(ctx.WorkerID(), h)
+	pool := d.pools[ctx.WorkerID()]
+	tag := colTag(msgState, reduce)
 	for i, dst := range dsts {
 		var ef *tensor.Matrix
 		if d.sg.G.EdgeFeatures != nil {
-			row := d.sg.G.EdgeFeatures.Row(int(eids[i]))
-			ef = tensor.FromSlice(1, len(row), row)
+			ef = d.edgeMat(ctx.WorkerID(), int(eids[i]))
 		}
-		payload := sendLayer.ApplyEdge(state, ef)
-		out := make([]float32, payload.Cols)
-		copy(out, payload.Row(0))
-		ctx.SendMessage(dst, gnnMsg{Kind: msgState, Reduce: reduce, Src: ctx.ID, Count: 1, Payload: out})
+		payload := gas.ApplyEdgePooled(sendLayer, state, ef, pool)
+		if d.columnar {
+			ctx.SendColumnar(dst, tag, ctx.ID, 1, payload.Row(0))
+		} else {
+			out := make([]float32, payload.Cols)
+			copy(out, payload.Row(0))
+			ctx.SendMessage(dst, gnnMsg{Kind: msgState, Reduce: reduce, Src: ctx.ID, Count: 1, Payload: out})
+		}
+		if payload != state {
+			pool.Put(payload)
+		}
 	}
+}
+
+// edgeMat wraps edge eid's feature row in worker w's reusable header.
+func (d *pregelDriver) edgeMat(w, eid int) *tensor.Matrix {
+	row := d.sg.G.EdgeFeatures.Row(eid)
+	m := &d.efMats[w]
+	m.Rows, m.Cols, m.Data = 1, len(row), row
+	return m
 }
 
 // RunPregel executes full-graph inference of model over g on the Pregel
@@ -265,9 +447,14 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 		opts:      opts,
 		threshold: threshold,
 		part:      graph.NewPartitioner(opts.NumWorkers),
+		columnar:  !opts.BoxedMessages,
 		bcTables:  make([]map[int32][]float32, opts.NumWorkers),
 		bcStep:    make([]int, opts.NumWorkers),
 		bcHubs:    make([]int64, opts.NumWorkers),
+		bcSeen:    make([][]bool, opts.NumWorkers),
+		aggrs:     make([]gas.Aggregated, opts.NumWorkers),
+		stateMats: make([]tensor.Matrix, opts.NumWorkers),
+		efMats:    make([]tensor.Matrix, opts.NumWorkers),
 		pools:     make([]*tensor.Pool, opts.NumWorkers),
 	}
 	for i := range driver.bcStep {
@@ -279,15 +466,23 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 		NumWorkers:    opts.NumWorkers,
 		MaxSupersteps: model.NumLayers() + 1,
 		Parallel:      opts.Parallel,
-		MessageBytes: func(m gnnMsg) int {
+	}
+	if driver.columnar {
+		ops := &pregel.ColumnarOps{Bytes: columnarBytes}
+		if opts.PartialGather {
+			ops.Combine = combineColumnar
+		}
+		cfg.Columnar = ops
+	} else {
+		cfg.MessageBytes = func(m gnnMsg) int {
 			if m.Kind == msgBCRef {
 				return refBytes
 			}
 			return payloadBytes(len(m.Payload))
-		},
-	}
-	if opts.PartialGather {
-		cfg.Combiner = combineMsgs
+		}
+		if opts.PartialGather {
+			cfg.Combiner = combineMsgs
+		}
 	}
 
 	eng := pregel.NewEngine[vtxValue, gnnMsg](pregel.GraphTopology{G: sg.G}, driver, cfg)

@@ -10,6 +10,17 @@
 // aggregators (the hook broadcast uses), deterministic message delivery, and
 // per-worker, per-superstep traffic/compute accounting that feeds the
 // cluster cost model.
+//
+// Messages travel over one of two planes. The boxed plane carries M values
+// (the classic Pregel API: SendMessage / Compute's msgs slice). The
+// columnar plane (Config.Columnar, see columnar.go) carries fixed-header
+// messages with payloads packed into recycled []float32 arenas — the
+// allocation-free fast path the GNN driver uses. Both planes share the same
+// barrier: a two-pass counting sort builds per-receiver CSR inboxes, with
+// delivery parallelized across receiving workers. Each receiver owns a
+// disjoint vertex range and drains sender buffers in worker-id order, so
+// per-destination message order — and therefore results — is identical at
+// any worker count, parallel or not.
 package pregel
 
 import (
@@ -46,6 +57,9 @@ func (t GraphTopology) OutEdges(v int32) (dsts, eids []int32) {
 
 // VertexProgram is the user computation. Compute runs once per active vertex
 // per superstep; at superstep 0 msgs is empty (the initialization step).
+// msgs (and the *Context) are only valid for the duration of the call: the
+// engine recycles message storage across supersteps, so programs that need a
+// message beyond their Compute invocation must copy it.
 type VertexProgram[V, M any] interface {
 	Compute(ctx *Context[V, M], msgs []M)
 }
@@ -58,18 +72,26 @@ type Config[M any] struct {
 	// destination vertex on the sender side before transmission — Pregel's
 	// combining, the mechanism behind the paper's partial-gather. Returning
 	// false declines the merge (e.g. union-aggregated GAT messages), leaving
-	// both messages to be delivered individually.
+	// both messages to be delivered individually. Ignored in columnar mode
+	// (use Columnar.Combine).
 	Combiner func(a, b M) (M, bool)
 	// MessageBytes estimates the wire size of a message for the IO
-	// accounting. Defaults to a constant 64 bytes when nil.
+	// accounting. Defaults to a constant 64 bytes when nil. Ignored in
+	// columnar mode (use Columnar.Bytes).
 	MessageBytes func(M) int
-	// Parallel executes workers on goroutines. Delivery order stays
-	// deterministic either way.
+	// Columnar, when non-nil, switches the engine onto the columnar message
+	// plane: programs send payload rows instead of boxed M values and read
+	// them back as zero-copy Batch views. See ColumnarOps.
+	Columnar *ColumnarOps
+	// Parallel executes workers on goroutines — both the compute phase and
+	// the barrier's delivery (receivers own disjoint inboxes). Delivery
+	// order stays deterministic either way.
 	Parallel bool
 	// CheckpointEvery snapshots engine state every n supersteps (0 = off),
 	// enabling recovery after a worker failure. Vertex programs must
 	// replace, not mutate, their value contents for snapshots to be sound
-	// (both bundled algorithms and the GNN driver do).
+	// (both bundled algorithms and the GNN driver do). In-flight message
+	// payloads need no such discipline: snapshots deep-copy the live arenas.
 	CheckpointEvery int
 	// FailAtSuperstep injects one simulated worker crash at the given
 	// superstep (> 0; the zero value disables injection): that superstep's
@@ -92,14 +114,16 @@ type StepMetrics struct {
 }
 
 // Context is handed to Compute; it exposes the vertex, its mutable value,
-// messaging, aggregators and cost accounting.
+// messaging, aggregators and cost accounting. The engine reuses one Context
+// per worker across vertices, so programs must not retain it past Compute.
 type Context[V, M any] struct {
 	worker    *worker[V, M]
 	ID        int32
 	Superstep int
 	Value     *V
 
-	halted bool
+	inLo, inHi int32 // columnar inbox bounds for this vertex
+	halted     bool
 }
 
 // NumWorkers returns the configured worker count.
@@ -117,16 +141,63 @@ func (c *Context[V, M]) OutEdges() (dsts, eids []int32) {
 func (c *Context[V, M]) OutDegree() int { return c.worker.engine.topo.OutDegree(c.ID) }
 
 // SendMessage routes m to vertex dst for the next superstep, applying the
-// sender-side combiner when configured.
+// sender-side combiner when configured. Boxed plane only.
 func (c *Context[V, M]) SendMessage(dst int32, m M) {
 	c.worker.send(dst, m)
 }
 
 // SendToWorker routes m to a synthetic per-worker mailbox (vertex -1-w on
 // worker w); used by strategies that address workers rather than vertices.
+// Boxed plane only.
 func (c *Context[V, M]) SendToWorker(w int, m M) {
 	c.worker.sendToWorker(w, m)
 }
+
+// SendColumnar routes a columnar message to vertex dst for the next
+// superstep: kind is an opaque tag (also the combiner's merge gate), src and
+// count ride in header columns, and payload is copied into the send arena —
+// the caller's slice is not retained and may be reused immediately.
+// Columnar plane only.
+func (c *Context[V, M]) SendColumnar(dst int32, kind uint8, src, count int32, payload []float32) {
+	c.worker.sendColumnar(dst, kind, src, count, payload)
+}
+
+// SendColumnarToWorker routes a columnar message to worker w's mailbox
+// (read back via ColumnarWorkerMail). Columnar plane only.
+func (c *Context[V, M]) SendColumnarToWorker(w int, kind uint8, src, count int32, payload []float32) {
+	c.worker.sendColumnarToWorker(w, kind, src, count, payload)
+}
+
+// ColumnarInbox returns the columnar messages addressed to this vertex for
+// the current superstep. The view (including payloads) is only valid during
+// Compute. Columnar plane only.
+func (c *Context[V, M]) ColumnarInbox() Batch {
+	e := c.worker.engine
+	if !e.columnar {
+		panic("pregel: ColumnarInbox on the boxed plane")
+	}
+	return e.colIn[c.worker.id].cols.batch(c.inLo, c.inHi)
+}
+
+// ColumnarWorkerMail returns the columnar messages addressed to this worker
+// (via SendColumnarToWorker) during the previous superstep. The view is
+// shared by every vertex the worker computes this superstep; callers must
+// not mutate it. Columnar plane only.
+func (c *Context[V, M]) ColumnarWorkerMail() Batch {
+	e := c.worker.engine
+	if !e.columnar {
+		panic("pregel: ColumnarWorkerMail on the boxed plane")
+	}
+	m := &e.colMail[c.worker.id]
+	return m.batch(0, int32(len(m.kinds)))
+}
+
+// ExecSeq returns the count of supersteps the engine has executed so far,
+// including checkpoint-recovery replays. Unlike Superstep it never repeats,
+// so it is the correct key for any per-superstep cache of zero-copy views:
+// a replayed superstep carries the same Superstep number as its original
+// execution but rebuilt inboxes and mailboxes.
+func (c *Context[V, M]) ExecSeq() int { return c.worker.engine.executed }
 
 // VoteToHalt deactivates the vertex until a message arrives for it.
 func (c *Context[V, M]) VoteToHalt() { c.halted = true }
@@ -134,7 +205,8 @@ func (c *Context[V, M]) VoteToHalt() { c.halted = true }
 // WorkerMail returns the messages addressed to this worker (via
 // SendToWorker) during the previous superstep. The slice is shared by every
 // vertex the worker computes this superstep; callers must not mutate it.
-func (c *Context[V, M]) WorkerMail() []M { return c.worker.workerInbox }
+// Boxed plane only.
+func (c *Context[V, M]) WorkerMail() []M { return c.worker.engine.boxMail[c.worker.id] }
 
 // AddCost charges user-defined compute units (e.g. flops) to this worker's
 // current superstep, feeding the cluster cost model.
@@ -152,12 +224,19 @@ func (c *Context[V, M]) AggregatorGet(key string) ([]float32, bool) {
 	return v, ok
 }
 
-// pending is a sender-side buffer of messages for one destination worker.
+// pending is a boxed sender-side buffer of messages for one destination
+// worker, recycled across supersteps by truncation.
 type pending[M any] struct {
 	dsts []int32
 	msgs []M
-	// index into dsts/msgs per destination vertex while combining
-	byDst map[int32]int
+}
+
+// boxInbox is one receiver's CSR inbox on the boxed plane: vertex with local
+// index li holds msgs[off[li] : off[li+1]].
+type boxInbox[M any] struct {
+	off  []int32 // len ownedCount+1
+	next []int32 // scatter cursors, len ownedCount
+	msgs []M
 }
 
 type worker[V, M any] struct {
@@ -165,26 +244,44 @@ type worker[V, M any] struct {
 	id     int
 	verts  []int32 // owned vertex ids
 
-	out []pending[M] // one per destination worker
+	out []pending[M] // boxed send buffers, one per destination worker
 
-	workerInbox []M // messages sent via SendToWorker
+	// Dense sender-side combiner index replacing the per-superstep
+	// map[int32]int: lastSeen[dst] is the buffer index of the first message
+	// this worker sent to dst in the current superstep, valid iff
+	// seenStamp[dst] == stamp. stamp increments each superstep, so no
+	// clearing pass is needed. Allocated only when a combiner is configured.
+	// Footprint is a deliberate trade: 8 bytes x NumVertices per worker
+	// buys branch-free O(1) lookups on the per-message hot path; in the
+	// distributed deployment this simulates, each worker is a separate
+	// machine and the seed's maps cost more than the dense array there.
+	lastSeen  []int32
+	seenStamp []uint32
+	stamp     uint32
 
+	m        *StepMetrics // this worker's metrics entry for the current superstep
 	stepCost int64
 	aggLocal map[string][]float32
 }
 
 func (w *worker[V, M]) send(dst int32, m M) {
-	dw := w.engine.part.WorkerFor(dst)
+	e := w.engine
+	if e.columnar {
+		panic("pregel: SendMessage on the columnar plane")
+	}
+	dw := e.part.WorkerFor(dst)
 	p := &w.out[dw]
-	if w.engine.cfg.Combiner != nil {
-		if i, ok := p.byDst[dst]; ok {
-			if merged, ok := w.engine.cfg.Combiner(p.msgs[i], m); ok {
+	if e.cfg.Combiner != nil {
+		if w.seenStamp[dst] == w.stamp {
+			i := w.lastSeen[dst]
+			if merged, ok := e.cfg.Combiner(p.msgs[i], m); ok {
 				p.msgs[i] = merged
-				w.engine.metrics[len(w.engine.metrics)-1][w.id].CombinedAway++
+				w.m.CombinedAway++
 				return
 			}
 		} else {
-			p.byDst[dst] = len(p.dsts)
+			w.seenStamp[dst] = w.stamp
+			w.lastSeen[dst] = int32(len(p.dsts))
 		}
 	}
 	p.dsts = append(p.dsts, dst)
@@ -192,9 +289,47 @@ func (w *worker[V, M]) send(dst int32, m M) {
 }
 
 func (w *worker[V, M]) sendToWorker(dw int, m M) {
+	if w.engine.columnar {
+		panic("pregel: SendToWorker on the columnar plane")
+	}
 	p := &w.out[dw]
 	p.dsts = append(p.dsts, -1)
 	p.msgs = append(p.msgs, m)
+}
+
+func (w *worker[V, M]) sendColumnar(dst int32, kind uint8, src, count int32, pay []float32) {
+	e := w.engine
+	if !e.columnar {
+		panic("pregel: SendColumnar on the boxed plane")
+	}
+	dw := e.part.WorkerFor(dst)
+	b := e.colCur[w.id][dw]
+	if e.colCombine != nil {
+		if w.seenStamp[dst] == w.stamp {
+			i := w.lastSeen[dst]
+			if b.kinds[i] == kind && int(b.lens[i]) == len(pay) {
+				acc := b.arena[b.offs[i] : b.offs[i]+len(pay)]
+				if merged, ok := e.colCombine(kind, acc, pay, b.counts[i], count); ok {
+					b.counts[i] = merged
+					b.srcs[i] = -1 // a merged row no longer has a single source
+					w.m.CombinedAway++
+					return
+				}
+			}
+		} else {
+			w.seenStamp[dst] = w.stamp
+			w.lastSeen[dst] = int32(len(b.dsts))
+		}
+	}
+	b.add(dst, kind, src, count, pay)
+}
+
+func (w *worker[V, M]) sendColumnarToWorker(dw int, kind uint8, src, count int32, pay []float32) {
+	e := w.engine
+	if !e.columnar {
+		panic("pregel: SendColumnarToWorker on the boxed plane")
+	}
+	e.colCur[w.id][dw].add(-1, kind, src, count, pay)
 }
 
 func (w *worker[V, M]) aggPut(key string, value []float32) {
@@ -215,29 +350,63 @@ type Engine[V, M any] struct {
 	active  []bool
 	workers []*worker[V, M]
 
-	// inbox[v] holds messages for vertex v in the upcoming superstep;
-	// workerInbox[w] holds worker-addressed messages.
-	inbox       [][]M
-	workerInbox [][]M
+	// localIdx[v] caches part.LocalIndex(v) (the dense per-receiver inbox
+	// slot), replacing two integer divisions per delivered message in the
+	// barrier's counting sort with a table read.
+	localIdx []int32
+
+	columnar   bool
+	colCombine func(kind uint8, acc, pay []float32, accCount, payCount int32) (int32, bool)
+	colBytes   func(kind uint8, payloadLen int) int
+
+	// Boxed plane: per-receiver CSR inboxes and worker mailboxes.
+	boxIn   []boxInbox[M]
+	boxMail [][]M
+
+	// Columnar plane: per-receiver inboxes/mailboxes plus the send-buffer
+	// generations. colCur[s][r] is filled by sender s during the current
+	// superstep; colLive holds the previous generation, whose arenas back
+	// the current inbox views, and recycles into colFree at the barrier.
+	colIn   []colInbox
+	colMail []colCols
+	colCur  [][]*colBuf
+	colLive [][]*colBuf
+	colFree bufPool
+
+	inTotal   int // vertex-addressed messages awaiting the next superstep
+	mailTotal int // worker-addressed messages awaiting the next superstep
 
 	aggPrev map[string][]float32
 
 	metrics    [][]StepMetrics // one entry per executed superstep (replays add entries)
 	supersteps int
+	executed   int // total supersteps executed, never rolled back by recovery
 
 	checkpoint *snapshot[V, M]
 	recoveries int
 	failArmed  bool
 }
 
-// snapshot is a recovery point: everything the next superstep reads.
+// snapshot is a recovery point: everything the next superstep reads. All
+// fields are deep copies (payloads included — see columnar.go) and are
+// never written after capture.
 type snapshot[V, M any] struct {
-	step        int
-	values      []V
-	active      []bool
-	inbox       [][]M
-	workerInbox [][]M
-	aggPrev     map[string][]float32
+	step    int
+	values  []V
+	active  []bool
+	aggPrev map[string][]float32
+
+	inTotal   int
+	mailTotal int
+
+	// boxed plane
+	boxOff  [][]int32
+	boxMsgs [][]M
+	boxMail [][]M
+
+	// columnar plane
+	colIn   []colSnap
+	colMail []colSnap
 }
 
 // NewEngine constructs an engine; Run executes it.
@@ -252,10 +421,11 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 		cfg.MessageBytes = func(M) int { return 64 }
 	}
 	e := &Engine[V, M]{
-		topo: topo,
-		prog: prog,
-		cfg:  cfg,
-		part: graph.NewPartitioner(cfg.NumWorkers),
+		topo:     topo,
+		prog:     prog,
+		cfg:      cfg,
+		part:     graph.NewPartitioner(cfg.NumWorkers),
+		columnar: cfg.Columnar != nil,
 	}
 	n := topo.NumVertices()
 	e.values = make([]V, n)
@@ -263,10 +433,49 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 	for i := range e.active {
 		e.active[i] = true
 	}
-	e.inbox = make([][]M, n)
-	e.workerInbox = make([][]M, cfg.NumWorkers)
-	for w := 0; w < cfg.NumWorkers; w++ {
+	e.localIdx = make([]int32, n)
+	for v := range e.localIdx {
+		e.localIdx[v] = int32(e.part.LocalIndex(int32(v)))
+	}
+	nw := cfg.NumWorkers
+	combining := false
+	if e.columnar {
+		e.colCombine = cfg.Columnar.Combine
+		e.colBytes = cfg.Columnar.Bytes
+		if e.colBytes == nil {
+			e.colBytes = func(_ uint8, payloadLen int) int { return 4*payloadLen + 16 }
+		}
+		combining = e.colCombine != nil
+		e.colIn = make([]colInbox, nw)
+		e.colMail = make([]colCols, nw)
+		e.colCur = make([][]*colBuf, nw)
+		e.colLive = make([][]*colBuf, nw)
+		for s := 0; s < nw; s++ {
+			e.colCur[s] = make([]*colBuf, nw)
+			e.colLive[s] = make([]*colBuf, nw)
+		}
+	} else {
+		combining = cfg.Combiner != nil
+		e.boxIn = make([]boxInbox[M], nw)
+		e.boxMail = make([][]M, nw)
+	}
+	for w := 0; w < nw; w++ {
 		wk := &worker[V, M]{engine: e, id: w, verts: e.part.NodesFor(w, n)}
+		if !e.columnar {
+			wk.out = make([]pending[M], nw)
+		}
+		if combining {
+			wk.lastSeen = make([]int32, n)
+			wk.seenStamp = make([]uint32, n)
+		}
+		owned := len(wk.verts)
+		if e.columnar {
+			e.colIn[w].off = make([]int32, owned+1)
+			e.colIn[w].next = make([]int32, owned)
+		} else {
+			e.boxIn[w].off = make([]int32, owned+1)
+			e.boxIn[w].next = make([]int32, owned)
+		}
 		e.workers = append(e.workers, wk)
 	}
 	return e
@@ -283,20 +492,19 @@ func (e *Engine[V, M]) Run() error {
 		e.takeCheckpoint(0) // superstep-0 inputs are always recoverable
 	}
 	for step := 0; step < e.cfg.MaxSupersteps; step++ {
-		anyActive := false
-		for v := range e.active {
-			if e.active[v] || len(e.inbox[v]) > 0 {
-				anyActive = true
-				break
+		// Delivery reactivates destinations, so in-flight vertex messages
+		// imply an active vertex; the explicit totals guard worker mail and
+		// keep the invariant local.
+		anyActive := e.inTotal > 0 || e.mailTotal > 0
+		if !anyActive {
+			for _, a := range e.active {
+				if a {
+					anyActive = true
+					break
+				}
 			}
 		}
-		anyWorkerMail := false
-		for _, ms := range e.workerInbox {
-			if len(ms) > 0 {
-				anyWorkerMail = true
-			}
-		}
-		if !anyActive && !anyWorkerMail {
+		if !anyActive {
 			return nil
 		}
 
@@ -327,17 +535,35 @@ func (e *Engine[V, M]) Run() error {
 func failConfigured[M any](cfg Config[M]) bool { return cfg.FailAtSuperstep > 0 }
 
 // takeCheckpoint snapshots everything the upcoming superstep consumes.
+// Message payloads are deep-copied out of the live arenas: by the time a
+// recovery replays, the arenas backing the current inbox views have been
+// recycled and overwritten.
 func (e *Engine[V, M]) takeCheckpoint(step int) {
-	cp := &snapshot[V, M]{step: step, aggPrev: e.aggPrev}
+	cp := &snapshot[V, M]{
+		step:      step,
+		aggPrev:   e.aggPrev,
+		inTotal:   e.inTotal,
+		mailTotal: e.mailTotal,
+	}
 	cp.values = append([]V(nil), e.values...)
 	cp.active = append([]bool(nil), e.active...)
-	cp.inbox = make([][]M, len(e.inbox))
-	for v := range e.inbox {
-		cp.inbox[v] = append([]M(nil), e.inbox[v]...)
-	}
-	cp.workerInbox = make([][]M, len(e.workerInbox))
-	for w := range e.workerInbox {
-		cp.workerInbox[w] = append([]M(nil), e.workerInbox[w]...)
+	nw := e.cfg.NumWorkers
+	if e.columnar {
+		cp.colIn = make([]colSnap, nw)
+		cp.colMail = make([]colSnap, nw)
+		for r := 0; r < nw; r++ {
+			cp.colIn[r] = snapCols(e.colIn[r].off, &e.colIn[r].cols)
+			cp.colMail[r] = snapCols(nil, &e.colMail[r])
+		}
+	} else {
+		cp.boxOff = make([][]int32, nw)
+		cp.boxMsgs = make([][]M, nw)
+		cp.boxMail = make([][]M, nw)
+		for r := 0; r < nw; r++ {
+			cp.boxOff[r] = append([]int32(nil), e.boxIn[r].off...)
+			cp.boxMsgs[r] = append([]M(nil), e.boxIn[r].msgs...)
+			cp.boxMail[r] = append([]M(nil), e.boxMail[r]...)
+		}
 	}
 	e.checkpoint = cp
 }
@@ -348,13 +574,31 @@ func (e *Engine[V, M]) restoreCheckpoint() {
 	cp := e.checkpoint
 	copy(e.values, cp.values)
 	copy(e.active, cp.active)
-	for v := range e.inbox {
-		e.inbox[v] = append([]M(nil), cp.inbox[v]...)
-	}
-	for w := range e.workerInbox {
-		e.workerInbox[w] = append([]M(nil), cp.workerInbox[w]...)
-	}
 	e.aggPrev = cp.aggPrev
+	e.inTotal = cp.inTotal
+	e.mailTotal = cp.mailTotal
+	nw := e.cfg.NumWorkers
+	if e.columnar {
+		for r := 0; r < nw; r++ {
+			restoreCols(e.colIn[r].off, &e.colIn[r].cols, cp.colIn[r])
+			restoreCols(nil, &e.colMail[r], cp.colMail[r])
+		}
+		// The inbox no longer references the live arenas; recycle them.
+		for s := 0; s < nw; s++ {
+			for r := 0; r < nw; r++ {
+				if e.colLive[s][r] != nil {
+					e.colFree.put(e.colLive[s][r])
+					e.colLive[s][r] = nil
+				}
+			}
+		}
+	} else {
+		for r := 0; r < nw; r++ {
+			copy(e.boxIn[r].off, cp.boxOff[r])
+			e.boxIn[r].msgs = append(e.boxIn[r].msgs[:0], cp.boxMsgs[r]...)
+			e.boxMail[r] = append(e.boxMail[r][:0], cp.boxMail[r]...)
+		}
+	}
 	if len(e.metrics) > cp.step {
 		e.metrics = e.metrics[:cp.step]
 	}
@@ -363,35 +607,142 @@ func (e *Engine[V, M]) restoreCheckpoint() {
 // Recoveries reports how many checkpoint recoveries the run performed.
 func (e *Engine[V, M]) Recoveries() int { return e.recoveries }
 
+// forEachWorker runs fn(i) for every worker index, on goroutines when the
+// engine is parallel. Callers guarantee fn(i) only touches state owned by
+// worker i (its metrics entry, its send buffers, its inbox, its vertices).
+func (e *Engine[V, M]) forEachWorker(fn func(i int)) {
+	if !e.cfg.Parallel || e.cfg.NumWorkers == 1 {
+		for i := range e.workers {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range e.workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 func (e *Engine[V, M]) runSuperstep(step int) {
 	e.supersteps = step + 1
+	e.executed++
 	stepMetrics := make([]StepMetrics, e.cfg.NumWorkers)
 	for w := range stepMetrics {
 		stepMetrics[w] = StepMetrics{Superstep: step, Worker: w}
 	}
 	e.metrics = append(e.metrics, stepMetrics)
 
+	nw := e.cfg.NumWorkers
 	for _, w := range e.workers {
-		w.out = make([]pending[M], e.cfg.NumWorkers)
-		if e.cfg.Combiner != nil {
-			for i := range w.out {
-				w.out[i].byDst = map[int32]int{}
-			}
-		}
+		w.m = &e.metrics[len(e.metrics)-1][w.id]
 		w.stepCost = 0
 		w.aggLocal = nil
-		w.workerInbox = e.workerInbox[w.id]
+		w.stamp++
+		if e.columnar {
+			for r := 0; r < nw; r++ {
+				e.colCur[w.id][r] = e.colFree.get(e.colLive[w.id][r])
+			}
+		} else {
+			for r := range w.out {
+				w.out[r].dsts = w.out[r].dsts[:0]
+				w.out[r].msgs = w.out[r].msgs[:0]
+			}
+		}
 	}
-	e.workerInbox = make([][]M, e.cfg.NumWorkers)
 
-	runWorker := func(w *worker[V, M]) {
-		m := &e.metrics[len(e.metrics)-1][w.id]
-		for _, ms := range w.workerInbox {
+	// Compute phase: every worker runs its owned vertices against the
+	// current inbox, sending into its own per-destination buffers.
+	e.forEachWorker(func(i int) { e.computeWorker(e.workers[i], step) })
+
+	// Barrier. Send-side accounting is parallel over senders (each writes
+	// its own metrics entry); delivery is parallel over receivers (each
+	// owns a disjoint inbox and drains sender buffers in worker-id order,
+	// keeping per-destination message order independent of scheduling).
+	e.forEachWorker(func(i int) { e.accountSent(i) })
+	if e.columnar {
+		e.forEachWorker(func(i int) { e.deliverColumnar(i) })
+	} else {
+		e.forEachWorker(func(i int) { e.deliverBoxed(i) })
+	}
+	inTotal, mailTotal := 0, 0
+	if e.columnar {
+		for r := 0; r < nw; r++ {
+			inTotal += len(e.colIn[r].cols.kinds)
+			mailTotal += len(e.colMail[r].kinds)
+		}
+	} else {
+		for r := 0; r < nw; r++ {
+			inTotal += len(e.boxIn[r].msgs)
+			mailTotal += len(e.boxMail[r])
+		}
+	}
+	e.inTotal, e.mailTotal = inTotal, mailTotal
+
+	// Merge aggregators serially in worker-id order (last writer wins, as
+	// in the seed engine).
+	agg := map[string][]float32{}
+	for _, w := range e.workers {
+		for k, v := range w.aggLocal {
+			agg[k] = v
+		}
+	}
+	e.aggPrev = agg
+
+	// Shift send-buffer generations: the buffers consumed by this
+	// superstep's compute recycle; the ones just filled back the new inbox
+	// views and stay live for one more superstep.
+	if e.columnar {
+		for s := 0; s < nw; s++ {
+			for r := 0; r < nw; r++ {
+				if e.colLive[s][r] != nil {
+					e.colFree.put(e.colLive[s][r])
+				}
+				e.colLive[s][r] = e.colCur[s][r]
+				e.colCur[s][r] = nil
+			}
+		}
+	}
+}
+
+// computeWorker runs one worker's compute phase for a superstep.
+func (e *Engine[V, M]) computeWorker(w *worker[V, M], step int) {
+	m := w.m
+	if e.columnar {
+		mail := &e.colMail[w.id]
+		for i := range mail.kinds {
+			m.MessagesReceived++
+			m.BytesReceived += int64(e.colBytes(mail.kinds[i], len(mail.pays[i])))
+		}
+		in := &e.colIn[w.id]
+		ctx := &Context[V, M]{worker: w, Superstep: step}
+		for li, v := range w.verts {
+			lo, hi := in.off[li], in.off[li+1]
+			if !e.active[v] && lo == hi {
+				continue
+			}
+			m.ActiveVertices++
+			m.MessagesReceived += int64(hi - lo)
+			for i := lo; i < hi; i++ {
+				m.BytesReceived += int64(e.colBytes(in.cols.kinds[i], len(in.cols.pays[i])))
+			}
+			ctx.ID, ctx.Value, ctx.inLo, ctx.inHi, ctx.halted = v, &e.values[v], lo, hi, false
+			e.prog.Compute(ctx, nil)
+			e.active[v] = !ctx.halted
+		}
+	} else {
+		for _, ms := range e.boxMail[w.id] {
 			m.MessagesReceived++
 			m.BytesReceived += int64(e.cfg.MessageBytes(ms))
 		}
-		for _, v := range w.verts {
-			msgs := e.inbox[v]
+		in := &e.boxIn[w.id]
+		ctx := &Context[V, M]{worker: w, Superstep: step}
+		for li, v := range w.verts {
+			msgs := in.msgs[in.off[li]:in.off[li+1]]
 			if !e.active[v] && len(msgs) == 0 {
 				continue
 			}
@@ -400,58 +751,137 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 			for _, one := range msgs {
 				m.BytesReceived += int64(e.cfg.MessageBytes(one))
 			}
-			ctx := &Context[V, M]{worker: w, ID: v, Superstep: step, Value: &e.values[v]}
+			ctx.ID, ctx.Value, ctx.halted = v, &e.values[v], false
 			e.prog.Compute(ctx, msgs)
 			e.active[v] = !ctx.halted
 		}
-		m.ComputeCost = w.stepCost
 	}
+	m.ComputeCost = w.stepCost
+}
 
-	if e.cfg.Parallel {
-		var wg sync.WaitGroup
-		for _, w := range e.workers {
-			wg.Add(1)
-			go func(w *worker[V, M]) {
-				defer wg.Done()
-				runWorker(w)
-			}(w)
-		}
-		wg.Wait()
-	} else {
-		for _, w := range e.workers {
-			runWorker(w)
-		}
-	}
-
-	// Barrier: clear inboxes, deliver pending messages deterministically in
-	// sender-worker order, merge aggregators.
-	for v := range e.inbox {
-		e.inbox[v] = nil
-	}
-	agg := map[string][]float32{}
-	for _, w := range e.workers {
-		m := &e.metrics[len(e.metrics)-1][w.id]
-		for dw := range w.out {
-			p := &w.out[dw]
-			for i, dst := range p.dsts {
-				bytes := int64(e.cfg.MessageBytes(p.msgs[i]))
-				m.MessagesSent++
-				m.BytesSent += bytes
-				if dst < 0 {
-					e.workerInbox[dw] = append(e.workerInbox[dw], p.msgs[i])
-					continue
-				}
-				e.inbox[dst] = append(e.inbox[dst], p.msgs[i])
-				// A message reactivates its destination.
-				e.active[dst] = e.active[dst] || true
+// accountSent charges sender s for every message (and its wire bytes) it
+// buffered this superstep. Bytes are measured on the post-combine buffers —
+// from the arena extents on the columnar plane.
+func (e *Engine[V, M]) accountSent(s int) {
+	w := e.workers[s]
+	m := w.m
+	if e.columnar {
+		for r := 0; r < e.cfg.NumWorkers; r++ {
+			b := e.colCur[s][r]
+			m.MessagesSent += int64(len(b.dsts))
+			for i := range b.dsts {
+				m.BytesSent += int64(e.colBytes(b.kinds[i], int(b.lens[i])))
 			}
 		}
-		for k, v := range w.aggLocal {
-			agg[k] = v
+	} else {
+		for r := range w.out {
+			p := &w.out[r]
+			m.MessagesSent += int64(len(p.dsts))
+			for i := range p.msgs {
+				m.BytesSent += int64(e.cfg.MessageBytes(p.msgs[i]))
+			}
 		}
-		w.workerInbox = nil
 	}
-	e.aggPrev = agg
+}
+
+// deliverColumnar rebuilds receiver r's CSR inbox and mailbox with a
+// two-pass counting sort over the sender buffers addressed to it, visited
+// in sender-worker-id order. Payloads are not copied: inbox entries are
+// views into the sender arenas, which stay live until the next barrier.
+func (e *Engine[V, M]) deliverColumnar(r int) {
+	in := &e.colIn[r]
+	off := in.off
+	for i := range off {
+		off[i] = 0
+	}
+	mailN := 0
+	nw := e.cfg.NumWorkers
+	for s := 0; s < nw; s++ {
+		for _, dst := range e.colCur[s][r].dsts {
+			if dst < 0 {
+				mailN++
+			} else {
+				off[e.localIdx[dst]+1]++
+			}
+		}
+	}
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+	total := int(off[len(off)-1])
+	in.cols.resize(total)
+	copy(in.next, off[:len(in.next)])
+	mail := &e.colMail[r]
+	mail.resize(mailN)
+	mi := 0
+	for s := 0; s < nw; s++ {
+		b := e.colCur[s][r]
+		for i, dst := range b.dsts {
+			pay := b.payload(i)
+			if dst < 0 {
+				mail.set(mi, b.kinds[i], b.srcs[i], b.counts[i], pay)
+				mi++
+				continue
+			}
+			li := e.localIdx[dst]
+			slot := in.next[li]
+			in.next[li]++
+			in.cols.set(int(slot), b.kinds[i], b.srcs[i], b.counts[i], pay)
+			// A message reactivates its destination.
+			e.active[dst] = true
+		}
+	}
+}
+
+// deliverBoxed is deliverColumnar for the boxed plane: same counting sort,
+// message values copied into the receiver's flat inbox.
+func (e *Engine[V, M]) deliverBoxed(r int) {
+	in := &e.boxIn[r]
+	off := in.off
+	for i := range off {
+		off[i] = 0
+	}
+	mailN := 0
+	nw := e.cfg.NumWorkers
+	for s := 0; s < nw; s++ {
+		for _, dst := range e.workers[s].out[r].dsts {
+			if dst < 0 {
+				mailN++
+			} else {
+				off[e.localIdx[dst]+1]++
+			}
+		}
+	}
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+	total := int(off[len(off)-1])
+	if cap(in.msgs) < total {
+		in.msgs = make([]M, total)
+	} else {
+		in.msgs = in.msgs[:total]
+	}
+	copy(in.next, off[:len(in.next)])
+	mail := e.boxMail[r][:0]
+	if cap(mail) < mailN {
+		mail = make([]M, 0, mailN)
+	}
+	for s := 0; s < nw; s++ {
+		p := &e.workers[s].out[r]
+		for i, dst := range p.dsts {
+			if dst < 0 {
+				mail = append(mail, p.msgs[i])
+				continue
+			}
+			li := e.localIdx[dst]
+			slot := in.next[li]
+			in.next[li]++
+			in.msgs[slot] = p.msgs[i]
+			// A message reactivates its destination.
+			e.active[dst] = true
+		}
+	}
+	e.boxMail[r] = mail
 }
 
 // VertexValue returns a pointer to v's value after Run.

@@ -188,30 +188,42 @@ func matMulInto(dst, a, b *Matrix) *Matrix {
 	}
 	kb := CurrentTuning().BlockSize
 	work := 2 * a.Rows * a.Cols * b.Cols
+	if serialKernel(a.Rows, work) {
+		// Tiny operands (the per-vertex 1×D states inside the inference
+		// drivers) skip parallelRowBlocks entirely: constructing the block
+		// closure would heap-allocate once per call because it escapes into
+		// the goroutine fan-out.
+		matMulRange(dst, a, b, kb, 0, a.Rows)
+		return dst
+	}
 	parallelRowBlocks(a.Rows, work, func(lo, hi int) {
-		// k-tiles keep a kb-row band of b hot in cache across the block's
-		// rows. For a fixed output element the adds still arrive in
-		// ascending k order — tiles are visited in order, serially — so
-		// blocking never reorders a summation.
-		for k0 := 0; k0 < a.Cols; k0 += kb {
-			k1 := min(k0+kb, a.Cols)
-			for i := lo; i < hi; i++ {
-				arow := a.Row(i)
-				orow := dst.Row(i)
-				for k := k0; k < k1; k++ {
-					av := arow[k]
-					if av == 0 {
-						continue
-					}
-					brow := b.Row(k)
-					for j, bv := range brow {
-						orow[j] += av * bv
-					}
+		matMulRange(dst, a, b, kb, lo, hi)
+	})
+	return dst
+}
+
+// matMulRange accumulates rows [lo, hi) of a @ b into dst. k-tiles keep a
+// kb-row band of b hot in cache across the block's rows. For a fixed output
+// element the adds still arrive in ascending k order — tiles are visited in
+// order, serially — so blocking never reorders a summation.
+func matMulRange(dst, a, b *Matrix, kb, lo, hi int) {
+	for k0 := 0; k0 < a.Cols; k0 += kb {
+		k1 := min(k0+kb, a.Cols)
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := dst.Row(i)
+			for k := k0; k < k1; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
 				}
 			}
 		}
-	})
-	return dst
+	}
 }
 
 // MatMulAT returns aᵀ @ b, used by backprop for weight gradients. Parallel

@@ -75,6 +75,17 @@ func SetTuning(t Tuning) Tuning {
 // CurrentTuning returns the active kernel tuning.
 func CurrentTuning() Tuning { return *tuning.Load() }
 
+// serialKernel reports whether a kernel call over n rows with the given
+// estimated scalar-op work takes the serial path under the current tuning —
+// the same predicate parallelRowBlocks applies. Hot per-vertex kernels
+// branch on it before constructing their block closure, which would
+// otherwise heap-allocate on every call (the closure escapes into the
+// goroutine fan-out).
+func serialKernel(n, work int) bool {
+	t := tuning.Load()
+	return n <= 1 || t.Workers <= 1 || work < t.ParallelThreshold
+}
+
 // parallelRowBlocks splits [0, n) into at most Workers contiguous blocks and
 // runs fn once per block, concurrently. Each index is covered by exactly one
 // block, so fn owns its rows exclusively. work is the estimated scalar-op
