@@ -1,18 +1,24 @@
 package main
 
-// The -perf mode: machine-readable message-plane benchmarks. Each run
-// measures the Pregel backend end to end on both message planes (plus the
-// MapReduce backend and the reference forward as fixed points), verifies
+// The -perf mode: machine-readable compute/message-plane benchmarks. Each
+// run measures the Pregel backend end to end on all three planes — batched
+// (the default: partition-centric ComputeBatch over columnar messages),
+// per-vertex columnar (the PR 2 plane), and per-vertex boxed — plus the
+// MapReduce backend and the reference forward as fixed points. It verifies
 // that predictions are byte-identical across planes, strategies and worker
-// counts, and writes everything as JSON so CI can track the perf
-// trajectory commit over commit. BENCH_PR2.json at the repository root
-// records the run that landed the columnar plane.
+// counts, gates the batched plane against the live PR 2 plane (CI fails if
+// batched is slower than per-vertex columnar), and writes everything as
+// JSON so the perf trajectory is tracked commit over commit. BENCH_PR2.json
+// at the repository root records the run that landed the columnar message
+// plane; BENCH_PR3.json records the run that landed the batched compute
+// plane.
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -56,6 +62,18 @@ type perfReduction struct {
 	NsReductionPct     float64 `json:"ns_reduction_pct"`
 }
 
+// perfGateResult records one batched-vs-live-PR2-plane comparison of the CI
+// gate: the batched plane must not be slower than the per-vertex columnar
+// plane measured in the same run, on the same machine.
+type perfGateResult struct {
+	Benchmark    string  `json:"benchmark"`
+	BatchedNs    float64 `json:"batched_ns_per_op"`
+	PerVertexNs  float64 `json:"per_vertex_ns_per_op"`
+	SpeedupPct   float64 `json:"speedup_pct"`
+	BatchedPass  bool    `json:"pass"`
+	AllocsFactor float64 `json:"allocs_batched_over_per_vertex"`
+}
+
 type perfReport struct {
 	PR          int               `json:"pr"`
 	Description string            `json:"description"`
@@ -64,40 +82,44 @@ type perfReport struct {
 	GOMAXPROCS  int               `json:"gomaxprocs"`
 	Scale       string            `json:"scale"`
 	Benchmarks  []perfBenchResult `json:"benchmarks"`
-	BaselinePR1 perfBaseline      `json:"baseline_pr1"`
-	Reductions  []perfReduction   `json:"reduction_vs_pr1"`
+	BaselinePR2 perfBaseline      `json:"baseline_pr2"`
+	Reductions  []perfReduction   `json:"reduction_vs_pr2"`
+	Gate        []perfGateResult  `json:"gate_batched_vs_per_vertex"`
 	Identity    perfIdentity      `json:"identity"`
 }
 
-// baselinePR1 records the PR 1 HEAD numbers these benchmarks are tracked
-// against (same dataset, shapes and options as perfBenchmarks below).
-var baselinePR1 = perfBaseline{
-	Commit: "d48b002",
-	Note: "measured at PR 1 HEAD on the dev container (1 vCPU Xeon 2.10GHz, " +
-		"go1.24.0, -benchtime 2x) with the full-scale 3000-node bench graph",
+// baselinePR2 records the PR 2 HEAD columnar-plane numbers (BENCH_PR2.json)
+// these benchmarks are tracked against (same dataset, shapes and options as
+// the specs below; the per-vertex columnar plane of this build is that same
+// code path, now behind Options.PerVertexCompute).
+var baselinePR2 = perfBaseline{
+	Commit: "16c2fcc",
+	Note: "columnar-plane numbers from BENCH_PR2.json, measured at PR 2 HEAD " +
+		"on the dev container (1 vCPU Xeon 2.10GHz, go1.24.0) with the " +
+		"full-scale 3000-node bench graph",
 	AllocsPer: map[string]int64{
-		"pregel/partial-gather/skew-in": 93290,
-		"pregel/none":                   73180,
-		"pregel/partial-gather":         89258,
-		"pregel/broadcast":              73348,
-		"pregel/shadow-nodes":           73743,
-		"mapreduce/partial-gather":      148611,
+		"pregel/partial-gather/skew-in": 10181,
+		"pregel/none":                   11199,
+		"pregel/partial-gather":         10750,
+		"pregel/broadcast":              11202,
+		"pregel/shadow-nodes":           11305,
+		"pregel/all-strategies":         10926,
 	},
 	NsPer: map[string]float64{
-		"pregel/partial-gather/skew-in": 19614337,
-		"pregel/none":                   20565774,
-		"pregel/partial-gather":         21367918,
-		"pregel/broadcast":              21792150,
-		"pregel/shadow-nodes":           22041254,
-		"mapreduce/partial-gather":      43734424,
+		"pregel/partial-gather/skew-in": 13609654,
+		"pregel/none":                   18693351,
+		"pregel/partial-gather":         16598592,
+		"pregel/broadcast":              16506255,
+		"pregel/shadow-nodes":           19418716,
+		"pregel/all-strategies":         16927687,
 	},
 	BytesPer: map[string]int64{
-		"pregel/partial-gather/skew-in": 11089448,
-		"pregel/none":                   14578432,
-		"pregel/partial-gather":         13822040,
-		"pregel/broadcast":              14614112,
-		"pregel/shadow-nodes":           16260648,
-		"mapreduce/partial-gather":      72368416,
+		"pregel/partial-gather/skew-in": 5689600,
+		"pregel/none":                   20416932,
+		"pregel/partial-gather":         12662437,
+		"pregel/broadcast":              14840525,
+		"pregel/shadow-nodes":           21833597,
+		"pregel/all-strategies":         14870645,
 	},
 }
 
@@ -110,9 +132,10 @@ func perfDataset(nodes int, skew datagen.Skew) (*gas.Model, *datagen.Dataset) {
 	return m, ds
 }
 
-// runPerf executes the message-plane benchmark suite and writes the JSON
-// report to path. Baselines were recorded at full scale; the quick preset
-// shrinks the graph (for CI smoke) and is labelled accordingly.
+// runPerf executes the plane benchmark suite and writes the JSON report to
+// path. Baselines were recorded at full scale; the quick preset shrinks the
+// graph (for CI smoke) and is labelled accordingly. The batched-vs-per-
+// vertex gate runs at every scale because it compares within the same run.
 func runPerf(path, scale string) error {
 	nodes := 3000
 	if scale == "quick" {
@@ -139,10 +162,13 @@ func runPerf(path, scale string) error {
 		}}
 	}
 	planes := func(name string, skew datagen.Skew, opts inference.Options) []spec {
+		perVertex := opts
+		perVertex.PerVertexCompute = true
 		boxed := opts
 		boxed.BoxedMessages = true
 		return []spec{
-			pregelSpec(name+"/columnar", skew, opts),
+			pregelSpec(name+"/batched", skew, opts),
+			pregelSpec(name+"/per-vertex", skew, perVertex),
 			pregelSpec(name+"/boxed", skew, boxed),
 		}
 	}
@@ -164,16 +190,17 @@ func runPerf(path, scale string) error {
 	}})
 
 	report := perfReport{
-		PR: 2,
-		Description: "Columnar zero-copy message plane for the Pregel backend: " +
-			"end-to-end full-graph inference benchmarks per message plane and strategy",
+		PR: 3,
+		Description: "Batched partition-centric compute plane for the Pregel backend: " +
+			"end-to-end full-graph inference benchmarks per compute/message plane and strategy",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Scale:       scale,
-		BaselinePR1: baselinePR1,
+		BaselinePR2: baselinePR2,
 	}
 
+	byName := map[string]perfBenchResult{}
 	for _, s := range specs {
 		var runErr error
 		r := testing.Benchmark(func(b *testing.B) {
@@ -200,29 +227,75 @@ func runPerf(path, scale string) error {
 			res.NsPerSuperstep = res.NsPerOp / float64(s.steps)
 		}
 		report.Benchmarks = append(report.Benchmarks, res)
-		fmt.Printf("%-40s %12.0f ns/op %10d allocs/op %12d B/op (n=%d)\n",
+		byName[s.name] = res
+		fmt.Printf("%-45s %12.0f ns/op %10d allocs/op %12d B/op (n=%d)\n",
 			s.name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, r.N)
 	}
 
-	// Reductions vs. the PR 1 baseline, for the columnar results whose
-	// baseline was recorded at the same (full) scale.
+	// Reductions vs. the recorded PR 2 columnar baseline, for the batched
+	// results whose baseline was measured at the same (full) scale.
 	if scale == "full" {
 		for _, b := range report.Benchmarks {
-			base := b.Name
-			if len(base) > len("/columnar") && base[len(base)-len("/columnar"):] == "/columnar" {
-				base = base[:len(base)-len("/columnar")]
+			base, ok := strings.CutSuffix(b.Name, "/batched")
+			if !ok {
+				continue
 			}
-			ba, okA := baselinePR1.AllocsPer[base]
-			bn, okN := baselinePR1.NsPer[base]
+			ba, okA := baselinePR2.AllocsPer[base]
+			bn, okN := baselinePR2.NsPer[base]
 			if !okA || !okN {
 				continue
 			}
 			report.Reductions = append(report.Reductions, perfReduction{
 				Benchmark:          b.Name,
-				Baseline:           base,
+				Baseline:           base + "/columnar (PR 2)",
 				AllocsReductionPct: 100 * (1 - float64(b.AllocsPerOp)/float64(ba)),
 				NsReductionPct:     100 * (1 - b.NsPerOp/bn),
 			})
+		}
+	}
+
+	// Gate 1: the batched plane must not be slower than the per-vertex
+	// columnar plane (the PR 2 code path, re-measured in this same run so
+	// machine speed cancels out). A 10% tolerance absorbs benchmark noise on
+	// the one config where the planes run neck and neck (broadcast, whose
+	// hub traffic is already deduplicated before compute).
+	gatePass := true
+	for _, b := range report.Benchmarks {
+		base, ok := strings.CutSuffix(b.Name, "/batched")
+		if !ok {
+			continue
+		}
+		pv, ok := byName[base+"/per-vertex"]
+		if !ok {
+			continue
+		}
+		g := perfGateResult{
+			Benchmark:    base,
+			BatchedNs:    b.NsPerOp,
+			PerVertexNs:  pv.NsPerOp,
+			SpeedupPct:   100 * (1 - b.NsPerOp/pv.NsPerOp),
+			BatchedPass:  b.NsPerOp <= pv.NsPerOp*1.10,
+			AllocsFactor: float64(b.AllocsPerOp) / float64(pv.AllocsPerOp),
+		}
+		if !g.BatchedPass {
+			gatePass = false
+		}
+		report.Gate = append(report.Gate, g)
+		fmt.Printf("gate %-40s batched %12.0f ns/op vs per-vertex %12.0f ns/op (%+.1f%%) pass=%v\n",
+			g.Benchmark, g.BatchedNs, g.PerVertexNs, g.SpeedupPct, g.BatchedPass)
+	}
+
+	// Gate 2 (full scale, where the PR 2 baseline was recorded): the PR's
+	// acceptance thresholds against BENCH_PR2.json's columnar numbers —
+	// every end-to-end Pregel benchmark at least 20% faster and with at
+	// least 50% fewer allocations.
+	if scale == "full" {
+		for _, r := range report.Reductions {
+			if r.NsReductionPct < 20 || r.AllocsReductionPct < 50 {
+				gatePass = false
+				fmt.Printf("gate %s: reductions vs PR 2 columnar below target (ns %.1f%%, allocs %.1f%%)\n",
+					r.Benchmark, r.NsReductionPct, r.AllocsReductionPct)
+			}
 		}
 	}
 
@@ -237,18 +310,23 @@ func runPerf(path, scale string) error {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		return err
 	}
-	// The identity section is a gate, not an observation: fail the run (and
-	// therefore the CI step) after the JSON is on disk for inspection.
+	// The identity section and the plane gate are gates, not observations:
+	// fail the run (and therefore the CI step) after the JSON is on disk for
+	// inspection.
 	if id := report.Identity; !id.PlanesBitIdentical || !id.ClassesMatchReference || len(id.Failures) > 0 {
 		return fmt.Errorf("identity checks failed (%d recorded failures; see %s)", len(id.Failures), path)
+	}
+	if !gatePass {
+		return fmt.Errorf("batched plane slower than the per-vertex columnar (PR 2) plane; see %s", path)
 	}
 	return nil
 }
 
 // verifyIdentity re-checks the acceptance invariant outside the test suite:
-// for every strategy combination and worker count, the columnar plane's
-// logits are bit-identical to the boxed plane's and the predicted classes
-// are byte-identical to the reference forward.
+// for every strategy combination and worker count, the batched plane's
+// logits are bit-identical to the per-vertex columnar plane's and the boxed
+// plane's, and the predicted classes are byte-identical to the reference
+// forward.
 func verifyIdentity() perfIdentity {
 	m, ds := perfDataset(400, datagen.SkewOut)
 	g := ds.Graph
@@ -269,9 +347,16 @@ func verifyIdentity() perfIdentity {
 							NumWorkers: w, PartialGather: pg, Broadcast: bc, ShadowNodes: sn, Parallel: par,
 						}
 						name := fmt.Sprintf("w%d/pg=%v/bc=%v/sn=%v/par=%v", w, pg, bc, sn, par)
-						col, err := inference.RunPregel(m, g, opts)
+						batched, err := inference.RunPregel(m, g, opts)
 						if err != nil {
-							id.fail(name + ": columnar: " + err.Error())
+							id.fail(name + ": batched: " + err.Error())
+							continue
+						}
+						pvOpts := opts
+						pvOpts.PerVertexCompute = true
+						perVertex, err := inference.RunPregel(m, g, pvOpts)
+						if err != nil {
+							id.fail(name + ": per-vertex: " + err.Error())
 							continue
 						}
 						boxedOpts := opts
@@ -281,11 +366,15 @@ func verifyIdentity() perfIdentity {
 							id.fail(name + ": boxed: " + err.Error())
 							continue
 						}
-						if !col.Logits.Equal(boxed.Logits) {
+						if !batched.Logits.Equal(perVertex.Logits) {
 							id.PlanesBitIdentical = false
-							id.fail(name + ": logits diverge between planes")
+							id.fail(name + ": logits diverge between batched and per-vertex planes")
 						}
-						for v, c := range col.Classes {
+						if !batched.Logits.Equal(boxed.Logits) {
+							id.PlanesBitIdentical = false
+							id.fail(name + ": logits diverge between batched and boxed planes")
+						}
+						for v, c := range batched.Classes {
 							if c != want[v] {
 								id.ClassesMatchReference = false
 								id.fail(fmt.Sprintf("%s: node %d class %d != reference %d", name, v, c, want[v]))

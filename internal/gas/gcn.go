@@ -19,6 +19,18 @@ type MessageScaler interface {
 	ScaleMessage(h []float32, outDeg int) []float32
 }
 
+// MessageScalerInto is the allocation-free form of MessageScaler: the scaled
+// message is written into a caller-owned buffer instead of a fresh slice,
+// with values identical to ScaleMessage. Scatter hot loops that copy the
+// payload onward immediately (the columnar message plane does) use it with a
+// per-worker scratch row, so degree scaling costs zero allocations per node.
+type MessageScalerInto interface {
+	MessageScaler
+	// ScaleMessageInto writes the wire message for a node with state h and
+	// the given out-degree into dst (len(h) long). Must not mutate h.
+	ScaleMessageInto(dst, h []float32, outDeg int)
+}
+
 // GCNConv is a graph convolution layer with symmetric degree normalization
 // in the GAS abstraction:
 //
@@ -83,12 +95,17 @@ func (c *GCNConv) Activation() string { return c.activation }
 
 // ScaleMessage implements MessageScaler.
 func (c *GCNConv) ScaleMessage(h []float32, outDeg int) []float32 {
-	s := float32(1 / math.Sqrt(float64(1+outDeg)))
 	out := make([]float32, len(h))
-	for i, v := range h {
-		out[i] = v * s
-	}
+	c.ScaleMessageInto(out, h, outDeg)
 	return out
+}
+
+// ScaleMessageInto implements MessageScalerInto.
+func (c *GCNConv) ScaleMessageInto(dst, h []float32, outDeg int) {
+	s := float32(1 / math.Sqrt(float64(1+outDeg)))
+	for i, v := range h {
+		dst[i] = v * s
+	}
 }
 
 // ApplyEdge implements Conv: identity (scaling happened at the sender).

@@ -45,8 +45,28 @@ type Options struct {
 	// object plane instead of the columnar zero-copy message plane. The two
 	// planes produce bit-identical predictions and IO stats; boxed exists
 	// for comparison benchmarks and the plane-equivalence tests, and costs
-	// one payload allocation per message. MapReduce ignores this.
+	// one payload allocation per message. Boxed implies the per-vertex
+	// compute plane (there is no batched boxed path). MapReduce ignores
+	// this.
 	BoxedMessages bool
+	// PerVertexCompute pins the Pregel backend onto the classic
+	// one-Compute-call-per-vertex plane instead of the batched
+	// partition-centric plane that runs each worker's gather as one fused
+	// segment-reduce and each apply as one dense MatMul over the whole
+	// partition. The planes produce bit-identical predictions and IO stats;
+	// per-vertex exists for comparison benchmarks and the plane-equivalence
+	// tests. MapReduce ignores this.
+	PerVertexCompute bool
+	// CheckpointEvery snapshots Pregel engine state (including the batched
+	// plane's per-worker state slabs) every n supersteps, enabling recovery
+	// from a worker failure. 0 disables checkpointing. MapReduce ignores
+	// this.
+	CheckpointEvery int
+	// FailAtSuperstep injects one simulated Pregel worker crash at the
+	// given superstep (> 0); the engine restores the latest checkpoint and
+	// replays, and results are identical to a failure-free run. Used by the
+	// fault-tolerance tests.
+	FailAtSuperstep int
 	// SpillDir routes MapReduce shuffles through disk when non-empty.
 	SpillDir string
 	// EmitEmbeddings additionally returns each node's penultimate-layer
@@ -198,6 +218,50 @@ func vectorizeAggregateInto(a *gas.Aggregated, kind gas.ReduceKind, dim, n int, 
 		a.Pooled = pooled
 	}
 	return a
+}
+
+// bcIndex is a dense broadcast-payload lookup replacing the per-superstep
+// map[int32][]float32 tables of both backends: payload views append to pays
+// in mailbox order and slot[src] records their position, valid iff
+// stamp[src] == cur. cur increments each rebuild, so no clearing pass — and
+// no allocation or hashing — happens on the gather hot path. The slot/stamp
+// arrays are 8 bytes x NumVertices per worker, the same deliberate
+// footprint-for-branch-free-O(1) trade the engine's combiner index makes;
+// they are allocated lazily on the first broadcast payload, so runs without
+// the broadcast strategy never pay for them. Callers must reset() before
+// each fill generation: generation 0 is reserved as "never filled", so gets
+// on a freshly zero-valued index always miss.
+type bcIndex struct {
+	slot  []int32
+	stamp []uint32
+	cur   uint32
+	pays  [][]float32
+}
+
+// reset invalidates every entry (O(1)) and truncates the payload list.
+func (x *bcIndex) reset() {
+	x.cur++
+	x.pays = x.pays[:0]
+}
+
+// put registers src's payload view for the current generation. n is the
+// vertex-id space bound, used to size the index on first use.
+func (x *bcIndex) put(n int, src int32, pay []float32) {
+	if len(x.slot) < n {
+		x.slot = make([]int32, n)
+		x.stamp = make([]uint32, n)
+	}
+	x.slot[src] = int32(len(x.pays))
+	x.stamp[src] = x.cur
+	x.pays = append(x.pays, pay)
+}
+
+// get returns src's payload view, if one was put this generation.
+func (x *bcIndex) get(src int32) ([]float32, bool) {
+	if int(src) >= len(x.stamp) || x.stamp[src] != x.cur {
+		return nil, false
+	}
+	return x.pays[x.slot[src]], true
 }
 
 // releaseAggregated returns an aggregate's pooled buffers once apply_node

@@ -89,8 +89,13 @@ type mrDriver struct {
 	opts      Options
 	threshold int
 
-	// Per-task broadcast tables for the current round.
-	tables []map[int32][]float32
+	// Per-task broadcast indexes for the current round: the dense bcIndex
+	// replaces the per-round map[int32][]float32 tables, so resolving a
+	// broadcast reference in the aggregate hot path is a branch-free array
+	// read instead of a hash lookup. Reset per round (generation bump, no
+	// clearing pass); each reduce task touches only its own slot, so the
+	// parallel round execution stays race-free.
+	tabs []bcIndex
 	// Per-task buffer pools: per-key aggregate and apply_node scratch
 	// recycles here instead of allocating for every reduced key.
 	pools []*tensor.Pool
@@ -170,7 +175,7 @@ func (d *mrDriver) aggregate(task int, layer gas.Conv, values []mrVal) (*gas.Agg
 			payloads = append(payloads, v.Payload)
 			counts = append(counts, v.Count)
 		case mrBCRef:
-			p, ok := d.tables[task][v.Src]
+			p, ok := d.tabs[task].get(v.Src)
 			if !ok {
 				return nil, 0, fmt.Errorf("inference: broadcast payload for node %d missing on reducer %d", v.Src, task)
 			}
@@ -205,7 +210,7 @@ func RunMapReduce(model *gas.Model, g *graph.Graph, opts Options) (*Result, erro
 		sg:        sg,
 		opts:      opts,
 		threshold: threshold,
-		tables:    make([]map[int32][]float32, opts.NumWorkers),
+		tabs:      make([]bcIndex, opts.NumWorkers),
 		pools:     make([]*tensor.Pool, opts.NumWorkers),
 	}
 	for i := range d.pools {
@@ -263,7 +268,9 @@ func RunMapReduce(model *gas.Model, g *graph.Graph, opts Options) (*Result, erro
 	for round := 1; round <= numLayers; round++ {
 		layer := model.Layers[round-1]
 		last := round == numLayers
-		d.tables = make([]map[int32][]float32, opts.NumWorkers)
+		for i := range d.tabs {
+			d.tabs[i].reset()
+		}
 		flops := make([]int64, opts.NumWorkers)
 		peaks := make([]int64, opts.NumWorkers)
 		var reduceErr error
@@ -272,13 +279,10 @@ func RunMapReduce(model *gas.Model, g *graph.Graph, opts Options) (*Result, erro
 			func(task int, key int32, values []mrVal, emit mapreduce.Emitter[int32, mrVal]) {
 				if key < 0 {
 					// Broadcast payloads for this reducer: negative keys sort
-					// first, so the table is complete before any node key.
-					if d.tables[task] == nil {
-						d.tables[task] = map[int32][]float32{}
-					}
+					// first, so the index is complete before any node key.
 					for _, v := range values {
 						if v.Kind == mrBCPayload {
-							d.tables[task][v.Src] = v.Payload
+							d.tabs[task].put(sg.G.NumNodes, v.Src, v.Payload)
 						}
 					}
 					return

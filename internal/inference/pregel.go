@@ -131,11 +131,16 @@ type vtxValue struct {
 	emb []float32
 }
 
-// pregelDriver is the vertex program executing a gas.Model layer-by-layer.
-// It runs on the engine's columnar message plane by default — payload rows
-// in recycled arenas instead of boxed gnnMsg values — and keeps the boxed
-// path alive behind Options.BoxedMessages for comparison benchmarks and the
-// plane-equivalence tests.
+// pregelDriver executes a gas.Model layer-by-layer on the Pregel engine. It
+// runs on the engine's batched compute plane over columnar messages by
+// default: each worker's vertex states live in one row-major tensor.Matrix
+// slab, gather is one fused segment-reduce over the partition's whole CSR
+// inbox, and apply is a single (N_local x D) @ (D x D') MatMul per layer —
+// the dense-kernel data flow of the paper's pipeline, exercising the
+// parallel tensor kernels (see pregel_batched.go). The classic per-vertex
+// plane stays available behind Options.PerVertexCompute, and the boxed
+// message plane (which is always per-vertex) behind Options.BoxedMessages;
+// all three produce bit-identical predictions and IO stats.
 type pregelDriver struct {
 	model     *gas.Model
 	sg        *ShadowGraph
@@ -143,22 +148,48 @@ type pregelDriver struct {
 	threshold int
 	part      *graph.Partitioner
 	columnar  bool
+	batched   bool
 
 	// Per-worker scratch (indexed by worker id; each worker touches only
 	// its own slot, so parallel execution is race-free).
-	bcTables []map[int32][]float32
-	bcStep   []int
-	bcHubs   []int64
-	bcSeen   [][]bool // destination-worker dedup scratch for broadcast hubs
+	bcTabs []bcIndex // dense broadcast lookup, rebuilt per ExecSeq
+	bcStep []int
+	bcHubs []int64
+	bcSeen [][]bool // destination-worker dedup scratch for broadcast hubs
 	// Per-worker reusable aggregate and matrix headers: the per-vertex
 	// gather/apply path wraps existing float slices thousands of times per
 	// superstep, so the wrappers live here instead of on the heap.
 	aggrs     []gas.Aggregated
 	stateMats []tensor.Matrix
 	efMats    []tensor.Matrix
-	// Per-worker buffer pools: the per-vertex aggregate and apply_node
-	// scratch recycles here instead of allocating every superstep.
+	// Per-worker buffer pools: aggregate, apply_node and state-slab scratch
+	// recycles here instead of allocating every superstep.
 	pools []*tensor.Pool
+
+	// Batched plane: per-worker state slabs. states[w] is N_local x D_k with
+	// local vertex li's h^k in row li; embs[w] retains the penultimate slab
+	// when embeddings were requested. resPays/resCounts are the
+	// broadcast-ref resolution scratch; scaleRows the MessageScaler scratch.
+	states    []*tensor.Matrix
+	embs      []*tensor.Matrix
+	resPays   [][][]float32
+	resCounts [][]int32
+	scaleRows [][]float32
+
+	// Per-vertex plane: next-h rows are carved from one per-worker slab per
+	// superstep instead of allocated per vertex. Two generations stay live
+	// (the current superstep writes gen k while messages and apply read gen
+	// k-1); the k-2 slab recycles through the worker pool — unless
+	// checkpointing is on, where dropped slabs must stay intact because
+	// engine snapshots alias their rows.
+	hSlabs []hSlab
+	hStep  []int // ExecSeq of the worker's current slab generation
+}
+
+// hSlab is one worker's two-generation next-h slab state.
+type hSlab struct {
+	cur, prev *tensor.Matrix
+	next      int // row carve cursor into cur
 }
 
 // stateMat wraps h as a 1×len(h) matrix in worker w's reusable header. The
@@ -217,7 +248,7 @@ func (d *pregelDriver) Compute(ctx *pregel.Context[vtxValue, gnnMsg], msgs []gnn
 		aggr = d.gatherStage(ctx, layer, msgs, pool)
 	}
 	out := gas.ApplyNodePooled(layer, state, aggr, pool)
-	next := make([]float32, out.Cols)
+	next := d.nextHRow(ctx, out.Cols)
 	copy(next, out.Row(0))
 	ctx.Value.h = next
 	pool.Put(out)
@@ -233,12 +264,39 @@ func (d *pregelDriver) Compute(ctx *pregel.Context[vtxValue, gnnMsg], msgs []gnn
 	d.scatter(ctx, k)
 }
 
+// nextHRow returns the row the current vertex's next state is written to,
+// carved from the worker's per-superstep slab — one pool draw per worker
+// per superstep instead of one allocation per vertex. The first Compute of
+// a worker's superstep rotates generations: the slab whose rows no message
+// or apply can still reference (gen k-2; gen k-1 backs this superstep's
+// reads and any in-flight boxed payloads) returns to the worker pool.
+// Under checkpointing the retired slab is dropped to the GC instead: every
+// generation is written exactly once, so engine snapshots — which alias
+// value slices into these rows — stay intact for replay.
+func (d *pregelDriver) nextHRow(ctx *pregel.Context[vtxValue, gnnMsg], cols int) []float32 {
+	w := ctx.WorkerID()
+	s := &d.hSlabs[w]
+	if d.hStep[w] != ctx.ExecSeq() {
+		d.hStep[w] = ctx.ExecSeq()
+		if d.opts.CheckpointEvery == 0 {
+			d.pools[w].Put(s.prev)
+		}
+		s.prev = s.cur
+		s.cur = d.pools[w].GetNoZero(d.part.OwnedCount(w, d.sg.G.NumNodes), cols)
+		s.next = 0
+	}
+	row := s.cur.Row(s.next)
+	s.next++
+	return row
+}
+
 // gatherStage is gather_nbrs + aggregate: vectorize received messages
-// (resolving broadcast references through the worker table) and reduce them
-// per the layer's annotation. Aggregate buffers come from the worker's pool;
-// the caller releases them via releaseAggregated once apply_node is done.
+// (resolving broadcast references through the worker's broadcast index) and
+// reduce them per the layer's annotation. Aggregate buffers come from the
+// worker's pool; the caller releases them via releaseAggregated once
+// apply_node is done.
 func (d *pregelDriver) gatherStage(ctx *pregel.Context[vtxValue, gnnMsg], layer gas.Conv, msgs []gnnMsg, pool *tensor.Pool) *gas.Aggregated {
-	table := d.workerTable(ctx)
+	table := d.bcBoxed(ctx)
 	dim := layer.InDim()
 
 	resolve := func(m gnnMsg) ([]float32, int32) {
@@ -246,7 +304,7 @@ func (d *pregelDriver) gatherStage(ctx *pregel.Context[vtxValue, gnnMsg], layer 
 		case msgState:
 			return m.Payload, m.Count
 		case msgBCRef:
-			p, ok := table[m.Src]
+			p, ok := table.get(m.Src)
 			if !ok {
 				panic(fmt.Sprintf("inference: broadcast payload for node %d missing on worker %d", m.Src, ctx.WorkerID()))
 			}
@@ -264,16 +322,16 @@ func (d *pregelDriver) gatherStage(ctx *pregel.Context[vtxValue, gnnMsg], layer 
 // gatherColumnar is gatherStage for the columnar plane: message fields are
 // read straight out of the inbox's column views (payloads are arena
 // extents, never re-boxed), with broadcast references resolved through the
-// worker table.
+// broadcast index.
 func (d *pregelDriver) gatherColumnar(ctx *pregel.Context[vtxValue, gnnMsg], layer gas.Conv, in pregel.Batch, pool *tensor.Pool) *gas.Aggregated {
-	table := d.workerTableColumnar(ctx)
+	table := d.bcColumnar(ctx.WorkerID(), ctx.ExecSeq(), ctx.ColumnarWorkerMail())
 	dim := layer.InDim()
 	return vectorizeAggregateInto(&d.aggrs[ctx.WorkerID()], layer.Reduce(), dim, in.Len(), func(i int) ([]float32, int32) {
 		switch in.Kinds[i] & 3 {
 		case msgState:
 			return in.Payloads[i], in.Counts[i]
 		case msgBCRef:
-			p, ok := table[in.Srcs[i]]
+			p, ok := table.get(in.Srcs[i])
 			if !ok {
 				panic(fmt.Sprintf("inference: broadcast payload for node %d missing on worker %d", in.Srcs[i], ctx.WorkerID()))
 			}
@@ -284,62 +342,70 @@ func (d *pregelDriver) gatherColumnar(ctx *pregel.Context[vtxValue, gnnMsg], lay
 	}, pool)
 }
 
-// workerTable lazily builds this worker's broadcast lookup table for the
-// current superstep from its mailbox.
-func (d *pregelDriver) workerTable(ctx *pregel.Context[vtxValue, gnnMsg]) map[int32][]float32 {
+// bcBoxed lazily rebuilds worker w's broadcast index for the current
+// superstep from its boxed mailbox. Both rebuild caches key on ExecSeq, not
+// Superstep: a checkpoint-recovery replay revisits superstep numbers with
+// rebuilt mailboxes, and the pre-failure payload views would point into
+// recycled storage.
+func (d *pregelDriver) bcBoxed(ctx *pregel.Context[vtxValue, gnnMsg]) *bcIndex {
 	w := ctx.WorkerID()
-	if d.bcStep[w] == ctx.ExecSeq() && d.bcTables[w] != nil {
-		return d.bcTables[w]
+	t := &d.bcTabs[w]
+	if d.bcStep[w] == ctx.ExecSeq() {
+		return t
 	}
-	t := map[int32][]float32{}
+	t.reset()
+	n := d.sg.G.NumNodes
 	for _, m := range ctx.WorkerMail() {
 		if m.Kind == msgBCPayload {
-			t[m.Src] = m.Payload
+			t.put(n, m.Src, m.Payload)
 		}
 	}
-	d.bcTables[w] = t
 	d.bcStep[w] = ctx.ExecSeq()
 	return t
 }
 
-// workerTableColumnar is workerTable over the columnar mailbox. The table
-// holds zero-copy payload views and is allocated at most once per worker —
-// later supersteps clear and refill it — and never at all on supersteps
-// without broadcast mail (lookups on the nil map simply miss). Both caches
-// key on ExecSeq, not Superstep: a checkpoint-recovery replay revisits
-// superstep numbers with rebuilt mailboxes, and for the columnar table the
-// pre-failure views would point into recycled arenas.
-func (d *pregelDriver) workerTableColumnar(ctx *pregel.Context[vtxValue, gnnMsg]) map[int32][]float32 {
-	w := ctx.WorkerID()
-	if d.bcStep[w] == ctx.ExecSeq() {
-		return d.bcTables[w]
+// bcColumnar is bcBoxed over a columnar mailbox; shared by the per-vertex
+// and batched planes. The index holds zero-copy payload views valid for the
+// current superstep only.
+func (d *pregelDriver) bcColumnar(w, execSeq int, mail pregel.Batch) *bcIndex {
+	t := &d.bcTabs[w]
+	if d.bcStep[w] == execSeq {
+		return t
 	}
-	mail := ctx.ColumnarWorkerMail()
-	t := d.bcTables[w]
-	clear(t)
+	t.reset()
+	n := d.sg.G.NumNodes
 	for i := 0; i < mail.Len(); i++ {
 		if mail.Kinds[i]&3 == msgBCPayload {
-			if t == nil {
-				t = map[int32][]float32{}
-			}
-			t[mail.Srcs[i]] = mail.Payloads[i]
+			t.put(n, mail.Srcs[i], mail.Payloads[i])
 		}
 	}
-	d.bcTables[w] = t
-	d.bcStep[w] = ctx.ExecSeq()
+	d.bcStep[w] = execSeq
 	return t
+}
+
+// colSender is the columnar messaging surface shared by the per-vertex
+// Context and the batched BatchContext. Both planes route their scatter
+// through scatterColumnar against this interface, so the bit-identity
+// argument between compute planes reduces to "same function, called for the
+// same vertices in the same order".
+type colSender interface {
+	SendColumnar(dst int32, kind uint8, src, count int32, payload []float32)
+	SendColumnarFan(dsts []int32, kind uint8, src, count int32, payload []float32)
+	SendColumnarToWorker(w int, kind uint8, src, count int32, payload []float32)
 }
 
 // scatter is apply_edge + scatter_nbrs for the messages consumed by
 // sendLayer = Layers[k] in the next superstep, applying the broadcast
-// strategy for eligible hub nodes. The strategy logic (degree scaling, hub
-// decision, destination-worker dedup, per-edge apply_edge with pooled
-// results) is plane-independent; only the final send differs. On the
-// columnar plane every send copies its payload into the arena, so source
-// buffers stay reusable; on the boxed plane identity payloads are shared
-// (the combiner copies before mutating) and edge-dependent payloads are
-// copied out because the boxed message owns its slice across the superstep.
+// strategy for eligible hub nodes. The columnar plane (both compute planes)
+// goes through scatterColumnar; the boxed branch below differs in payload
+// ownership only: identity payloads are shared (the combiner copies before
+// mutating) and edge-dependent or degree-scaled payloads are fresh slices
+// because the boxed message owns its slice across the superstep.
 func (d *pregelDriver) scatter(ctx *pregel.Context[vtxValue, gnnMsg], k int) {
+	if d.columnar {
+		d.scatterColumnar(ctx, ctx.WorkerID(), ctx.ID, ctx.Value.h, k)
+		return
+	}
 	sendLayer := d.model.Layers[k]
 	h := ctx.Value.h
 	dsts, eids := ctx.OutEdges()
@@ -358,24 +424,14 @@ func (d *pregelDriver) scatter(ctx *pregel.Context[vtxValue, gnnMsg], k int) {
 			seen[d.part.WorkerFor(dst)] = true
 		}
 		for w, ok := range seen {
-			if !ok {
-				continue
-			}
-			if d.columnar {
-				ctx.SendColumnarToWorker(w, colTag(msgBCPayload, 0), ctx.ID, 0, h)
-			} else {
+			if ok {
 				ctx.SendToWorker(w, gnnMsg{Kind: msgBCPayload, Src: ctx.ID, Payload: h})
 			}
 		}
 		// ...and a lightweight, payload-free reference along every out-edge.
-		refTag := colTag(msgBCRef, reduce)
 		ref := gnnMsg{Kind: msgBCRef, Src: ctx.ID, Reduce: reduce}
 		for _, dst := range dsts {
-			if d.columnar {
-				ctx.SendColumnar(dst, refTag, ctx.ID, 0, nil)
-			} else {
-				ctx.SendMessage(dst, ref)
-			}
+			ctx.SendMessage(dst, ref)
 		}
 		return
 	}
@@ -383,39 +439,101 @@ func (d *pregelDriver) scatter(ctx *pregel.Context[vtxValue, gnnMsg], k int) {
 	if sendLayer.BroadcastSafe() {
 		// apply_edge is the identity: the vertex state is the payload for
 		// every out-edge.
-		tag := colTag(msgState, reduce)
 		m := gnnMsg{Kind: msgState, Reduce: reduce, Src: ctx.ID, Count: 1, Payload: h}
 		for _, dst := range dsts {
-			if d.columnar {
-				ctx.SendColumnar(dst, tag, ctx.ID, 1, h)
-			} else {
-				ctx.SendMessage(dst, m)
-			}
+			ctx.SendMessage(dst, m)
 		}
 		return
 	}
 	// Edge-dependent messages: run apply_edge per out-edge. The result is
-	// pool-drawn and recycled as soon as the plane has its copy.
+	// pool-drawn and recycled as soon as the message has its own copy.
 	state := d.stateMat(ctx.WorkerID(), h)
 	pool := d.pools[ctx.WorkerID()]
-	tag := colTag(msgState, reduce)
 	for i, dst := range dsts {
 		var ef *tensor.Matrix
 		if d.sg.G.EdgeFeatures != nil {
 			ef = d.edgeMat(ctx.WorkerID(), int(eids[i]))
 		}
 		payload := gas.ApplyEdgePooled(sendLayer, state, ef, pool)
-		if d.columnar {
-			ctx.SendColumnar(dst, tag, ctx.ID, 1, payload.Row(0))
-		} else {
-			out := make([]float32, payload.Cols)
-			copy(out, payload.Row(0))
-			ctx.SendMessage(dst, gnnMsg{Kind: msgState, Reduce: reduce, Src: ctx.ID, Count: 1, Payload: out})
-		}
+		out := make([]float32, payload.Cols)
+		copy(out, payload.Row(0))
+		ctx.SendMessage(dst, gnnMsg{Kind: msgState, Reduce: reduce, Src: ctx.ID, Count: 1, Payload: out})
 		if payload != state {
 			pool.Put(payload)
 		}
 	}
+}
+
+// scatterColumnar scatters one vertex's messages on the columnar plane: the
+// strategy logic (degree scaling, hub decision, destination-worker dedup,
+// per-edge apply_edge with pooled results) shared by the per-vertex and
+// batched compute planes. Every send copies its payload into the arena, so
+// h — including the degree-scaled scratch row — stays reusable the moment
+// the call returns.
+func (d *pregelDriver) scatterColumnar(send colSender, w int, v int32, h []float32, k int) {
+	sendLayer := d.model.Layers[k]
+	dsts, eids := d.sg.G.OutNeighbors(v), d.sg.G.OutEdgeIDs(v)
+	if ms, ok := sendLayer.(gas.MessageScalerInto); ok {
+		// Degree-scaled wire messages (GCN). Mirrors scale by the original
+		// node's out-degree so shadow-nodes stays result-neutral.
+		scaled := d.scaleScratch(w, len(h))
+		ms.ScaleMessageInto(scaled, h, int(d.sg.OrigOutDeg[v]))
+		h = scaled
+	} else if ms, ok := sendLayer.(gas.MessageScaler); ok {
+		h = ms.ScaleMessage(h, int(d.sg.OrigOutDeg[v]))
+	}
+	reduce := uint8(sendLayer.Reduce())
+
+	if d.opts.Broadcast && sendLayer.BroadcastSafe() && len(dsts) > d.threshold {
+		d.bcHubs[w]++
+		// One payload per destination worker...
+		seen := d.seenScratch(w)
+		for _, dst := range dsts {
+			seen[d.part.WorkerFor(dst)] = true
+		}
+		for dw, ok := range seen {
+			if ok {
+				send.SendColumnarToWorker(dw, colTag(msgBCPayload, 0), v, 0, h)
+			}
+		}
+		// ...and a lightweight, payload-free reference along every out-edge.
+		send.SendColumnarFan(dsts, colTag(msgBCRef, reduce), v, 0, nil)
+		return
+	}
+
+	tag := colTag(msgState, reduce)
+	if sendLayer.BroadcastSafe() {
+		// apply_edge is the identity: the vertex state is the payload for
+		// every out-edge — fanned, so the arena stores it once per
+		// destination worker no matter the out-degree.
+		send.SendColumnarFan(dsts, tag, v, 1, h)
+		return
+	}
+	// Edge-dependent messages: run apply_edge per out-edge. The result is
+	// pool-drawn and recycled as soon as the arena has its copy.
+	state := d.stateMat(w, h)
+	pool := d.pools[w]
+	for i, dst := range dsts {
+		var ef *tensor.Matrix
+		if d.sg.G.EdgeFeatures != nil {
+			ef = d.edgeMat(w, int(eids[i]))
+		}
+		payload := gas.ApplyEdgePooled(sendLayer, state, ef, pool)
+		send.SendColumnar(dst, tag, v, 1, payload.Row(0))
+		if payload != state {
+			pool.Put(payload)
+		}
+	}
+}
+
+// scaleScratch returns worker w's degree-scaling scratch row, grown on
+// demand and reused across vertices and supersteps.
+func (d *pregelDriver) scaleScratch(w, n int) []float32 {
+	if cap(d.scaleRows[w]) < n {
+		d.scaleRows[w] = make([]float32, n)
+	}
+	d.scaleRows[w] = d.scaleRows[w][:n]
+	return d.scaleRows[w]
 }
 
 // edgeMat wraps edge eid's feature row in worker w's reusable header.
@@ -448,7 +566,8 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 		threshold: threshold,
 		part:      graph.NewPartitioner(opts.NumWorkers),
 		columnar:  !opts.BoxedMessages,
-		bcTables:  make([]map[int32][]float32, opts.NumWorkers),
+		batched:   !opts.BoxedMessages && !opts.PerVertexCompute,
+		bcTabs:    make([]bcIndex, opts.NumWorkers),
 		bcStep:    make([]int, opts.NumWorkers),
 		bcHubs:    make([]int64, opts.NumWorkers),
 		bcSeen:    make([][]bool, opts.NumWorkers),
@@ -456,22 +575,46 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 		stateMats: make([]tensor.Matrix, opts.NumWorkers),
 		efMats:    make([]tensor.Matrix, opts.NumWorkers),
 		pools:     make([]*tensor.Pool, opts.NumWorkers),
+		states:    make([]*tensor.Matrix, opts.NumWorkers),
+		embs:      make([]*tensor.Matrix, opts.NumWorkers),
+		resPays:   make([][][]float32, opts.NumWorkers),
+		resCounts: make([][]int32, opts.NumWorkers),
+		scaleRows: make([][]float32, opts.NumWorkers),
+		hSlabs:    make([]hSlab, opts.NumWorkers),
+		hStep:     make([]int, opts.NumWorkers),
 	}
 	for i := range driver.bcStep {
 		driver.bcStep[i] = -1
+		driver.hStep[i] = -1
 		driver.pools[i] = tensor.NewPool()
 	}
 
 	cfg := pregel.Config[gnnMsg]{
-		NumWorkers:    opts.NumWorkers,
-		MaxSupersteps: model.NumLayers() + 1,
-		Parallel:      opts.Parallel,
+		NumWorkers:      opts.NumWorkers,
+		MaxSupersteps:   model.NumLayers() + 1,
+		Parallel:        opts.Parallel,
+		Batched:         driver.batched,
+		CheckpointEvery: opts.CheckpointEvery,
+		FailAtSuperstep: opts.FailAtSuperstep,
 	}
 	if driver.columnar {
 		ops := &pregel.ColumnarOps{Bytes: columnarBytes}
 		if opts.PartialGather {
 			ops.Combine = combineColumnar
 		}
+		// Pre-size send buffers for the expected steady state: one message
+		// per edge spreads edges/workers² headers per sender→receiver pair.
+		// Fanned identity payloads dedup the arena well below msgs × dim, so
+		// the float reserve stays at half that bound.
+		maxDim := model.InDim()
+		for _, l := range model.Layers {
+			if l.OutDim() > maxDim {
+				maxDim = l.OutDim()
+			}
+		}
+		perBuf := sg.G.NumEdges/(opts.NumWorkers*opts.NumWorkers) + 1
+		ops.ReserveMsgs = perBuf
+		ops.ReserveFloats = perBuf*maxDim/2 + maxDim
 		cfg.Columnar = ops
 	} else {
 		cfg.MessageBytes = func(m gnnMsg) int {
@@ -498,14 +641,31 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 		}
 		res.Embeddings = tensor.New(g.NumNodes, embDim)
 	}
-	for v := 0; v < g.NumNodes; v++ {
-		val := eng.VertexValue(int32(v))
-		if len(val.h) != model.NumClasses {
-			return nil, fmt.Errorf("inference: node %d finished with dim %d, want %d classes", v, len(val.h), model.NumClasses)
+	if driver.batched {
+		// Batched plane: final states live in the per-worker slabs, row li
+		// holding the vertex with local index li.
+		for w, st := range driver.states {
+			if st.Cols != model.NumClasses {
+				return nil, fmt.Errorf("inference: worker %d finished with dim %d, want %d classes", w, st.Cols, model.NumClasses)
+			}
 		}
-		res.Logits.SetRow(v, val.h)
-		if res.Embeddings != nil {
-			res.Embeddings.SetRow(v, val.emb)
+		for v := 0; v < g.NumNodes; v++ {
+			w, li := driver.part.WorkerFor(int32(v)), driver.part.LocalIndex(int32(v))
+			res.Logits.SetRow(v, driver.states[w].Row(li))
+			if res.Embeddings != nil {
+				res.Embeddings.SetRow(v, driver.embs[w].Row(li))
+			}
+		}
+	} else {
+		for v := 0; v < g.NumNodes; v++ {
+			val := eng.VertexValue(int32(v))
+			if len(val.h) != model.NumClasses {
+				return nil, fmt.Errorf("inference: node %d finished with dim %d, want %d classes", v, len(val.h), model.NumClasses)
+			}
+			res.Logits.SetRow(v, val.h)
+			if res.Embeddings != nil {
+				res.Embeddings.SetRow(v, val.emb)
+			}
 		}
 	}
 	res.finalize(model)

@@ -1,0 +1,261 @@
+package inference
+
+import (
+	"fmt"
+
+	"inferturbo/internal/gas"
+	"inferturbo/internal/pregel"
+	"inferturbo/internal/tensor"
+)
+
+// The batched compute plane of the Pregel GNN driver: pregel.BatchProgram
+// implemented as partition-granularity gather/apply/scatter, the data flow
+// the paper's vectorized GAS stages describe. Per-vertex work fuses into a
+// handful of dense kernel calls per worker per superstep:
+//
+//	gather  — one CSR segment-reduce over the worker's whole columnar inbox
+//	          (tensor.SegmentSumViewsInto / SegmentExtremeViewsInto over
+//	          zero-copy arena views), or one flat message matrix for Union
+//	apply   — one pooled (N_local x D) @ (D x D') apply_node over the state
+//	          slab, driving the parallel MatMul kernels that the per-vertex
+//	          plane's 1 x D calls always kept below ParallelThreshold
+//	scatter — the shared scatterColumnar walked over slab rows in
+//	          owned-vertex order
+//
+// Vertex states live in one row-major tensor.Matrix slab per worker (row li
+// = local vertex index li, the same dense index the inbox CSR uses), drawn
+// from the worker's pool and recycled every superstep.
+//
+// Bit-identity with the per-vertex plane holds because every fused stage
+// preserves per-vertex operand order: segment reduces fold each vertex's
+// inbox range in delivery order (the order vectorizeAggregateInto consumed),
+// the MatMul kernels accumulate each output row independently in ascending-k
+// order regardless of row count, and scatter issues the same sends in the
+// same vertex order through the same code path. One goroutine owns each slab
+// row end to end, so parallel execution cannot reorder anything a row
+// observes.
+
+// ComputeBatch implements pregel.BatchProgram: superstep 0 materializes the
+// feature slab and scatters h^0; superstep k applies layer k-1 to the whole
+// partition; the final superstep halts every vertex, leaving the logits in
+// the state slabs for RunPregel to collect.
+func (d *pregelDriver) ComputeBatch(ctx *pregel.BatchContext[vtxValue, gnnMsg]) {
+	w, k := ctx.WorkerID(), ctx.Superstep
+	owned := ctx.Owned()
+	numLayers := d.model.NumLayers()
+	if k == 0 {
+		// Initialization: raw features become h^0, gathered into the
+		// partition's slab (strided rows of the feature matrix).
+		st := d.pools[w].GetNoZero(len(owned), d.sg.G.Features.Cols)
+		for li, v := range owned {
+			copy(st.Row(li), d.sg.G.Features.Row(int(v)))
+		}
+		d.states[w] = st
+		d.scatterBatch(ctx, 0)
+		return
+	}
+
+	layer := d.model.Layers[k-1]
+	pool := d.pools[w]
+	off, in := ctx.InboxCSR()
+	aggr := d.gatherBatch(ctx, layer, off, in)
+	st := d.states[w]
+	out := gas.ApplyNodePooled(layer, st, aggr, pool)
+	releaseAggregated(pool, aggr)
+	if d.opts.EmitEmbeddings && k == numLayers {
+		d.embs[w] = st // penultimate slab, retained for the result
+	} else {
+		pool.Put(st)
+	}
+	d.states[w] = out
+	ctx.AddCost(int64(len(owned))*layerNodeFlops(layer) + int64(in.Len())*layerMsgFlops(layer))
+
+	if k == numLayers {
+		// Last superstep: the slabs now hold the logits.
+		ctx.HaltAll()
+		return
+	}
+	d.scatterBatch(ctx, k)
+}
+
+// gatherBatch is gather_nbrs + aggregate for the whole partition in one
+// shot: resolve every inbox message to a payload view (broadcast references
+// through the worker's dense index), then segment-reduce the CSR directly
+// into an N_local x D aggregate. No payload is copied for pooled reduces —
+// the kernels read the arena extents in place, in delivery order, exactly
+// the order the per-vertex vectorizeAggregateInto folds.
+func (d *pregelDriver) gatherBatch(ctx *pregel.BatchContext[vtxValue, gnnMsg], layer gas.Conv, off []int32, in pregel.Batch) *gas.Aggregated {
+	w := ctx.WorkerID()
+	pool := d.pools[w]
+	n := in.Len()
+
+	// Resolve payload views and counts. Broadcast references need the
+	// worker's dense index; without any (the common case — a cheap scan of
+	// the kind column decides) the inbox columns are consumed as-is, with
+	// no per-message header copying at all.
+	pays, counts := in.Payloads, in.Counts
+	if d.opts.Broadcast {
+		hasRef := false
+		for _, kd := range in.Kinds {
+			if kd&3 == msgBCRef {
+				hasRef = true
+				break
+			}
+		}
+		if hasRef {
+			table := d.bcColumnar(w, ctx.ExecSeq(), ctx.ColumnarWorkerMail())
+			rp, rc := d.resPays[w], d.resCounts[w]
+			if cap(rp) < n {
+				rp = make([][]float32, n)
+				rc = make([]int32, n)
+			} else {
+				rp, rc = rp[:n], rc[:n]
+			}
+			for i := 0; i < n; i++ {
+				switch in.Kinds[i] & 3 {
+				case msgState:
+					rp[i] = in.Payloads[i]
+					rc[i] = in.Counts[i]
+				case msgBCRef:
+					p, ok := table.get(in.Srcs[i])
+					if !ok {
+						panic(fmt.Sprintf("inference: broadcast payload for node %d missing on worker %d", in.Srcs[i], w))
+					}
+					rp[i] = p
+					rc[i] = 1
+				default:
+					panic(fmt.Sprintf("inference: unexpected message kind %d at vertex", in.Kinds[i]&3))
+				}
+			}
+			d.resPays[w], d.resCounts[w] = rp, rc
+			pays, counts = rp, rc
+		}
+	}
+
+	nLocal := len(ctx.Owned())
+	dim := layer.InDim()
+	a := &d.aggrs[w]
+	a.Kind = layer.Reduce()
+	a.Pooled, a.Messages = nil, nil
+	a.Counts, a.Dst = a.Counts[:0], a.Dst[:0]
+	switch kind := layer.Reduce(); kind {
+	case gas.ReduceUnion:
+		// Union (GAT): one flat message matrix for the whole partition,
+		// destinations in local indices — the partition-local form of the
+		// reference forward's edge-message matrix.
+		mm := pool.GetNoZero(n, dim)
+		for i, p := range pays {
+			copy(mm.Row(i), p)
+		}
+		a.Messages = mm
+		if cap(a.Dst) < n {
+			a.Dst = make([]int32, n)
+		} else {
+			a.Dst = a.Dst[:n]
+		}
+		for li := 0; li < nLocal; li++ {
+			for i := off[li]; i < off[li+1]; i++ {
+				a.Dst[i] = int32(li)
+			}
+		}
+	case gas.ReduceSum, gas.ReduceMean:
+		pooled := pool.GetNoZero(nLocal, dim)
+		tensor.SegmentSumViewsInto(pooled, off, pays)
+		if cap(a.Counts) < nLocal {
+			a.Counts = make([]int32, nLocal)
+		} else {
+			a.Counts = a.Counts[:nLocal]
+		}
+		for li := 0; li < nLocal; li++ {
+			var c int32
+			for i := off[li]; i < off[li+1]; i++ {
+				c += counts[i]
+			}
+			a.Counts[li] = c
+			if kind == gas.ReduceMean && c > 0 {
+				// Same op order as the per-vertex fold: multiply by the
+				// reciprocal, never divide.
+				inv := 1 / float32(c)
+				row := pooled.Row(li)
+				for j := range row {
+					row[j] *= inv
+				}
+			}
+		}
+		a.Pooled = pooled
+	case gas.ReduceMax, gas.ReduceMin:
+		pooled := pool.GetNoZero(nLocal, dim)
+		tensor.SegmentExtremeViewsInto(pooled, off, pays, kind == gas.ReduceMax)
+		a.Pooled = pooled
+	}
+	return a
+}
+
+// scatterBatch walks the partition's slab rows in owned-vertex order through
+// the shared columnar scatter — the same sends, in the same order, that the
+// per-vertex plane issues, so send buffers (and therefore combiner merges
+// and delivery order) are identical between planes.
+func (d *pregelDriver) scatterBatch(ctx *pregel.BatchContext[vtxValue, gnnMsg], k int) {
+	w := ctx.WorkerID()
+	st := d.states[w]
+	for li, v := range ctx.Owned() {
+		d.scatterColumnar(ctx, w, v, st.Row(li), k)
+	}
+}
+
+// progSnap is the checkpointed form of the batched plane's program-owned
+// state: deep copies of the per-worker slabs, immutable after capture.
+type progSnap struct {
+	states []*tensor.Matrix
+	embs   []*tensor.Matrix
+}
+
+// SnapshotProgState implements pregel.ProgramStater. Only the batched plane
+// keeps superstep-to-superstep state outside the engine's vertex values (the
+// per-vertex plane's h slices ride inside the engine's own value snapshot,
+// and its retired slabs are left unrecycled under checkpointing precisely so
+// those aliases stay intact), so the per-vertex plane snapshots nothing.
+func (d *pregelDriver) SnapshotProgState() any {
+	if !d.batched {
+		return nil
+	}
+	s := &progSnap{
+		states: make([]*tensor.Matrix, len(d.states)),
+		embs:   make([]*tensor.Matrix, len(d.embs)),
+	}
+	for w, m := range d.states {
+		if m != nil {
+			s.states[w] = m.Clone()
+		}
+	}
+	for w, m := range d.embs {
+		if m != nil {
+			s.embs[w] = m.Clone()
+		}
+	}
+	return s
+}
+
+// RestoreProgState implements pregel.ProgramStater: reinstall a snapshot by
+// deep copy, so the snapshot survives the replay's slab writes and a second
+// recovery from the same checkpoint would still be sound.
+func (d *pregelDriver) RestoreProgState(snap any) {
+	if snap == nil {
+		return
+	}
+	s := snap.(*progSnap)
+	restore := func(dst []*tensor.Matrix, src []*tensor.Matrix, w int) {
+		d.pools[w].Put(dst[w])
+		if src[w] == nil {
+			dst[w] = nil
+			return
+		}
+		m := d.pools[w].GetNoZero(src[w].Rows, src[w].Cols)
+		copy(m.Data, src[w].Data)
+		dst[w] = m
+	}
+	for w := range d.states {
+		restore(d.states, s.states, w)
+		restore(d.embs, s.embs, w)
+	}
+}

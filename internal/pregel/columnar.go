@@ -41,6 +41,15 @@ type ColumnarOps struct {
 	// payload length, feeding the IO accounting. Defaults to 4*payloadLen+16
 	// when nil.
 	Bytes func(kind uint8, payloadLen int) int
+	// ReserveMsgs / ReserveFloats pre-size each sender→receiver send
+	// buffer's first generation (header rows / arena values). Later
+	// generations size themselves from the previous generation's extents;
+	// the first two start cold, and without a hint their columns grow by
+	// log-many append doublings per buffer. Programs that can estimate
+	// per-buffer volume (the GNN driver: edges / workers², at the model's
+	// widest payload) set these; 0 leaves buffers growing on demand.
+	ReserveMsgs   int
+	ReserveFloats int
 }
 
 // Batch is a zero-copy columnar view of the messages addressed to one
@@ -71,6 +80,10 @@ type colBuf struct {
 	offs   []int
 	lens   []int32
 	arena  []float32
+	// shared[i] marks row i's extent as potentially aliased by other rows
+	// (fan-out sends); a combine into a shared row materializes a private
+	// accumulator first. Rows appended by add are exclusive.
+	shared []bool
 }
 
 // reset truncates the buffer for reuse, keeping every backing array.
@@ -82,6 +95,7 @@ func (b *colBuf) reset() {
 	b.offs = b.offs[:0]
 	b.lens = b.lens[:0]
 	b.arena = b.arena[:0]
+	b.shared = b.shared[:0]
 }
 
 // add appends one message, copying the payload into the arena.
@@ -93,11 +107,48 @@ func (b *colBuf) add(dst int32, kind uint8, src, count int32, pay []float32) {
 	b.offs = append(b.offs, len(b.arena))
 	b.lens = append(b.lens, int32(len(pay)))
 	b.arena = append(b.arena, pay...)
+	b.shared = append(b.shared, false)
+}
+
+// addAlias appends one message whose payload is an existing arena extent
+// [off, off+length): the fan-out path stores a broadcast-identical payload
+// once per buffer and points every further header at it, so a hub vertex's
+// out-edges cost one payload copy per destination worker instead of one per
+// edge. Extents are addressed by index, so arena growth never invalidates an
+// alias.
+func (b *colBuf) addAlias(dst int32, kind uint8, src, count int32, off int, length int32) {
+	b.dsts = append(b.dsts, dst)
+	b.kinds = append(b.kinds, kind)
+	b.srcs = append(b.srcs, src)
+	b.counts = append(b.counts, count)
+	b.offs = append(b.offs, off)
+	b.lens = append(b.lens, length)
+	b.shared = append(b.shared, true)
 }
 
 // payload returns message i's arena extent.
 func (b *colBuf) payload(i int) []float32 {
 	return b.arena[b.offs[i] : b.offs[i]+int(b.lens[i])]
+}
+
+// mergeTarget returns the accumulator extent for an in-place combine into
+// row i. Exclusive rows (appended by add outside a fan) combine in place,
+// the PR 2 hot path. Shared rows — a fan extent other rows may alias —
+// first materialize a private copy at the arena tail, so the combine cannot
+// corrupt sibling messages or the pristine payload later aliases read; the
+// materialized row is exclusive from then on. This is the arena form of the
+// boxed combiner's copy-on-first-merge, and it produces the same merged
+// values: the fold runs on an identical copy of the same accumulator.
+func (b *colBuf) mergeTarget(i int32) []float32 {
+	if !b.shared[i] {
+		return b.payload(int(i))
+	}
+	n := int(b.lens[i])
+	off := len(b.arena)
+	b.arena = append(b.arena, b.arena[b.offs[i]:b.offs[i]+n]...)
+	b.offs[i] = off
+	b.shared[i] = false
+	return b.arena[off : off+n]
 }
 
 // reserve grows the buffer's backing arrays to hold at least msgs headers
@@ -111,6 +162,7 @@ func (b *colBuf) reserve(msgs, floats int) {
 		b.counts = make([]int32, 0, msgs)
 		b.offs = make([]int, 0, msgs)
 		b.lens = make([]int32, 0, msgs)
+		b.shared = make([]bool, 0, msgs)
 	}
 	if cap(b.arena) < floats {
 		b.arena = make([]float32, 0, floats)

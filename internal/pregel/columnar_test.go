@@ -383,3 +383,108 @@ func starTopologyBuilder(n int) Topology {
 	}
 	return GraphTopology{G: b.Build()}
 }
+
+// colFanProg is colSumProg scattering through SendColumnarFan — the
+// broadcast-safe fan path that stores each payload once per destination
+// worker and aliases arena extents for the rest.
+type colFanProg struct{ rounds int }
+
+func (p *colFanProg) Compute(ctx *Context[float32, [3]float32], _ [][3]float32) {
+	if ctx.Superstep == 0 {
+		*ctx.Value = float32(int(ctx.ID)%7 + 1)
+	} else {
+		in := ctx.ColumnarInbox()
+		var s float32
+		for i := 0; i < in.Len(); i++ {
+			s += in.Payloads[i][0] + in.Payloads[i][2]
+		}
+		*ctx.Value = float32(int(s) % sumMod)
+	}
+	if ctx.Superstep >= p.rounds {
+		ctx.VoteToHalt()
+		return
+	}
+	dsts, _ := ctx.OutEdges()
+	pay := [3]float32{*ctx.Value, float32(ctx.ID), 1}
+	ctx.SendColumnarFan(dsts, 0, ctx.ID, 1, pay[:])
+}
+
+// TestColumnarFanMatchesPerEdgeSends: fanning one payload along every
+// out-edge must be indistinguishable from issuing individual SendColumnar
+// calls — values, traffic accounting and combine counts — at every worker
+// count, with and without combining, including on a hub-heavy star where
+// extents are maximally aliased and the combiner must copy-on-merge instead
+// of folding into a shared extent.
+func TestColumnarFanMatchesPerEdgeSends(t *testing.T) {
+	for _, topo := range []Topology{
+		randomTopology(t, 60, 240, 19),
+		starTopologyBuilder(40),
+	} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, combine := range []bool{false, true} {
+				for _, parallel := range []bool{false, true} {
+					ce, cv := runColSum(t, topo, workers, combine, parallel)
+					ops := &ColumnarOps{}
+					if combine {
+						ops.Combine = colSumCombiner
+					}
+					fe := NewEngine[float32, [3]float32](topo, &colFanProg{rounds: 4},
+						Config[[3]float32]{NumWorkers: workers, Parallel: parallel, Columnar: ops})
+					if err := fe.Run(); err != nil {
+						t.Fatal(err)
+					}
+					for v := range cv {
+						if cv[v] != fe.Values()[v] {
+							t.Fatalf("workers=%d combine=%v parallel=%v: value[%d] per-edge %v fan %v",
+								workers, combine, parallel, v, cv[v], fe.Values()[v])
+						}
+					}
+					cm, fm := ce.TotalMetrics(), fe.TotalMetrics()
+					for w := range cm {
+						if cm[w] != fm[w] {
+							t.Fatalf("workers=%d combine=%v parallel=%v: worker %d metrics diverge:\nper-edge %+v\nfan      %+v",
+								workers, combine, parallel, w, cm[w], fm[w])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarFanMultiEdge: duplicate destinations inside one fan must see
+// the pristine payload for every appended copy even after a combine has
+// folded into the first row — the copy-on-merge materialization at work.
+func TestColumnarFanMultiEdge(t *testing.T) {
+	b := graph.NewBuilder(3)
+	// Vertex 0 sends to 1 three times and 2 once; with combining, rows for
+	// dst 1 merge while dst 2's alias must keep reading the original value.
+	b.AddEdge(0, 1, nil)
+	b.AddEdge(0, 1, nil)
+	b.AddEdge(0, 2, nil)
+	b.AddEdge(0, 1, nil)
+	topo := GraphTopology{G: b.Build()}
+	for _, combine := range []bool{false, true} {
+		ce, cv := runColSum(t, topo, 2, combine, false)
+		ops := &ColumnarOps{}
+		if combine {
+			ops.Combine = colSumCombiner
+		}
+		fe := NewEngine[float32, [3]float32](topo, &colFanProg{rounds: 4},
+			Config[[3]float32]{NumWorkers: 2, Columnar: ops})
+		if err := fe.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for v := range cv {
+			if cv[v] != fe.Values()[v] {
+				t.Fatalf("combine=%v: value[%d] per-edge %v fan %v", combine, v, cv[v], fe.Values()[v])
+			}
+		}
+		cm, fm := ce.TotalMetrics(), fe.TotalMetrics()
+		for w := range cm {
+			if cm[w] != fm[w] {
+				t.Fatalf("combine=%v: worker %d metrics diverge", combine, w)
+			}
+		}
+	}
+}

@@ -21,6 +21,13 @@
 // disjoint vertex range and drains sender buffers in worker-id order, so
 // per-destination message order — and therefore results — is identical at
 // any worker count, parallel or not.
+//
+// Compute likewise runs on one of two planes. The classic per-vertex plane
+// invokes Compute once per active vertex. The batched plane (Config.Batched,
+// columnar only) invokes ComputeBatch once per worker per superstep with the
+// worker's whole owned range and its full CSR inbox, so partition-centric
+// programs can replace millions of tiny per-vertex operations with a few
+// dense kernel calls; see BatchProgram for the equivalence contract.
 package pregel
 
 import (
@@ -64,6 +71,37 @@ type VertexProgram[V, M any] interface {
 	Compute(ctx *Context[V, M], msgs []M)
 }
 
+// BatchProgram is the partition-centric compute plane: instead of one
+// Compute call per vertex, the engine invokes ComputeBatch once per worker
+// per superstep with the worker's whole owned-vertex range and its full CSR
+// columnar inbox. Programs that batch their per-vertex work into dense
+// kernel calls (the GNN driver's one MatMul per layer per partition) avoid
+// the per-vertex dispatch and allocation the classic API forces. Requires
+// the columnar message plane (Config.Columnar) and Config.Batched.
+//
+// Engine semantics are unchanged: the engine still does the activity
+// accounting per vertex (a vertex is computed this superstep iff it is
+// active or has inbox messages), computed vertices stay active afterwards
+// unless halted through the BatchContext, and message delivery order is the
+// same CSR order the per-vertex plane observes — so a batch program that
+// folds each vertex's inbox range in order reproduces the per-vertex plane
+// bit for bit.
+type BatchProgram[V, M any] interface {
+	ComputeBatch(ctx *BatchContext[V, M])
+}
+
+// ProgramStater is implemented by programs that keep superstep-to-superstep
+// state outside the engine's vertex values — batch programs typically own
+// per-worker state slabs. When checkpointing is enabled the engine snapshots
+// that state alongside its own: SnapshotProgState must return a deep copy of
+// everything the next superstep reads (it is never written after capture),
+// and RestoreProgState must reinstall such a snapshot, after which the
+// program re-executes from the checkpointed superstep.
+type ProgramStater interface {
+	SnapshotProgState() any
+	RestoreProgState(snap any)
+}
+
 // Config tunes an engine run.
 type Config[M any] struct {
 	NumWorkers    int
@@ -83,6 +121,10 @@ type Config[M any] struct {
 	// plane: programs send payload rows instead of boxed M values and read
 	// them back as zero-copy Batch views. See ColumnarOps.
 	Columnar *ColumnarOps
+	// Batched invokes the program's ComputeBatch once per worker per
+	// superstep instead of Compute once per vertex. Requires the columnar
+	// plane and a program implementing BatchProgram.
+	Batched bool
 	// Parallel executes workers on goroutines — both the compute phase and
 	// the barrier's delivery (receivers own disjoint inboxes). Delivery
 	// order stays deterministic either way.
@@ -162,6 +204,15 @@ func (c *Context[V, M]) SendColumnar(dst int32, kind uint8, src, count int32, pa
 	c.worker.sendColumnar(dst, kind, src, count, payload)
 }
 
+// SendColumnarFan routes one identical payload to every destination in
+// dsts, in order, copying it into each destination-worker arena at most
+// once — results are identical to len(dsts) SendColumnar calls; only the
+// arena bytes moved differ. The natural send for broadcast-safe scatters.
+// Columnar plane only.
+func (c *Context[V, M]) SendColumnarFan(dsts []int32, kind uint8, src, count int32, payload []float32) {
+	c.worker.sendColumnarFan(dsts, kind, src, count, payload)
+}
+
 // SendColumnarToWorker routes a columnar message to worker w's mailbox
 // (read back via ColumnarWorkerMail). Columnar plane only.
 func (c *Context[V, M]) SendColumnarToWorker(w int, kind uint8, src, count int32, payload []float32) {
@@ -224,6 +275,112 @@ func (c *Context[V, M]) AggregatorGet(key string) ([]float32, bool) {
 	return v, ok
 }
 
+// BatchContext is handed to ComputeBatch: one call sees the worker's whole
+// partition for the superstep. Like Context it is only valid for the
+// duration of the call, and every view it returns (owned ids, inbox
+// columns, mailboxes) is engine-owned and must not be mutated or retained.
+type BatchContext[V, M any] struct {
+	worker    *worker[V, M]
+	Superstep int
+}
+
+// NumWorkers returns the configured worker count.
+func (c *BatchContext[V, M]) NumWorkers() int { return c.worker.engine.cfg.NumWorkers }
+
+// WorkerID returns the worker executing this batch.
+func (c *BatchContext[V, M]) WorkerID() int { return c.worker.id }
+
+// Owned returns the worker's owned vertex ids in local-index order: vertex
+// Owned()[li] has local index li, the row index of every per-partition
+// structure (the inbox CSR, a program's state slabs).
+func (c *BatchContext[V, M]) Owned() []int32 { return c.worker.verts }
+
+// Computed reports whether local vertex li computes this superstep — it is
+// active or has inbox messages — i.e. whether the per-vertex plane would
+// have invoked Compute for it. Programs whose vertices never halt mid-run
+// (the GNN driver) can ignore this and process the full range.
+func (c *BatchContext[V, M]) Computed(li int) bool { return c.worker.computed[li] }
+
+// Value returns vertex v's engine-resident value. Batch programs that keep
+// their state in their own slabs (see ProgramStater) typically never touch
+// it.
+func (c *BatchContext[V, M]) Value(v int32) *V { return &c.worker.engine.values[v] }
+
+// InboxCSR returns the worker's full columnar inbox for the superstep as a
+// CSR view: local vertex li's messages are msgs[off[li]:off[li+1]], in the
+// same per-destination delivery order the per-vertex plane observes. The
+// view is only valid during ComputeBatch.
+func (c *BatchContext[V, M]) InboxCSR() (off []int32, msgs Batch) {
+	in := &c.worker.engine.colIn[c.worker.id]
+	off = in.off
+	return off, in.cols.batch(0, off[len(off)-1])
+}
+
+// ColumnarWorkerMail returns the columnar messages addressed to this worker
+// during the previous superstep; see Context.ColumnarWorkerMail.
+func (c *BatchContext[V, M]) ColumnarWorkerMail() Batch {
+	m := &c.worker.engine.colMail[c.worker.id]
+	return m.batch(0, int32(len(m.kinds)))
+}
+
+// OutEdges returns vertex v's out-edges from the topology.
+func (c *BatchContext[V, M]) OutEdges(v int32) (dsts, eids []int32) {
+	return c.worker.engine.topo.OutEdges(v)
+}
+
+// OutDegree returns vertex v's out-degree.
+func (c *BatchContext[V, M]) OutDegree(v int32) int { return c.worker.engine.topo.OutDegree(v) }
+
+// SendColumnar routes a columnar message to vertex dst for the next
+// superstep; see Context.SendColumnar. Sends issued in owned-vertex order
+// produce the same send buffers — and therefore the same delivery order and
+// combiner merges — as the per-vertex plane.
+func (c *BatchContext[V, M]) SendColumnar(dst int32, kind uint8, src, count int32, payload []float32) {
+	c.worker.sendColumnar(dst, kind, src, count, payload)
+}
+
+// SendColumnarFan routes one identical payload along every dst with at most
+// one payload copy per destination-worker arena; see Context.SendColumnarFan.
+func (c *BatchContext[V, M]) SendColumnarFan(dsts []int32, kind uint8, src, count int32, payload []float32) {
+	c.worker.sendColumnarFan(dsts, kind, src, count, payload)
+}
+
+// SendColumnarToWorker routes a columnar message to worker w's mailbox; see
+// Context.SendColumnarToWorker.
+func (c *BatchContext[V, M]) SendColumnarToWorker(w int, kind uint8, src, count int32, payload []float32) {
+	c.worker.sendColumnarToWorker(w, kind, src, count, payload)
+}
+
+// ExecSeq returns the engine's executed-superstep count; see
+// Context.ExecSeq.
+func (c *BatchContext[V, M]) ExecSeq() int { return c.worker.engine.executed }
+
+// AddCost charges user-defined compute units to this worker's superstep.
+func (c *BatchContext[V, M]) AddCost(units int64) { c.worker.stepCost += units }
+
+// Halt deactivates local vertex li until a message arrives for it — the
+// batched form of Context.VoteToHalt. Only computed vertices are affected.
+func (c *BatchContext[V, M]) Halt(li int) { c.worker.halted[li] = true }
+
+// HaltAll deactivates every computed vertex of the partition.
+func (c *BatchContext[V, M]) HaltAll() {
+	for i := range c.worker.halted {
+		c.worker.halted[i] = true
+	}
+}
+
+// AggregatorPut publishes a key/value into the global aggregator visible in
+// the next superstep; see Context.AggregatorPut.
+func (c *BatchContext[V, M]) AggregatorPut(key string, value []float32) {
+	c.worker.aggPut(key, value)
+}
+
+// AggregatorGet reads a value published during the previous superstep.
+func (c *BatchContext[V, M]) AggregatorGet(key string) ([]float32, bool) {
+	v, ok := c.worker.engine.aggPrev[key]
+	return v, ok
+}
+
 // pending is a boxed sender-side buffer of messages for one destination
 // worker, recycled across supersteps by truncation.
 type pending[M any] struct {
@@ -259,6 +416,17 @@ type worker[V, M any] struct {
 	seenStamp []uint32
 	stamp     uint32
 
+	// Batched-plane scratch (len ownedCount, allocated only when
+	// Config.Batched): computed[li] records whether local vertex li computes
+	// this superstep; halted[li] collects BatchContext.Halt votes.
+	computed []bool
+	halted   []bool
+
+	// Fan-out scratch (len NumWorkers, columnar only): fanOff[dw] is the
+	// arena offset of the payload this fan already copied into destination
+	// worker dw's buffer, or -1.
+	fanOff []int64
+
 	m        *StepMetrics // this worker's metrics entry for the current superstep
 	stepCost int64
 	aggLocal map[string][]float32
@@ -269,7 +437,7 @@ func (w *worker[V, M]) send(dst int32, m M) {
 	if e.columnar {
 		panic("pregel: SendMessage on the columnar plane")
 	}
-	dw := e.part.WorkerFor(dst)
+	dw := e.workerOf[dst]
 	p := &w.out[dw]
 	if e.cfg.Combiner != nil {
 		if w.seenStamp[dst] == w.stamp {
@@ -302,13 +470,13 @@ func (w *worker[V, M]) sendColumnar(dst int32, kind uint8, src, count int32, pay
 	if !e.columnar {
 		panic("pregel: SendColumnar on the boxed plane")
 	}
-	dw := e.part.WorkerFor(dst)
+	dw := e.workerOf[dst]
 	b := e.colCur[w.id][dw]
 	if e.colCombine != nil {
 		if w.seenStamp[dst] == w.stamp {
 			i := w.lastSeen[dst]
 			if b.kinds[i] == kind && int(b.lens[i]) == len(pay) {
-				acc := b.arena[b.offs[i] : b.offs[i]+len(pay)]
+				acc := b.mergeTarget(i)
 				if merged, ok := e.colCombine(kind, acc, pay, b.counts[i], count); ok {
 					b.counts[i] = merged
 					b.srcs[i] = -1 // a merged row no longer has a single source
@@ -322,6 +490,57 @@ func (w *worker[V, M]) sendColumnar(dst int32, kind uint8, src, count int32, pay
 		}
 	}
 	b.add(dst, kind, src, count, pay)
+}
+
+// sendColumnarFan routes one identical payload to every destination in
+// dsts, in order — the columnar form of a broadcast-safe scatter. The
+// payload is copied into each destination-worker arena at most once; every
+// further send to the same worker appends only a header row aliasing that
+// extent, so a hub's out-edges cost one payload copy per worker instead of
+// one per edge. Fan extents are marked shared, which makes any combine into
+// them copy-on-first-merge (see colBuf.mergeTarget) — delivered values, and
+// therefore results, are identical to issuing len(dsts) individual
+// sendColumnar calls; only the arena bytes differ.
+func (w *worker[V, M]) sendColumnarFan(dsts []int32, kind uint8, src, count int32, pay []float32) {
+	e := w.engine
+	if !e.columnar {
+		panic("pregel: SendColumnarFan on the boxed plane")
+	}
+	fan := w.fanOff[:e.cfg.NumWorkers]
+	for i := range fan {
+		fan[i] = -1
+	}
+	for _, dst := range dsts {
+		dw := e.workerOf[dst]
+		b := e.colCur[w.id][dw]
+		if e.colCombine != nil {
+			if w.seenStamp[dst] == w.stamp {
+				i := w.lastSeen[dst]
+				if b.kinds[i] == kind && int(b.lens[i]) == len(pay) {
+					acc := b.mergeTarget(i)
+					if merged, ok := e.colCombine(kind, acc, pay, b.counts[i], count); ok {
+						b.counts[i] = merged
+						b.srcs[i] = -1
+						w.m.CombinedAway++
+						continue
+					}
+				}
+			} else {
+				w.seenStamp[dst] = w.stamp
+				w.lastSeen[dst] = int32(len(b.dsts))
+			}
+		}
+		if off := fan[dw]; off >= 0 {
+			b.addAlias(dst, kind, src, count, int(off), int32(len(pay)))
+			continue
+		}
+		fan[dw] = int64(len(b.arena))
+		b.add(dst, kind, src, count, pay)
+		// The freshly appended extent is this fan's shared source: combines
+		// must not fold into it in place, or later aliases would read the
+		// merged value instead of the pristine payload.
+		b.shared[len(b.shared)-1] = true
+	}
 }
 
 func (w *worker[V, M]) sendColumnarToWorker(dw int, kind uint8, src, count int32, pay []float32) {
@@ -341,10 +560,11 @@ func (w *worker[V, M]) aggPut(key string, value []float32) {
 
 // Engine executes a vertex program over a topology.
 type Engine[V, M any] struct {
-	topo Topology
-	prog VertexProgram[V, M]
-	cfg  Config[M]
-	part *graph.Partitioner
+	topo  Topology
+	prog  VertexProgram[V, M]
+	batch BatchProgram[V, M] // non-nil iff cfg.Batched
+	cfg   Config[M]
+	part  *graph.Partitioner
 
 	values  []V
 	active  []bool
@@ -352,8 +572,10 @@ type Engine[V, M any] struct {
 
 	// localIdx[v] caches part.LocalIndex(v) (the dense per-receiver inbox
 	// slot), replacing two integer divisions per delivered message in the
-	// barrier's counting sort with a table read.
+	// barrier's counting sort with a table read. workerOf[v] caches
+	// part.WorkerFor(v) for the send hot path the same way.
 	localIdx []int32
+	workerOf []int32
 
 	columnar   bool
 	colCombine func(kind uint8, acc, pay []float32, accCount, payCount int32) (int32, bool)
@@ -407,6 +629,10 @@ type snapshot[V, M any] struct {
 	// columnar plane
 	colIn   []colSnap
 	colMail []colSnap
+
+	// program-owned state (ProgramStater), e.g. a batch program's slabs
+	progState any
+	hasProg   bool
 }
 
 // NewEngine constructs an engine; Run executes it.
@@ -427,6 +653,16 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 		part:     graph.NewPartitioner(cfg.NumWorkers),
 		columnar: cfg.Columnar != nil,
 	}
+	if cfg.Batched {
+		if !e.columnar {
+			panic("pregel: Config.Batched requires the columnar message plane")
+		}
+		bp, ok := prog.(BatchProgram[V, M])
+		if !ok {
+			panic("pregel: Config.Batched requires a program implementing BatchProgram")
+		}
+		e.batch = bp
+	}
 	n := topo.NumVertices()
 	e.values = make([]V, n)
 	e.active = make([]bool, n)
@@ -434,8 +670,10 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 		e.active[i] = true
 	}
 	e.localIdx = make([]int32, n)
+	e.workerOf = make([]int32, n)
 	for v := range e.localIdx {
 		e.localIdx[v] = int32(e.part.LocalIndex(int32(v)))
+		e.workerOf[v] = int32(e.part.WorkerFor(int32(v)))
 	}
 	nw := cfg.NumWorkers
 	combining := false
@@ -463,12 +701,18 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 		wk := &worker[V, M]{engine: e, id: w, verts: e.part.NodesFor(w, n)}
 		if !e.columnar {
 			wk.out = make([]pending[M], nw)
+		} else {
+			wk.fanOff = make([]int64, nw)
 		}
 		if combining {
 			wk.lastSeen = make([]int32, n)
 			wk.seenStamp = make([]uint32, n)
 		}
 		owned := len(wk.verts)
+		if cfg.Batched {
+			wk.computed = make([]bool, owned)
+			wk.halted = make([]bool, owned)
+		}
 		if e.columnar {
 			e.colIn[w].off = make([]int32, owned+1)
 			e.colIn[w].next = make([]int32, owned)
@@ -565,6 +809,10 @@ func (e *Engine[V, M]) takeCheckpoint(step int) {
 			cp.boxMail[r] = append([]M(nil), e.boxMail[r]...)
 		}
 	}
+	if ps, ok := e.prog.(ProgramStater); ok {
+		cp.progState = ps.SnapshotProgState()
+		cp.hasProg = true
+	}
 	e.checkpoint = cp
 }
 
@@ -598,6 +846,9 @@ func (e *Engine[V, M]) restoreCheckpoint() {
 			e.boxIn[r].msgs = append(e.boxIn[r].msgs[:0], cp.boxMsgs[r]...)
 			e.boxMail[r] = append(e.boxMail[r][:0], cp.boxMail[r]...)
 		}
+	}
+	if cp.hasProg {
+		e.prog.(ProgramStater).RestoreProgState(cp.progState)
 	}
 	if len(e.metrics) > cp.step {
 		e.metrics = e.metrics[:cp.step]
@@ -645,7 +896,13 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 		w.stamp++
 		if e.columnar {
 			for r := 0; r < nw; r++ {
-				e.colCur[w.id][r] = e.colFree.get(e.colLive[w.id][r])
+				b := e.colFree.get(e.colLive[w.id][r])
+				if e.colLive[w.id][r] == nil && e.cfg.Columnar.ReserveMsgs > 0 {
+					// Cold buffer (first two generations): apply the
+					// program's volume hint instead of growing by doubling.
+					b.reserve(e.cfg.Columnar.ReserveMsgs, e.cfg.Columnar.ReserveFloats)
+				}
+				e.colCur[w.id][r] = b
 			}
 		} else {
 			for r := range w.out {
@@ -712,6 +969,38 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 // computeWorker runs one worker's compute phase for a superstep.
 func (e *Engine[V, M]) computeWorker(w *worker[V, M], step int) {
 	m := w.m
+	if e.batch != nil {
+		// Batched plane: the engine keeps the per-vertex activity and IO
+		// accounting (identical to the columnar per-vertex loop below), then
+		// hands the whole partition to ComputeBatch in one call.
+		mail := &e.colMail[w.id]
+		for i := range mail.kinds {
+			m.MessagesReceived++
+			m.BytesReceived += int64(e.colBytes(mail.kinds[i], len(mail.pays[i])))
+		}
+		in := &e.colIn[w.id]
+		for li, v := range w.verts {
+			lo, hi := in.off[li], in.off[li+1]
+			w.computed[li] = e.active[v] || lo != hi
+			w.halted[li] = false
+			if !w.computed[li] {
+				continue
+			}
+			m.ActiveVertices++
+			m.MessagesReceived += int64(hi - lo)
+			for i := lo; i < hi; i++ {
+				m.BytesReceived += int64(e.colBytes(in.cols.kinds[i], len(in.cols.pays[i])))
+			}
+		}
+		e.batch.ComputeBatch(&BatchContext[V, M]{worker: w, Superstep: step})
+		for li, v := range w.verts {
+			if w.computed[li] {
+				e.active[v] = !w.halted[li]
+			}
+		}
+		m.ComputeCost = w.stepCost
+		return
+	}
 	if e.columnar {
 		mail := &e.colMail[w.id]
 		for i := range mail.kinds {

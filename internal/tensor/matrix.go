@@ -205,23 +205,57 @@ func matMulInto(dst, a, b *Matrix) *Matrix {
 // matMulRange accumulates rows [lo, hi) of a @ b into dst. k-tiles keep a
 // kb-row band of b hot in cache across the block's rows. For a fixed output
 // element the adds still arrive in ascending k order — tiles are visited in
-// order, serially — so blocking never reorders a summation.
+// order, serially, and the 4-wide register blocking below performs its four
+// adds sequentially (never as a reassociated dot product) — so neither
+// blocking nor unrolling ever reorders a summation: results are
+// bit-identical to the naive triple loop at any BlockSize.
 func matMulRange(dst, a, b *Matrix, kb, lo, hi int) {
 	for k0 := 0; k0 < a.Cols; k0 += kb {
 		k1 := min(k0+kb, a.Cols)
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
 			orow := dst.Row(i)
-			for k := k0; k < k1; k++ {
-				av := arow[k]
-				if av == 0 {
+			k := k0
+			// Register-blocked path: four b rows per pass quarter the
+			// orow load/store traffic. Any zero lane falls back to the
+			// scalar loop, keeping the sparsity skip (ReLU-heavy inputs)
+			// exactly as the naive loop applies it.
+			for ; k+3 < k1; k += 4 {
+				av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				if av0 != 0 && av1 != 0 && av2 != 0 && av3 != 0 {
+					b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+					_, _, _ = b1[len(b0)-1], b2[len(b0)-1], b3[len(b0)-1]
+					for j, bv := range b0 {
+						v := orow[j]
+						v += av0 * bv
+						v += av1 * b1[j]
+						v += av2 * b2[j]
+						v += av3 * b3[j]
+						orow[j] = v
+					}
 					continue
 				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					orow[j] += av * bv
+				if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+					continue
 				}
+				matMulScalarK(orow, arow, b, k, k+4)
 			}
+			matMulScalarK(orow, arow, b, k, k1)
+		}
+	}
+}
+
+// matMulScalarK is the scalar k-loop of matMulRange: one b row at a time,
+// zero lanes skipped, adds in ascending k order.
+func matMulScalarK(orow, arow []float32, b *Matrix, k0, k1 int) {
+	for k := k0; k < k1; k++ {
+		av := arow[k]
+		if av == 0 {
+			continue
+		}
+		brow := b.Row(k)
+		for j, bv := range brow {
+			orow[j] += av * bv
 		}
 	}
 }

@@ -252,6 +252,108 @@ func gatherSegmentSumInto(dst, state *Matrix, src, seg []int32) *Matrix {
 	return dst
 }
 
+// checkViews validates a CSR view reduction: off must be a monotone offset
+// array with one entry per dst row plus one, covering rows exactly, and
+// every row view must span dst.Cols values. The payload views typically come
+// from a message inbox, where a length mismatch would mean a corrupted
+// message rather than a caller bug — panicking here keeps the failure at the
+// kernel boundary instead of a silent partial accumulation.
+func checkViews(op string, dst *Matrix, off []int32, rows [][]float32) {
+	if len(off) != dst.Rows+1 {
+		panic(fmt.Sprintf("tensor: %s %d offsets for %d segments", op, len(off), dst.Rows))
+	}
+	if int(off[dst.Rows]) != len(rows) {
+		panic(fmt.Sprintf("tensor: %s offsets cover %d rows, got %d", op, off[dst.Rows], len(rows)))
+	}
+	for i, r := range rows {
+		if len(r) != dst.Cols {
+			panic(fmt.Sprintf("tensor: %s row %d has %d values, want %d", op, i, len(r), dst.Cols))
+		}
+	}
+}
+
+// SegmentSumViewsInto is the CSR form of SegmentSum over row views instead
+// of matrix rows: dst.Row(s) = Σ rows[off[s]:off[s+1]], overwriting dst. The
+// views need not come from one backing array — this is the fused
+// whole-partition gather of the batched inference plane, where each view is
+// a zero-copy extent of a message arena. Parallel over segment blocks
+// weighted by the CSR offsets (so power-law hub segments don't serialize one
+// worker); each segment accumulates serially in ascending view order, the
+// same order as the per-destination serial loop, so results are
+// bit-identical at any Tuning.
+func SegmentSumViewsInto(dst *Matrix, off []int32, rows [][]float32) *Matrix {
+	checkViews("SegmentSumViews", dst, off, rows)
+	dst.Zero()
+	n := dst.Rows
+	if n == 0 {
+		return dst
+	}
+	fold := func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			orow := dst.Row(s)
+			for _, drow := range rows[off[s]:off[s+1]] {
+				for j, v := range drow {
+					orow[j] += v
+				}
+			}
+		}
+	}
+	if serialKernel(n, len(rows)*dst.Cols) {
+		fold(0, n)
+		return dst
+	}
+	parallelWeightedBlocks(n, len(rows)*dst.Cols, off, fold)
+	return dst
+}
+
+// SegmentExtremeViewsInto is the CSR-views form of SegmentMax/SegmentMin:
+// the segment's first view seeds dst.Row(s), later views fold elementwise;
+// empty segments produce zero rows (matching SegmentMax/Min). Every dst
+// element is written, so an unzeroed (pooled) dst is safe. Fold order per
+// segment is ascending view order — bit-identical to the serial loop,
+// NaN propagation included.
+func SegmentExtremeViewsInto(dst *Matrix, off []int32, rows [][]float32, isMax bool) *Matrix {
+	checkViews("SegmentExtremeViews", dst, off, rows)
+	n := dst.Rows
+	if n == 0 {
+		return dst
+	}
+	fold := func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			orow := dst.Row(s)
+			seg := rows[off[s]:off[s+1]]
+			if len(seg) == 0 {
+				for j := range orow {
+					orow[j] = 0
+				}
+				continue
+			}
+			copy(orow, seg[0])
+			for _, drow := range seg[1:] {
+				if isMax {
+					for j, v := range drow {
+						if v > orow[j] {
+							orow[j] = v
+						}
+					}
+				} else {
+					for j, v := range drow {
+						if v < orow[j] {
+							orow[j] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	if serialKernel(n, len(rows)*dst.Cols) {
+		fold(0, n)
+		return dst
+	}
+	parallelWeightedBlocks(n, len(rows)*dst.Cols, off, fold)
+	return dst
+}
+
 // SegmentSoftmax normalizes the scalar logits per segment with a numerically
 // stable softmax: out[r] = exp(x[r]-max_seg)/sum_seg. This is GAT's
 // SparseSoftmax over edges grouped by destination node.

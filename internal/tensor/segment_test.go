@@ -55,6 +55,135 @@ func TestSegmentMaxNegativeValuesOnly(t *testing.T) {
 	}
 }
 
+// csrViews builds a deterministic CSR view set: nSeg segments with skewed
+// sizes (segment 0 is a hub), cols-wide rows, views aliasing several
+// distinct backing arrays as inbox payloads do.
+func csrViews(nSeg, cols, seed int) (off []int32, rows [][]float32) {
+	rng := NewRNG(int64(seed))
+	off = make([]int32, nSeg+1)
+	for s := 0; s < nSeg; s++ {
+		n := int(rng.Float32() * 4)
+		if s == 0 {
+			n = 3 * nSeg // hub segment
+		}
+		off[s+1] = off[s] + int32(n)
+	}
+	for i := 0; i < int(off[nSeg]); i++ {
+		arena := make([]float32, cols)
+		for j := range arena {
+			arena[j] = rng.Float32()*8 - 4
+		}
+		rows = append(rows, arena)
+	}
+	return off, rows
+}
+
+// TestSegmentViewsMatchSerialLoop: the CSR-view kernels must reproduce the
+// naive per-destination loop bit for bit at every worker count, including a
+// threshold forcing the parallel path.
+func TestSegmentViewsMatchSerialLoop(t *testing.T) {
+	const nSeg, cols = 37, 9
+	off, rows := csrViews(nSeg, cols, 5)
+	wantSum := New(nSeg, cols)
+	wantMax := New(nSeg, cols)
+	wantMin := New(nSeg, cols)
+	for s := 0; s < nSeg; s++ {
+		for i := off[s]; i < off[s+1]; i++ {
+			orow := wantSum.Row(s)
+			for j, v := range rows[i] {
+				orow[j] += v
+			}
+		}
+		seg := rows[off[s]:off[s+1]]
+		if len(seg) == 0 {
+			continue
+		}
+		copy(wantMax.Row(s), seg[0])
+		copy(wantMin.Row(s), seg[0])
+		for _, r := range seg[1:] {
+			for j, v := range r {
+				if v > wantMax.At(s, j) {
+					wantMax.Set(s, j, v)
+				}
+				if v < wantMin.At(s, j) {
+					wantMin.Set(s, j, v)
+				}
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		prev := SetTuning(Tuning{Workers: workers, ParallelThreshold: 1})
+		gotSum := SegmentSumViewsInto(New(nSeg, cols), off, rows)
+		gotMax := New(nSeg, cols)
+		gotMax.Fill(-77) // every element must be overwritten
+		SegmentExtremeViewsInto(gotMax, off, rows, true)
+		gotMin := New(nSeg, cols)
+		gotMin.Fill(-77)
+		SegmentExtremeViewsInto(gotMin, off, rows, false)
+		SetTuning(prev)
+		if !gotSum.Equal(wantSum) {
+			t.Fatalf("workers=%d: SegmentSumViewsInto diverges from serial loop", workers)
+		}
+		if !gotMax.Equal(wantMax) {
+			t.Fatalf("workers=%d: SegmentExtremeViewsInto(max) diverges", workers)
+		}
+		if !gotMin.Equal(wantMin) {
+			t.Fatalf("workers=%d: SegmentExtremeViewsInto(min) diverges", workers)
+		}
+	}
+}
+
+// TestSegmentViewsEdgeCases: empty segment sets, all-empty segments, and a
+// single over-heavy segment.
+func TestSegmentViewsEdgeCases(t *testing.T) {
+	if got := SegmentSumViewsInto(New(0, 4), []int32{0}, nil); got.Rows != 0 {
+		t.Fatal("zero-segment sum must be empty")
+	}
+	// All-empty segments: sum and extreme are zero, even from a dirty dst.
+	dst := New(3, 2)
+	dst.Fill(9)
+	SegmentSumViewsInto(dst, []int32{0, 0, 0, 0}, nil)
+	for _, v := range dst.Data {
+		if v != 0 {
+			t.Fatalf("empty-segment sum = %v", dst.Data)
+		}
+	}
+	dst.Fill(9)
+	SegmentExtremeViewsInto(dst, []int32{0, 0, 0, 0}, nil, true)
+	for _, v := range dst.Data {
+		if v != 0 {
+			t.Fatalf("empty-segment max = %v", dst.Data)
+		}
+	}
+	// All-negative single segment keeps its true max (first view seeds).
+	got := SegmentExtremeViewsInto(New(1, 1), []int32{0, 2}, [][]float32{{-5}, {-3}}, true)
+	if got.At(0, 0) != -3 {
+		t.Fatalf("negative-only max = %v, want -3", got.At(0, 0))
+	}
+}
+
+// TestSegmentViewsMismatchPanics: corrupted offsets or ragged views must
+// fail loudly at the kernel boundary.
+func TestSegmentViewsMismatchPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("offset length", func() {
+		SegmentSumViewsInto(New(2, 1), []int32{0, 1}, [][]float32{{1}})
+	})
+	expectPanic("offset coverage", func() {
+		SegmentSumViewsInto(New(1, 1), []int32{0, 2}, [][]float32{{1}})
+	})
+	expectPanic("ragged view", func() {
+		SegmentSumViewsInto(New(1, 2), []int32{0, 1}, [][]float32{{1}})
+	})
+}
+
 func TestSegmentCount(t *testing.T) {
 	got := SegmentCount([]int32{0, 2, 2, 2}, 3)
 	if got[0] != 1 || got[1] != 0 || got[2] != 3 {
