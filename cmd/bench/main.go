@@ -7,7 +7,7 @@
 //	bench                 # run everything at the full preset
 //	bench -scale quick    # the fast preset the tests use
 //	bench -exp table3     # one experiment
-//	bench -perf out.json  # message-plane benchmarks + identity checks as JSON
+//	bench -perf out.json  # plane + partitioning benchmarks, identity checks as JSON
 package main
 
 import (
@@ -25,7 +25,7 @@ func main() {
 	var (
 		exp   = flag.String("exp", "all", "table1|table2|table3|table4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|all")
 		scale = flag.String("scale", "full", "quick | full")
-		perf  = flag.String("perf", "", "run the message-plane perf suite and write JSON results to this path")
+		perf  = flag.String("perf", "", "run the plane + partitioning perf suite and write JSON results to this path")
 
 		// Kernel tuning knobs (0 = default). Any setting is bit-identical;
 		// these trade wall-clock only.

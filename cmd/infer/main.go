@@ -26,6 +26,7 @@ func main() {
 		pg      = flag.Bool("partial-gather", false, "enable partial-gather")
 		bc      = flag.Bool("broadcast", false, "enable broadcast for hub out-edges")
 		sn      = flag.Bool("shadow-nodes", false, "enable shadow-nodes preprocessing")
+		part    = flag.String("partitioner", "hash", "vertex placement: hash | degree | ldg | fennel")
 		lambda  = flag.Float64("lambda", 0.1, "hub threshold heuristic λ")
 		spill   = flag.String("spill", "", "disk-spill dir (mapreduce backend)")
 		outPath = flag.String("out", "", "optional predictions output (one class id per line)")
@@ -41,9 +42,14 @@ func main() {
 		fatalf("loading %s: %v", *model, err)
 	}
 
+	strat, err := inferturbo.PartitionStrategyByName(*part)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	opts := inferturbo.InferOptions{
 		NumWorkers: *workers, PartialGather: *pg, Broadcast: *bc,
 		ShadowNodes: *sn, Lambda: *lambda, SpillDir: *spill, Parallel: true,
+		Partitioner: strat,
 	}
 
 	var res *inferturbo.InferResult
@@ -66,6 +72,11 @@ func main() {
 	fmt.Printf("inferred %d nodes in %d supersteps on %s\n", g.NumNodes, st.Supersteps, *backend)
 	fmt.Printf("messages sent      %d\n", st.MessagesSent)
 	fmt.Printf("bytes sent         %d\n", st.BytesSent)
+	if *backend == "pregel" {
+		// The MapReduce shuffle does not attribute producers to reducers,
+		// so remote traffic is only metered on the Pregel backend.
+		fmt.Printf("cross-worker bytes %d (placement: %s)\n", st.RemoteBytes, *part)
+	}
 	fmt.Printf("combined away      %d (partial-gather)\n", st.CombinedAway)
 	fmt.Printf("broadcast hubs     %d node-steps\n", st.BroadcastHubs)
 	fmt.Printf("shadow mirrors     %d\n", st.ShadowMirrors)

@@ -6,8 +6,10 @@
 // and runs them full-graph, sampling-free, on either of two distributed
 // execution backends — a Pregel-like graph processing engine or a MapReduce
 // batch engine — with the paper's three skew strategies (partial-gather,
-// broadcast, shadow-nodes). Predictions are deterministic: identical across
-// runs, worker counts, backends and strategy combinations — including the
+// broadcast, shadow-nodes) and pluggable, locality-aware vertex placement
+// (InferOptions.Partitioner: hash, degree-balanced, streaming LDG, Fennel).
+// Predictions are deterministic: identical across runs, worker counts,
+// vertex placements, backends and strategy combinations — including the
 // goroutine-parallel compute kernels, which are bit-identical at any
 // KernelTuning ("parallel over owned row blocks, serial within a
 // reduction"; see DESIGN.md).
@@ -99,6 +101,38 @@ type (
 	// ClusterReport prices a run's phases on a ClusterSpec.
 	ClusterReport = cluster.Report
 )
+
+// Partitioning types.
+type (
+	// Partitioner is a concrete vertex→worker placement (dense lookup
+	// tables or the arithmetic hash).
+	Partitioner = graph.Partitioner
+	// PartitionStrategy builds a Partitioner for a concrete graph; set
+	// InferOptions.Partitioner to choose one (nil = hash).
+	PartitionStrategy = graph.Strategy
+	// PartitionStats summarizes a placement: per-worker load, edge cut,
+	// replication factor, load imbalance.
+	PartitionStats = graph.PartitionStats
+)
+
+// Built-in placement strategies. Placement trades cross-worker traffic
+// only; predictions are bit-identical under every strategy (under
+// PartialGather, whose combiner folds per sending worker, cross-placement
+// agreement is tolerance-level like cross-backend agreement).
+func PartitionHash() PartitionStrategy           { return graph.Hash{} }
+func PartitionDegreeBalanced() PartitionStrategy { return graph.DegreeBalanced{} }
+func PartitionLDG() PartitionStrategy            { return graph.LDG{} }
+func PartitionFennel() PartitionStrategy         { return graph.Fennel{} }
+
+// PartitionStrategyByName resolves "hash" | "degree" | "ldg" | "fennel".
+func PartitionStrategyByName(name string) (PartitionStrategy, error) {
+	return graph.StrategyByName(name)
+}
+
+// ComputePartitionStats measures a placement's quality over g.
+func ComputePartitionStats(p Partitioner, g *Graph) PartitionStats {
+	return graph.ComputeStats(p, g)
+}
 
 // Re-exported constants.
 const (

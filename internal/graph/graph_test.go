@@ -161,7 +161,7 @@ func TestPartitionerModAndRoundTrip(t *testing.T) {
 
 func TestPartitionerStats(t *testing.T) {
 	g := diamond(t)
-	st := NewPartitioner(2).Stats(g)
+	st := ComputeStats(NewPartitioner(2), g)
 	if st.Nodes[0]+st.Nodes[1] != 4 {
 		t.Fatalf("node totals = %v", st.Nodes)
 	}

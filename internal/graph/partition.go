@@ -2,69 +2,239 @@ package graph
 
 import "fmt"
 
-// Partitioner assigns nodes to workers. The paper follows Pregel: hash the
-// node id (mod N); each partition owns its nodes' state and out-edges.
+// Partitioner assigns nodes to workers. The paper follows Pregel — shard the
+// vertex set, each partition owning its nodes' state and out-edges — but the
+// engines only depend on the placement contract below, so placement is a
+// pluggable subsystem: the default mod-N hash keeps the seed behaviour, and
+// locality-aware strategies (see strategies.go) drop in without touching the
+// engines.
 //
-// The mod-N layout makes ownership a pure arithmetic property, which the
-// engines exploit for dense per-partition indexing: worker w owns node v iff
-// v % N == w, and v is the LocalIndex(v)-th node of that worker. Both are
-// O(1) with no lookup tables, so per-superstep structures (counting-sort
-// inboxes, combiner last-seen indexes) can be flat arrays.
-type Partitioner struct {
-	NumWorkers int
+// The contract every implementation must honour:
+//
+//   - WorkerFor is a total function over [0, n) onto [0, NumWorkers()).
+//   - LocalIndex(v) is v's position in NodesFor(WorkerFor(v), n): dense
+//     [0, OwnedCount) per worker, so per-partition structures (counting-sort
+//     inboxes, state slabs, combiner indexes) can be flat arrays.
+//   - NodesFor lists a worker's nodes in ascending id order. The engines
+//     compute owned vertices in that order, which makes every sender buffer
+//     ascending in source id — the property the barrier's merge delivery
+//     uses to give each destination a partition-independent inbox order.
+//
+// Implementations must be safe for concurrent read-only use: the engine's
+// workers consult the shared partitioner from their goroutines.
+type Partitioner interface {
+	// NumWorkers returns the partition count.
+	NumWorkers() int
+	// WorkerFor returns the worker owning node v.
+	WorkerFor(v int32) int
+	// LocalIndex returns v's dense position within its owner's node list
+	// (the index of v in NodesFor(WorkerFor(v), n)).
+	LocalIndex(v int32) int
+	// OwnedCount returns how many of a graph's n nodes worker w owns,
+	// without materializing the list.
+	OwnedCount(w, n int) int
+	// NodesFor lists the nodes of worker w for a graph of n nodes, in
+	// ascending id order.
+	NodesFor(w, n int) []int32
 }
 
-// NewPartitioner returns a mod-N partitioner over the given worker count.
-func NewPartitioner(numWorkers int) *Partitioner {
+// HashPartitioner is the seed's mod-N placement: worker w owns node v iff
+// v % N == w, and v is the (v/N)-th node of that worker. Ownership is a pure
+// arithmetic property — no lookup tables, valid for any node count — which
+// is why it stays the zero-config default for engines that only know a
+// vertex count, not a graph.
+type HashPartitioner struct {
+	Workers int
+}
+
+// NewPartitioner returns a mod-N hash partitioner over the given worker
+// count.
+func NewPartitioner(numWorkers int) *HashPartitioner {
 	if numWorkers <= 0 {
 		panic(fmt.Sprintf("graph: invalid worker count %d", numWorkers))
 	}
-	return &Partitioner{NumWorkers: numWorkers}
+	return &HashPartitioner{Workers: numWorkers}
 }
 
-// WorkerFor returns the worker owning node v.
-func (p *Partitioner) WorkerFor(v int32) int { return int(v) % p.NumWorkers }
+// NumWorkers implements Partitioner.
+func (p *HashPartitioner) NumWorkers() int { return p.Workers }
 
-// LocalIndex returns v's dense position within its owner's node list (the
-// index of v in NodesFor(WorkerFor(v), n)).
-func (p *Partitioner) LocalIndex(v int32) int { return int(v) / p.NumWorkers }
+// WorkerFor implements Partitioner.
+func (p *HashPartitioner) WorkerFor(v int32) int { return int(v) % p.Workers }
 
-// OwnedCount returns how many of a graph's n nodes worker w owns, without
-// materializing the list.
-func (p *Partitioner) OwnedCount(w, n int) int {
+// LocalIndex implements Partitioner.
+func (p *HashPartitioner) LocalIndex(v int32) int { return int(v) / p.Workers }
+
+// OwnedCount implements Partitioner.
+func (p *HashPartitioner) OwnedCount(w, n int) int {
 	if w >= n {
 		return 0
 	}
-	return (n - w + p.NumWorkers - 1) / p.NumWorkers
+	return (n - w + p.Workers - 1) / p.Workers
 }
 
-// NodesFor lists the nodes of worker w for a graph of n nodes, in id order.
-func (p *Partitioner) NodesFor(w, n int) []int32 {
+// NodesFor implements Partitioner.
+func (p *HashPartitioner) NodesFor(w, n int) []int32 {
 	out := make([]int32, 0, p.OwnedCount(w, n))
-	for v := w; v < n; v += p.NumWorkers {
+	for v := w; v < n; v += p.Workers {
 		out = append(out, int32(v))
 	}
 	return out
 }
 
-// Stats summarizes a partitioning for load-balance analysis: per-worker node
-// and out-edge counts.
-type PartitionStats struct {
-	Nodes    []int
-	OutEdges []int
+// Mapping is a materialized node→worker assignment backed by dense workerOf
+// and localIdx tables — the canonical form every computed placement (LDG,
+// Fennel, degree-balanced) takes. Lookups are single table reads; the owned
+// node lists are built once, in ascending id order, so the Partitioner
+// contract holds by construction.
+type Mapping struct {
+	workers  int
+	workerOf []int32
+	localIdx []int32
+	owned    [][]int32
 }
 
-// Stats computes per-worker node and out-edge counts for g.
-func (p *Partitioner) Stats(g *Graph) PartitionStats {
+// NewMapping builds the dense tables for an explicit assignment: workerOf[v]
+// is the worker owning node v. The slice is copied; every entry must lie in
+// [0, numWorkers).
+func NewMapping(numWorkers int, workerOf []int32) *Mapping {
+	if numWorkers <= 0 {
+		panic(fmt.Sprintf("graph: invalid worker count %d", numWorkers))
+	}
+	m := &Mapping{
+		workers:  numWorkers,
+		workerOf: append([]int32(nil), workerOf...),
+		localIdx: make([]int32, len(workerOf)),
+		owned:    make([][]int32, numWorkers),
+	}
+	counts := make([]int, numWorkers)
+	for v, w := range m.workerOf {
+		if w < 0 || int(w) >= numWorkers {
+			panic(fmt.Sprintf("graph: node %d mapped to worker %d of %d", v, w, numWorkers))
+		}
+		counts[w]++
+	}
+	for w, c := range counts {
+		m.owned[w] = make([]int32, 0, c)
+	}
+	for v, w := range m.workerOf {
+		m.localIdx[v] = int32(len(m.owned[w]))
+		m.owned[w] = append(m.owned[w], int32(v))
+	}
+	return m
+}
+
+// NumWorkers implements Partitioner.
+func (m *Mapping) NumWorkers() int { return m.workers }
+
+// WorkerFor implements Partitioner.
+func (m *Mapping) WorkerFor(v int32) int { return int(m.workerOf[v]) }
+
+// LocalIndex implements Partitioner.
+func (m *Mapping) LocalIndex(v int32) int { return int(m.localIdx[v]) }
+
+// OwnedCount implements Partitioner. n must be the node count the mapping
+// was built for — a mismatch means the caller partitioned a different graph
+// (e.g. the input graph instead of its shadow rewrite), which would corrupt
+// every dense per-partition structure downstream.
+func (m *Mapping) OwnedCount(w, n int) int {
+	m.checkNodes(n)
+	return len(m.owned[w])
+}
+
+// NodesFor implements Partitioner. Callers must not mutate the returned
+// slice.
+func (m *Mapping) NodesFor(w, n int) []int32 {
+	m.checkNodes(n)
+	return m.owned[w]
+}
+
+func (m *Mapping) checkNodes(n int) {
+	if n != len(m.workerOf) {
+		panic(fmt.Sprintf("graph: mapping built for %d nodes queried with %d", len(m.workerOf), n))
+	}
+}
+
+// PartitionStats summarizes a placement's quality for a concrete graph:
+// per-worker load, the cross-worker traffic the placement induces, and how
+// unevenly the load spreads.
+type PartitionStats struct {
+	// Nodes and OutEdges are per-worker node and out-edge counts.
+	Nodes    []int
+	OutEdges []int
+	// CutEdges counts edges whose endpoints live on different workers; each
+	// one costs a cross-worker message every superstep. EdgeCutFrac is
+	// CutEdges / NumEdges.
+	CutEdges    int
+	EdgeCutFrac float64
+	// ReplicationFactor is the mean number of workers that need a copy of a
+	// node's state during scatter: the owner plus every distinct remote
+	// worker among its out-neighbors. 1.0 means fully local; the hub
+	// broadcast strategy sends exactly one payload per replica.
+	ReplicationFactor float64
+	// NodeImbalance and EdgeImbalance are max/mean per-worker load ratios
+	// (1.0 = perfectly balanced); the straggler lower bound for superstep
+	// wall-clock.
+	NodeImbalance float64
+	EdgeImbalance float64
+}
+
+// ComputeStats measures p's placement of g. Ownership is derived from the
+// mapping itself (WorkerFor per node), never from a contiguity assumption,
+// so the numbers stay correct for any strategy.
+func ComputeStats(p Partitioner, g *Graph) PartitionStats {
+	nw := p.NumWorkers()
 	st := PartitionStats{
-		Nodes:    make([]int, p.NumWorkers),
-		OutEdges: make([]int, p.NumWorkers),
+		Nodes:    make([]int, nw),
+		OutEdges: make([]int, nw),
 	}
-	for w := range st.Nodes {
-		st.Nodes[w] = p.OwnedCount(w, g.NumNodes)
-	}
+	// seen[w] == v+1 marks worker w as holding a replica of the current
+	// node v; reset is implicit via the stamp.
+	seen := make([]int32, nw)
+	var replicas int64
 	for v := int32(0); v < int32(g.NumNodes); v++ {
-		st.OutEdges[p.WorkerFor(v)] += g.OutDegree(v)
+		w := p.WorkerFor(v)
+		st.Nodes[w]++
+		st.OutEdges[w] += g.OutDegree(v)
+		stamp := v + 1
+		seen[w] = stamp
+		reps := int64(1)
+		for _, dst := range g.OutNeighbors(v) {
+			dw := p.WorkerFor(dst)
+			if dw != w {
+				st.CutEdges++
+			}
+			if seen[dw] != stamp {
+				seen[dw] = stamp
+				reps++
+			}
+		}
+		replicas += reps
 	}
+	if g.NumEdges > 0 {
+		st.EdgeCutFrac = float64(st.CutEdges) / float64(g.NumEdges)
+	}
+	if g.NumNodes > 0 {
+		st.ReplicationFactor = float64(replicas) / float64(g.NumNodes)
+	}
+	st.NodeImbalance = imbalance(st.Nodes)
+	st.EdgeImbalance = imbalance(st.OutEdges)
 	return st
+}
+
+// imbalance returns max/mean of the per-worker loads (0 when nothing is
+// loaded).
+func imbalance(loads []int) float64 {
+	total, maxLoad := 0, 0
+	for _, l := range loads {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(loads))
+	return float64(maxLoad) / mean
 }

@@ -1,20 +1,31 @@
 package graph
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
+
+// partitioners under test: the arithmetic hash and a Mapping holding the
+// same assignment, which must be observationally identical.
+func hashAndMapping(workers, n int) []Partitioner {
+	hash := NewPartitioner(workers)
+	workerOf := make([]int32, n)
+	for v := range workerOf {
+		workerOf[v] = int32(hash.WorkerFor(int32(v)))
+	}
+	return []Partitioner{hash, NewMapping(workers, workerOf)}
+}
 
 func TestOwnedCountMatchesNodesFor(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 7, 8} {
-		p := NewPartitioner(workers)
 		for _, n := range []int{0, 1, 5, 16, 97} {
-			for w := 0; w < workers; w++ {
-				nodes := p.NodesFor(w, n)
-				if got := p.OwnedCount(w, n); got != len(nodes) {
-					t.Fatalf("OwnedCount(%d, %d) with %d workers = %d, NodesFor has %d",
-						w, n, workers, got, len(nodes))
-				}
-				if cap(nodes) != len(nodes) {
-					t.Fatalf("NodesFor(%d, %d) with %d workers over-allocated: cap %d, len %d",
-						w, n, workers, cap(nodes), len(nodes))
+			for _, p := range hashAndMapping(workers, n) {
+				for w := 0; w < workers; w++ {
+					nodes := p.NodesFor(w, n)
+					if got := p.OwnedCount(w, n); got != len(nodes) {
+						t.Fatalf("OwnedCount(%d, %d) with %d workers = %d, NodesFor has %d",
+							w, n, workers, got, len(nodes))
+					}
 				}
 			}
 		}
@@ -24,37 +35,242 @@ func TestOwnedCountMatchesNodesFor(t *testing.T) {
 func TestLocalIndexIsDenseAndStable(t *testing.T) {
 	const n = 53
 	for _, workers := range []int{1, 2, 5, 8} {
-		p := NewPartitioner(workers)
-		for w := 0; w < workers; w++ {
-			for i, v := range p.NodesFor(w, n) {
-				if p.WorkerFor(v) != w {
-					t.Fatalf("node %d listed for worker %d but owned by %d", v, w, p.WorkerFor(v))
-				}
-				if got := p.LocalIndex(v); got != i {
-					t.Fatalf("LocalIndex(%d) = %d, want position %d", v, got, i)
+		for _, p := range hashAndMapping(workers, n) {
+			for w := 0; w < workers; w++ {
+				for i, v := range p.NodesFor(w, n) {
+					if p.WorkerFor(v) != w {
+						t.Fatalf("node %d listed for worker %d but owned by %d", v, w, p.WorkerFor(v))
+					}
+					if got := p.LocalIndex(v); got != i {
+						t.Fatalf("LocalIndex(%d) = %d, want position %d", v, got, i)
+					}
 				}
 			}
 		}
 	}
 }
 
-func TestStatsNodeCountsCoverGraph(t *testing.T) {
-	b := NewBuilder(23)
-	for v := int32(0); v < 22; v++ {
-		b.AddEdge(v, v+1, nil)
+// checkPartitionContract asserts the full Partitioner contract over a graph
+// of n nodes: total coverage, dense local indexes, ascending owned lists.
+func checkPartitionContract(t *testing.T, p Partitioner, n int) {
+	t.Helper()
+	covered := make([]bool, n)
+	total := 0
+	for w := 0; w < p.NumWorkers(); w++ {
+		nodes := p.NodesFor(w, n)
+		if len(nodes) != p.OwnedCount(w, n) {
+			t.Fatalf("worker %d: OwnedCount %d, NodesFor %d", w, p.OwnedCount(w, n), len(nodes))
+		}
+		for i, v := range nodes {
+			if i > 0 && nodes[i-1] >= v {
+				t.Fatalf("worker %d node list not ascending at %d: %v >= %v", w, i, nodes[i-1], v)
+			}
+			if covered[v] {
+				t.Fatalf("node %d owned twice", v)
+			}
+			covered[v] = true
+			if p.WorkerFor(v) != w || p.LocalIndex(v) != i {
+				t.Fatalf("node %d: WorkerFor=%d LocalIndex=%d, want %d/%d",
+					v, p.WorkerFor(v), p.LocalIndex(v), w, i)
+			}
+		}
+		total += len(nodes)
+	}
+	if total != n {
+		t.Fatalf("coverage %d of %d nodes", total, n)
+	}
+}
+
+func TestMappingRejectsBadAssignments(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range worker")
+		}
+	}()
+	NewMapping(2, []int32{0, 1, 2})
+}
+
+func TestMappingRejectsMismatchedNodeCount(t *testing.T) {
+	m := NewMapping(2, []int32{0, 1, 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on node-count mismatch")
+		}
+	}()
+	m.NodesFor(0, 4)
+}
+
+// communityGraph plants k communities of size cs with dense intra-community
+// rings and a sparse cross-community chord — a graph with an obvious good
+// cut for the locality strategies to find.
+func communityGraph(t *testing.T, k, cs int) *Graph {
+	t.Helper()
+	n := k * cs
+	b := NewBuilder(n)
+	for c := 0; c < k; c++ {
+		base := int32(c * cs)
+		for i := 0; i < cs; i++ {
+			v := base + int32(i)
+			for d := 1; d <= 3; d++ {
+				b.AddEdge(v, base+int32((i+d)%cs), nil)
+			}
+		}
+		// One chord to the next community.
+		b.AddEdge(base, int32(((c+1)%k)*cs), nil)
+	}
+	return b.Build()
+}
+
+func TestStrategiesSatisfyContract(t *testing.T) {
+	g := communityGraph(t, 4, 25)
+	for _, s := range Strategies() {
+		for _, workers := range []int{1, 2, 4, 7} {
+			p := s.Partition(g, workers)
+			if p.NumWorkers() != workers {
+				t.Fatalf("%s: NumWorkers = %d, want %d", s.Name(), p.NumWorkers(), workers)
+			}
+			checkPartitionContract(t, p, g.NumNodes)
+		}
+	}
+}
+
+func TestStrategiesAreDeterministic(t *testing.T) {
+	g := communityGraph(t, 4, 25)
+	for _, s := range Strategies() {
+		a, b := s.Partition(g, 4), s.Partition(g, 4)
+		for v := int32(0); v < int32(g.NumNodes); v++ {
+			if a.WorkerFor(v) != b.WorkerFor(v) {
+				t.Fatalf("%s: node %d placed on %d then %d", s.Name(), v, a.WorkerFor(v), b.WorkerFor(v))
+			}
+		}
+	}
+}
+
+func TestLDGCutsCommunityGraph(t *testing.T) {
+	g := communityGraph(t, 8, 25)
+	hash := ComputeStats(Hash{}.Partition(g, 4), g)
+	for _, s := range []Strategy{LDG{}, Fennel{}} {
+		st := ComputeStats(s.Partition(g, 4), g)
+		if st.EdgeCutFrac >= hash.EdgeCutFrac/2 {
+			t.Fatalf("%s edge cut %.3f did not halve hash's %.3f on a community graph",
+				s.Name(), st.EdgeCutFrac, hash.EdgeCutFrac)
+		}
+		if st.NodeImbalance > 1.15 {
+			t.Fatalf("%s node imbalance %.3f exceeds the capacity slack", s.Name(), st.NodeImbalance)
+		}
+	}
+}
+
+func TestLDGRespectsCapacity(t *testing.T) {
+	// A single dense community: without the capacity penalty LDG would pile
+	// every node onto one worker.
+	g := communityGraph(t, 1, 120)
+	p := LDG{Slack: 1.05}.Partition(g, 4)
+	hardCap := 32 // ceil(1.05 * 120 / 4)
+	for w := 0; w < 4; w++ {
+		if c := p.OwnedCount(w, g.NumNodes); c > hardCap {
+			t.Fatalf("worker %d owns %d nodes, cap %d", w, c, hardCap)
+		}
+	}
+}
+
+func TestDegreeBalancedFlattensEdgeLoad(t *testing.T) {
+	// Degrees correlated with v mod 4 — adversarial for mod-N hashing,
+	// which lands every heavy node on worker 0. Degree balancing must
+	// spread the load regardless of id pattern.
+	const n = 200
+	b := NewBuilder(n)
+	for v := int32(0); v < n; v++ {
+		deg := 1
+		if v%4 == 0 {
+			deg = 16
+		}
+		for i := 0; i < deg; i++ {
+			b.AddEdge(v, (v+int32(i)+1)%n, nil)
+		}
 	}
 	g := b.Build()
-	p := NewPartitioner(4)
-	st := p.Stats(g)
-	nodes, edges := 0, 0
-	for w := range st.Nodes {
-		nodes += st.Nodes[w]
-		edges += st.OutEdges[w]
+	hash := ComputeStats(Hash{}.Partition(g, 4), g)
+	bal := ComputeStats(DegreeBalanced{}.Partition(g, 4), g)
+	if hash.EdgeImbalance < 2 {
+		t.Fatalf("test graph not adversarial for hash: imbalance %.3f", hash.EdgeImbalance)
 	}
-	if nodes != g.NumNodes {
-		t.Fatalf("node counts sum to %d, want %d", nodes, g.NumNodes)
+	if bal.EdgeImbalance > 1.3 {
+		t.Fatalf("degree-balanced edge imbalance = %.3f (hash %.3f)", bal.EdgeImbalance, hash.EdgeImbalance)
 	}
-	if edges != g.NumEdges {
-		t.Fatalf("edge counts sum to %d, want %d", edges, g.NumEdges)
+}
+
+// TestStatsDeriveOwnershipFromMapping is the regression for the seed bug:
+// Stats assumed contiguous round-robin ownership, so any non-mod-N mapping
+// reported wrong per-worker node counts.
+func TestStatsDeriveOwnershipFromMapping(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1, nil)
+	b.AddEdge(2, 3, nil)
+	b.AddEdge(4, 5, nil)
+	g := b.Build()
+	// Everything on worker 1; worker 0 owns nothing.
+	m := NewMapping(2, []int32{1, 1, 1, 1, 1, 1})
+	st := ComputeStats(m, g)
+	if st.Nodes[0] != 0 || st.Nodes[1] != 6 {
+		t.Fatalf("node counts = %v, want [0 6]", st.Nodes)
 	}
+	if st.OutEdges[0] != 0 || st.OutEdges[1] != 3 {
+		t.Fatalf("edge counts = %v, want [0 3]", st.OutEdges)
+	}
+	if st.CutEdges != 0 || st.EdgeCutFrac != 0 {
+		t.Fatalf("single-worker placement reported a cut: %+v", st)
+	}
+	if st.ReplicationFactor != 1 {
+		t.Fatalf("replication = %v, want 1", st.ReplicationFactor)
+	}
+}
+
+func TestStatsEdgeCutAndReplication(t *testing.T) {
+	// 0→1, 0→2 with 0,1 on worker 0 and 2 on worker 1: one cut edge, node 0
+	// replicated on both workers.
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, nil)
+	b.AddEdge(0, 2, nil)
+	g := b.Build()
+	st := ComputeStats(NewMapping(2, []int32{0, 0, 1}), g)
+	if st.CutEdges != 1 || st.EdgeCutFrac != 0.5 {
+		t.Fatalf("cut = %d (%.2f), want 1 (0.50)", st.CutEdges, st.EdgeCutFrac)
+	}
+	if want := (2.0 + 1 + 1) / 3; st.ReplicationFactor != want {
+		t.Fatalf("replication = %v, want %v", st.ReplicationFactor, want)
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	for _, s := range Strategies() {
+		got, err := StrategyByName(s.Name())
+		if err != nil || got.Name() != s.Name() {
+			t.Fatalf("StrategyByName(%q) = %v, %v", s.Name(), got, err)
+		}
+	}
+	if _, err := StrategyByName("metis"); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+}
+
+// TestMappingConcurrentLookups exercises the engine's access pattern under
+// the race detector: many goroutines reading the shared tables.
+func TestMappingConcurrentLookups(t *testing.T) {
+	g := communityGraph(t, 4, 25)
+	p := LDG{}.Partition(g, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := int32(0); v < int32(g.NumNodes); v++ {
+				_ = p.WorkerFor(v)
+				_ = p.LocalIndex(v)
+			}
+			_ = p.NodesFor(w%4, g.NumNodes)
+			_ = p.OwnedCount(w%4, g.NumNodes)
+		}(w)
+	}
+	wg.Wait()
 }

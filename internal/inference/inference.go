@@ -26,6 +26,19 @@ import (
 type Options struct {
 	// NumWorkers is the partition count (Pregel workers / MR reducers).
 	NumWorkers int
+	// Partitioner selects the vertex-placement strategy (nil = the mod-N
+	// hash). Strategies run once up front over the graph the backend
+	// executes — the shadow rewrite when ShadowNodes is set, so mirrors get
+	// first-class placement. Placement changes traffic only: predictions
+	// are bit-identical under every strategy (the engine's source-merged
+	// delivery keeps per-destination message order placement-independent),
+	// so locality-aware strategies like graph.LDG{} are pure wins on
+	// cross-worker bytes. Composes with all three skew strategies, with one
+	// scope note: under PartialGather the sender-side combiner folds
+	// partial sums per sending worker, so cross-placement agreement is
+	// tolerance-level there (like cross-backend agreement), not bitwise;
+	// every fixed configuration remains deterministic and plane-identical.
+	Partitioner graph.Strategy
 	// PartialGather enables sender-side aggregation for layers whose reduce
 	// obeys the commutative/associative laws.
 	PartialGather bool
@@ -137,6 +150,16 @@ func (o Options) threshold(g *graph.Graph) int {
 		return o.HubThreshold
 	}
 	return graph.StrategyThreshold(o.Lambda, g.NumEdges, o.NumWorkers)
+}
+
+// partition places g's vertices per the selected strategy (hash when none
+// was chosen). g must be the graph the backend will actually execute.
+func (o Options) partition(g *graph.Graph) graph.Partitioner {
+	s := o.Partitioner
+	if s == nil {
+		s = graph.Hash{}
+	}
+	return s.Partition(g, o.NumWorkers)
 }
 
 // vectorizeAggregate reduces n resolved payload vectors into a single
@@ -277,10 +300,16 @@ func releaseAggregated(pool *tensor.Pool, a *gas.Aggregated) {
 
 // Stats aggregates run-wide counters for the experiment harness.
 type Stats struct {
-	Supersteps      int
-	MessagesSent    int64
-	BytesSent       int64
-	BytesReceived   int64
+	Supersteps    int
+	MessagesSent  int64
+	BytesSent     int64
+	BytesReceived int64
+	// RemoteMessages / RemoteBytes count only cross-worker traffic — the
+	// share vertex placement controls; the Sent totals include worker-local
+	// delivery. Pregel backend only (the MapReduce engine's shuffle does
+	// not attribute producers to reducers).
+	RemoteMessages  int64
+	RemoteBytes     int64
 	CombinedAway    int64 // messages eliminated by partial-gather
 	BroadcastHubs   int64 // node-steps that used the broadcast path
 	ShadowMirrors   int64 // extra vertices created by shadow-nodes

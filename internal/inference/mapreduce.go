@@ -88,6 +88,7 @@ type mrDriver struct {
 	sg        *ShadowGraph
 	opts      Options
 	threshold int
+	part      graph.Partitioner
 
 	// Per-task broadcast indexes for the current round: the dense bcIndex
 	// replaces the per-round map[int32][]float32 tables, so resolving a
@@ -106,13 +107,14 @@ type mrDriver struct {
 	bcHubs     int64
 }
 
-// reducerFor mirrors the engine's partition function, including the
-// negative-key convention used to address broadcast payloads to reducers.
+// reducerFor mirrors the Pregel backend's vertex placement, including the
+// negative-key convention used to address broadcast payloads to reducers
+// directly (reducer r is key -(r+1)).
 func (d *mrDriver) reducerFor(key int32) int {
 	if key < 0 {
 		return int(-key-1) % d.opts.NumWorkers
 	}
-	return int(key) % d.opts.NumWorkers
+	return d.part.WorkerFor(key)
 }
 
 // scatterEmit is apply_edge + scatter for the messages layer Layers[k] will
@@ -210,6 +212,7 @@ func RunMapReduce(model *gas.Model, g *graph.Graph, opts Options) (*Result, erro
 		sg:        sg,
 		opts:      opts,
 		threshold: threshold,
+		part:      opts.partition(sg.G),
 		tabs:      make([]bcIndex, opts.NumWorkers),
 		pools:     make([]*tensor.Pool, opts.NumWorkers),
 	}

@@ -146,7 +146,7 @@ type pregelDriver struct {
 	sg        *ShadowGraph
 	opts      Options
 	threshold int
-	part      *graph.Partitioner
+	part      graph.Partitioner
 	columnar  bool
 	batched   bool
 
@@ -564,7 +564,7 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 		sg:        sg,
 		opts:      opts,
 		threshold: threshold,
-		part:      graph.NewPartitioner(opts.NumWorkers),
+		part:      opts.partition(sg.G),
 		columnar:  !opts.BoxedMessages,
 		batched:   !opts.BoxedMessages && !opts.PerVertexCompute,
 		bcTabs:    make([]bcIndex, opts.NumWorkers),
@@ -591,6 +591,7 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 
 	cfg := pregel.Config[gnnMsg]{
 		NumWorkers:      opts.NumWorkers,
+		Partitioner:     driver.part,
 		MaxSupersteps:   model.NumLayers() + 1,
 		Parallel:        opts.Parallel,
 		Batched:         driver.batched,
@@ -696,9 +697,8 @@ func pregelStats(eng *pregel.Engine[vtxValue, gnnMsg], driver *pregelDriver, mod
 		}
 	}
 	resident := make([]int64, opts.NumWorkers)
-	part := graph.NewPartitioner(opts.NumWorkers)
 	for v := int32(0); v < int32(sg.G.NumNodes); v++ {
-		w := part.WorkerFor(v)
+		w := driver.part.WorkerFor(v)
 		resident[w] += int64(4*maxDim) + int64(8*sg.G.OutDegree(v))
 	}
 
@@ -725,6 +725,8 @@ func pregelStats(eng *pregel.Engine[vtxValue, gnnMsg], driver *pregelDriver, mod
 			st.MessagesSent += m.MessagesSent
 			st.BytesSent += m.BytesSent
 			st.BytesReceived += m.BytesReceived
+			st.RemoteMessages += m.RemoteMessagesSent
+			st.RemoteBytes += m.RemoteBytesSent
 			st.CombinedAway += m.CombinedAway
 			st.WorkerBytesIn[w] += m.BytesReceived
 			st.WorkerBytesOut[w] += m.BytesSent

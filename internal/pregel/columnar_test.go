@@ -195,9 +195,9 @@ func (p *orderProgCol) Compute(ctx *Context[int, [3]float32], _ [][3]float32) {
 }
 
 // TestColumnarDeliveryOrderMatchesBoxed: per-destination message order is
-// part of the engine contract (sender-worker-id order, then send order);
-// the counting-sort barrier must reproduce the boxed order exactly,
-// parallel delivery included.
+// part of the engine contract (globally ascending source id, emission order
+// within a source); the columnar barrier must reproduce the boxed order
+// exactly, parallel delivery included.
 func TestColumnarDeliveryOrderMatchesBoxed(t *testing.T) {
 	topo := ringTopology(t, 13)
 	for _, workers := range []int{1, 2, 4, 5} {
@@ -320,7 +320,7 @@ func TestColumnarBytesAccounting(t *testing.T) {
 		if ctx.Superstep == 0 {
 			dsts, _ := ctx.OutEdges()
 			for _, d := range dsts {
-				ctx.SendColumnar(d, 1, ctx.ID, 0, nil)              // a reference: 12 bytes
+				ctx.SendColumnar(d, 1, ctx.ID, 0, nil)             // a reference: 12 bytes
 				ctx.SendColumnar(d, 0, ctx.ID, 1, []float32{1, 2}) // a payload: 4*2+16
 			}
 		}

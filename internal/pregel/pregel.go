@@ -16,11 +16,20 @@
 // columnar plane (Config.Columnar, see columnar.go) carries fixed-header
 // messages with payloads packed into recycled []float32 arenas — the
 // allocation-free fast path the GNN driver uses. Both planes share the same
-// barrier: a two-pass counting sort builds per-receiver CSR inboxes, with
-// delivery parallelized across receiving workers. Each receiver owns a
-// disjoint vertex range and drains sender buffers in worker-id order, so
-// per-destination message order — and therefore results — is identical at
-// any worker count, parallel or not.
+// barrier: a counting sort builds per-receiver CSR inboxes, with delivery
+// parallelized across receiving workers. Each receiver owns a disjoint
+// vertex range and merges its sender buffers by ascending source vertex id
+// — well-defined because workers compute their owned vertices in id order,
+// making every sender buffer source-sorted, and because a source is owned
+// by exactly one worker. Per-destination message order is therefore a
+// function of the topology and the program alone: identical at any worker
+// count, under any vertex placement (Config.Partitioner), parallel or not —
+// which is what makes results bit-identical across all of those axes.
+//
+// Vertex placement defaults to mod-N hashing and is pluggable through
+// Config.Partitioner; the engine converts whatever placement it is given
+// into dense workerOf/localIdx tables once, so the per-message hot paths
+// never depend on the strategy.
 //
 // Compute likewise runs on one of two planes. The classic per-vertex plane
 // invokes Compute once per active vertex. The batched plane (Config.Batched,
@@ -32,6 +41,7 @@ package pregel
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"inferturbo/internal/graph"
@@ -106,6 +116,14 @@ type ProgramStater interface {
 type Config[M any] struct {
 	NumWorkers    int
 	MaxSupersteps int
+	// Partitioner places vertices on workers. nil selects the mod-N hash
+	// over NumWorkers; a non-nil value must report the same worker count.
+	// The barrier's source-merged delivery keeps every destination's inbox
+	// order placement-independent, so for combiner-free programs placement
+	// changes traffic only, never results; with a combiner configured,
+	// merges group by sending worker, so placement additionally regroups
+	// the combiner's folds (each configuration stays deterministic).
+	Partitioner graph.Partitioner
 	// Combiner, when non-nil, merges messages addressed to the same
 	// destination vertex on the sender side before transmission — Pregel's
 	// combining, the mechanism behind the paper's partial-gather. Returning
@@ -151,8 +169,13 @@ type StepMetrics struct {
 	MessagesReceived int64
 	BytesSent        int64
 	BytesReceived    int64
-	CombinedAway     int64 // messages eliminated by the combiner
-	ComputeCost      int64 // user-charged units via Context.AddCost
+	// RemoteMessagesSent / RemoteBytesSent count only the traffic addressed
+	// to other workers — the part a placement strategy can eliminate; the
+	// Sent totals include worker-local delivery.
+	RemoteMessagesSent int64
+	RemoteBytesSent    int64
+	CombinedAway       int64 // messages eliminated by the combiner
+	ComputeCost        int64 // user-charged units via Context.AddCost
 }
 
 // Context is handed to Compute; it exposes the vertex, its mutable value,
@@ -185,7 +208,7 @@ func (c *Context[V, M]) OutDegree() int { return c.worker.engine.topo.OutDegree(
 // SendMessage routes m to vertex dst for the next superstep, applying the
 // sender-side combiner when configured. Boxed plane only.
 func (c *Context[V, M]) SendMessage(dst int32, m M) {
-	c.worker.send(dst, m)
+	c.worker.send(c.ID, dst, m)
 }
 
 // SendToWorker routes m to a synthetic per-worker mailbox (vertex -1-w on
@@ -200,6 +223,13 @@ func (c *Context[V, M]) SendToWorker(w int, m M) {
 // count ride in header columns, and payload is copied into the send arena —
 // the caller's slice is not retained and may be reused immediately.
 // Columnar plane only.
+//
+// src is also the barrier's delivery-order key: pass the computing vertex's
+// id (ctx.ID), as every bundled program does. The engine then delivers each
+// destination's messages in globally ascending src order — independent of
+// vertex placement and worker count. A program that sends under arbitrary
+// src values still gets deterministic delivery, but the order degrades to a
+// placement-dependent one (sender-worker-id major).
 func (c *Context[V, M]) SendColumnar(dst int32, kind uint8, src, count int32, payload []float32) {
 	c.worker.sendColumnar(dst, kind, src, count, payload)
 }
@@ -208,7 +238,8 @@ func (c *Context[V, M]) SendColumnar(dst int32, kind uint8, src, count int32, pa
 // dsts, in order, copying it into each destination-worker arena at most
 // once — results are identical to len(dsts) SendColumnar calls; only the
 // arena bytes moved differ. The natural send for broadcast-safe scatters.
-// Columnar plane only.
+// Columnar plane only. src carries the same delivery-order contract as
+// SendColumnar: pass the computing vertex's id.
 func (c *Context[V, M]) SendColumnarFan(dsts []int32, kind uint8, src, count int32, payload []float32) {
 	c.worker.sendColumnarFan(dsts, kind, src, count, payload)
 }
@@ -382,9 +413,13 @@ func (c *BatchContext[V, M]) AggregatorGet(key string) ([]float32, bool) {
 }
 
 // pending is a boxed sender-side buffer of messages for one destination
-// worker, recycled across supersteps by truncation.
+// worker, recycled across supersteps by truncation. srcs[i] records the
+// sending vertex of message i (the vertex that created the slot, for
+// combined messages; -1 for worker mail) — the key the barrier merges
+// sender buffers by.
 type pending[M any] struct {
 	dsts []int32
+	srcs []int32
 	msgs []M
 }
 
@@ -432,7 +467,7 @@ type worker[V, M any] struct {
 	aggLocal map[string][]float32
 }
 
-func (w *worker[V, M]) send(dst int32, m M) {
+func (w *worker[V, M]) send(src, dst int32, m M) {
 	e := w.engine
 	if e.columnar {
 		panic("pregel: SendMessage on the columnar plane")
@@ -453,6 +488,7 @@ func (w *worker[V, M]) send(dst int32, m M) {
 		}
 	}
 	p.dsts = append(p.dsts, dst)
+	p.srcs = append(p.srcs, src)
 	p.msgs = append(p.msgs, m)
 }
 
@@ -462,6 +498,7 @@ func (w *worker[V, M]) sendToWorker(dw int, m M) {
 	}
 	p := &w.out[dw]
 	p.dsts = append(p.dsts, -1)
+	p.srcs = append(p.srcs, -1)
 	p.msgs = append(p.msgs, m)
 }
 
@@ -478,8 +515,10 @@ func (w *worker[V, M]) sendColumnar(dst int32, kind uint8, src, count int32, pay
 			if b.kinds[i] == kind && int(b.lens[i]) == len(pay) {
 				acc := b.mergeTarget(i)
 				if merged, ok := e.colCombine(kind, acc, pay, b.counts[i], count); ok {
+					// The row keeps the src that created it: a merged row
+					// has no single source semantically, but the creation
+					// src is the key the barrier merges sender buffers by.
 					b.counts[i] = merged
-					b.srcs[i] = -1 // a merged row no longer has a single source
 					w.m.CombinedAway++
 					return
 				}
@@ -520,7 +559,6 @@ func (w *worker[V, M]) sendColumnarFan(dsts []int32, kind uint8, src, count int3
 					acc := b.mergeTarget(i)
 					if merged, ok := e.colCombine(kind, acc, pay, b.counts[i], count); ok {
 						b.counts[i] = merged
-						b.srcs[i] = -1
 						w.m.CombinedAway++
 						continue
 					}
@@ -564,18 +602,24 @@ type Engine[V, M any] struct {
 	prog  VertexProgram[V, M]
 	batch BatchProgram[V, M] // non-nil iff cfg.Batched
 	cfg   Config[M]
-	part  *graph.Partitioner
+	part  graph.Partitioner
 
 	values  []V
 	active  []bool
 	workers []*worker[V, M]
 
 	// localIdx[v] caches part.LocalIndex(v) (the dense per-receiver inbox
-	// slot), replacing two integer divisions per delivered message in the
-	// barrier's counting sort with a table read. workerOf[v] caches
-	// part.WorkerFor(v) for the send hot path the same way.
+	// slot) and workerOf[v] caches part.WorkerFor(v): whatever the
+	// partitioner's internal representation, the barrier's counting sort
+	// and the send hot path only ever do table reads.
 	localIdx []int32
 	workerOf []int32
+
+	// mergeCur[r] / mergeHeads[r] are receiver r's per-sender cursor and
+	// head-source scratch for the barrier's source-order merge; persistent
+	// so parallel delivery stays allocation-free.
+	mergeCur   [][]int
+	mergeHeads [][]int32
 
 	columnar   bool
 	colCombine func(kind uint8, acc, pay []float32, accCount, payCount int32) (int32, bool)
@@ -646,11 +690,17 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 	if cfg.MessageBytes == nil {
 		cfg.MessageBytes = func(M) int { return 64 }
 	}
+	part := cfg.Partitioner
+	if part == nil {
+		part = graph.NewPartitioner(cfg.NumWorkers)
+	} else if part.NumWorkers() != cfg.NumWorkers {
+		panic(fmt.Sprintf("pregel: partitioner has %d workers, config %d", part.NumWorkers(), cfg.NumWorkers))
+	}
 	e := &Engine[V, M]{
 		topo:     topo,
 		prog:     prog,
 		cfg:      cfg,
-		part:     graph.NewPartitioner(cfg.NumWorkers),
+		part:     part,
 		columnar: cfg.Columnar != nil,
 	}
 	if cfg.Batched {
@@ -697,7 +747,11 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 		e.boxIn = make([]boxInbox[M], nw)
 		e.boxMail = make([][]M, nw)
 	}
+	e.mergeCur = make([][]int, nw)
+	e.mergeHeads = make([][]int32, nw)
 	for w := 0; w < nw; w++ {
+		e.mergeCur[w] = make([]int, nw)
+		e.mergeHeads[w] = make([]int32, nw)
 		wk := &worker[V, M]{engine: e, id: w, verts: e.part.NodesFor(w, n)}
 		if !e.columnar {
 			wk.out = make([]pending[M], nw)
@@ -907,6 +961,7 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 		} else {
 			for r := range w.out {
 				w.out[r].dsts = w.out[r].dsts[:0]
+				w.out[r].srcs = w.out[r].srcs[:0]
 				w.out[r].msgs = w.out[r].msgs[:0]
 			}
 		}
@@ -1050,7 +1105,9 @@ func (e *Engine[V, M]) computeWorker(w *worker[V, M], step int) {
 
 // accountSent charges sender s for every message (and its wire bytes) it
 // buffered this superstep. Bytes are measured on the post-combine buffers —
-// from the arena extents on the columnar plane.
+// from the arena extents on the columnar plane. Traffic addressed to other
+// workers is additionally recorded as remote: the share a locality-aware
+// partitioner can reduce.
 func (e *Engine[V, M]) accountSent(s int) {
 	w := e.workers[s]
 	m := w.m
@@ -1058,24 +1115,39 @@ func (e *Engine[V, M]) accountSent(s int) {
 		for r := 0; r < e.cfg.NumWorkers; r++ {
 			b := e.colCur[s][r]
 			m.MessagesSent += int64(len(b.dsts))
+			var bytes int64
 			for i := range b.dsts {
-				m.BytesSent += int64(e.colBytes(b.kinds[i], int(b.lens[i])))
+				bytes += int64(e.colBytes(b.kinds[i], int(b.lens[i])))
+			}
+			m.BytesSent += bytes
+			if r != s {
+				m.RemoteMessagesSent += int64(len(b.dsts))
+				m.RemoteBytesSent += bytes
 			}
 		}
 	} else {
 		for r := range w.out {
 			p := &w.out[r]
 			m.MessagesSent += int64(len(p.dsts))
+			var bytes int64
 			for i := range p.msgs {
-				m.BytesSent += int64(e.cfg.MessageBytes(p.msgs[i]))
+				bytes += int64(e.cfg.MessageBytes(p.msgs[i]))
+			}
+			m.BytesSent += bytes
+			if r != s {
+				m.RemoteMessagesSent += int64(len(p.dsts))
+				m.RemoteBytesSent += bytes
 			}
 		}
 	}
 }
 
 // deliverColumnar rebuilds receiver r's CSR inbox and mailbox with a
-// two-pass counting sort over the sender buffers addressed to it, visited
-// in sender-worker-id order. Payloads are not copied: inbox entries are
+// counting sort over the sender buffers addressed to it. Worker mail drains
+// in sender-worker-id order (mailboxes are per-worker state); vertex
+// messages are scattered in globally ascending source order via the sender
+// merge, so every destination's inbox order is independent of vertex
+// placement and worker count. Payloads are not copied: inbox entries are
 // views into the sender arenas, which stay live until the next barrier.
 func (e *Engine[V, M]) deliverColumnar(r int) {
 	in := &e.colIn[r]
@@ -1103,27 +1175,122 @@ func (e *Engine[V, M]) deliverColumnar(r int) {
 	mail := &e.colMail[r]
 	mail.resize(mailN)
 	mi := 0
+	if mailN > 0 {
+		for s := 0; s < nw; s++ {
+			b := e.colCur[s][r]
+			for i, dst := range b.dsts {
+				if dst < 0 {
+					mail.set(mi, b.kinds[i], b.srcs[i], b.counts[i], b.payload(i))
+					mi++
+				}
+			}
+		}
+	}
+	// Source-order merge of the vertex-addressed rows: each sender buffer
+	// is ascending in source id (workers compute owned vertices in id
+	// order) and a source is owned by exactly one worker, so consuming the
+	// buffer with the smallest head source yields the unique global order —
+	// the same at any worker count and under any vertex placement. Head
+	// sources are cached in a flat int32 scratch (exhausted buffers pinned
+	// at the sentinel), and the winning buffer is drained in runs — every
+	// row up to the runner-up's head — so locality-heavy placements pay the
+	// head scan once per run, not once per message. Mod-N hash placement is
+	// the worst case: ascending sources alternate owners, runs collapse to
+	// single rows, and every message pays the nw-wide scan — the ~5–15%
+	// barrier cost recorded in DESIGN.md, the price of placement-
+	// independent delivery on the placement that benefits least from it.
+	cur, heads := e.mergeCur[r], e.mergeHeads[r]
+	live := 0
 	for s := 0; s < nw; s++ {
 		b := e.colCur[s][r]
-		for i, dst := range b.dsts {
-			pay := b.payload(i)
-			if dst < 0 {
-				mail.set(mi, b.kinds[i], b.srcs[i], b.counts[i], pay)
-				mi++
-				continue
+		cur[s] = skipMail(b.dsts, 0)
+		if cur[s] < len(b.dsts) {
+			heads[s] = b.srcs[cur[s]]
+			live++
+		} else {
+			heads[s] = mergeDone
+		}
+	}
+	deliverRow := func(b *colBuf, i int, dst int32) {
+		li := e.localIdx[dst]
+		slot := in.next[li]
+		in.next[li]++
+		in.cols.set(int(slot), b.kinds[i], b.srcs[i], b.counts[i], b.payload(i))
+		// A message reactivates its destination.
+		e.active[dst] = true
+	}
+	if live == 1 {
+		// Single-sender fast path (one worker, or a converged region): the
+		// buffer order already is the global order.
+		for s := 0; s < nw; s++ {
+			b := e.colCur[s][r]
+			for i := cur[s]; i < len(b.dsts); i++ {
+				if dst := b.dsts[i]; dst >= 0 {
+					deliverRow(b, i, dst)
+				}
 			}
-			li := e.localIdx[dst]
-			slot := in.next[li]
-			in.next[li]++
-			in.cols.set(int(slot), b.kinds[i], b.srcs[i], b.counts[i], pay)
-			// A message reactivates its destination.
-			e.active[dst] = true
+		}
+		return
+	}
+	for {
+		best, second := mergeBest(heads)
+		if best == -1 {
+			break
+		}
+		b := e.colCur[best][r]
+		i := cur[best]
+		for i < len(b.dsts) {
+			if dst := b.dsts[i]; dst >= 0 {
+				if b.srcs[i] > second {
+					break
+				}
+				deliverRow(b, i, dst)
+			}
+			i++
+		}
+		cur[best] = i
+		if i < len(b.dsts) {
+			heads[best] = b.srcs[i]
+		} else {
+			heads[best] = mergeDone
 		}
 	}
 }
 
-// deliverBoxed is deliverColumnar for the boxed plane: same counting sort,
-// message values copied into the receiver's flat inbox.
+// mergeDone is the exhausted-buffer sentinel of the barrier merge: above
+// every vertex id, so a drained buffer never wins the head scan.
+const mergeDone = int32(math.MaxInt32)
+
+// mergeBest scans the cached head sources and returns the winning buffer
+// (lowest head, ties to the lowest index) and the runner-up head value —
+// the run bound the winner may drain up to. best is -1 when every buffer
+// is exhausted. Shared by both planes' delivery loops so the subtle part
+// of the merge has exactly one implementation.
+func mergeBest(heads []int32) (best int, second int32) {
+	best = -1
+	bestSrc := mergeDone
+	second = mergeDone
+	for s, h := range heads {
+		if h < bestSrc {
+			best, second, bestSrc = s, bestSrc, h
+		} else if h < second {
+			second = h
+		}
+	}
+	return best, second
+}
+
+// skipMail advances i past worker-mail rows (dst < 0).
+func skipMail(dsts []int32, i int) int {
+	for i < len(dsts) && dsts[i] < 0 {
+		i++
+	}
+	return i
+}
+
+// deliverBoxed is deliverColumnar for the boxed plane: same counting sort
+// and source-order merge, message values copied into the receiver's flat
+// inbox.
 func (e *Engine[V, M]) deliverBoxed(r int) {
 	in := &e.boxIn[r]
 	off := in.off
@@ -1155,19 +1322,69 @@ func (e *Engine[V, M]) deliverBoxed(r int) {
 	if cap(mail) < mailN {
 		mail = make([]M, 0, mailN)
 	}
+	if mailN > 0 {
+		for s := 0; s < nw; s++ {
+			p := &e.workers[s].out[r]
+			for i, dst := range p.dsts {
+				if dst < 0 {
+					mail = append(mail, p.msgs[i])
+				}
+			}
+		}
+	}
+	cur, heads := e.mergeCur[r], e.mergeHeads[r]
+	live := 0
 	for s := 0; s < nw; s++ {
 		p := &e.workers[s].out[r]
-		for i, dst := range p.dsts {
-			if dst < 0 {
-				mail = append(mail, p.msgs[i])
-				continue
+		cur[s] = skipMail(p.dsts, 0)
+		if cur[s] < len(p.dsts) {
+			heads[s] = p.srcs[cur[s]]
+			live++
+		} else {
+			heads[s] = mergeDone
+		}
+	}
+	deliverRow := func(p *pending[M], i int, dst int32) {
+		li := e.localIdx[dst]
+		slot := in.next[li]
+		in.next[li]++
+		in.msgs[slot] = p.msgs[i]
+		// A message reactivates its destination.
+		e.active[dst] = true
+	}
+	if live == 1 {
+		for s := 0; s < nw; s++ {
+			p := &e.workers[s].out[r]
+			for i := cur[s]; i < len(p.dsts); i++ {
+				if dst := p.dsts[i]; dst >= 0 {
+					deliverRow(p, i, dst)
+				}
 			}
-			li := e.localIdx[dst]
-			slot := in.next[li]
-			in.next[li]++
-			in.msgs[slot] = p.msgs[i]
-			// A message reactivates its destination.
-			e.active[dst] = true
+		}
+		e.boxMail[r] = mail
+		return
+	}
+	for {
+		best, second := mergeBest(heads)
+		if best == -1 {
+			break
+		}
+		p := &e.workers[best].out[r]
+		i := cur[best]
+		for i < len(p.dsts) {
+			if dst := p.dsts[i]; dst >= 0 {
+				if p.srcs[i] > second {
+					break
+				}
+				deliverRow(p, i, dst)
+			}
+			i++
+		}
+		cur[best] = i
+		if i < len(p.dsts) {
+			heads[best] = p.srcs[i]
+		} else {
+			heads[best] = mergeDone
 		}
 	}
 	e.boxMail[r] = mail
@@ -1198,6 +1415,8 @@ func (e *Engine[V, M]) TotalMetrics() []StepMetrics {
 			out[w].MessagesReceived += m.MessagesReceived
 			out[w].BytesSent += m.BytesSent
 			out[w].BytesReceived += m.BytesReceived
+			out[w].RemoteMessagesSent += m.RemoteMessagesSent
+			out[w].RemoteBytesSent += m.RemoteBytesSent
 			out[w].CombinedAway += m.CombinedAway
 			out[w].ComputeCost += m.ComputeCost
 		}
