@@ -27,6 +27,9 @@ func main() {
 		bc      = flag.Bool("broadcast", false, "enable broadcast for hub out-edges")
 		sn      = flag.Bool("shadow-nodes", false, "enable shadow-nodes preprocessing")
 		part    = flag.String("partitioner", "hash", "vertex placement: hash | degree | ldg | fennel")
+		pipe    = flag.Bool("pipeline", false, "pipelined supersteps: overlap scatter/delivery with compute via chunked eager flushing and background inbox assembly (pregel backend, columnar plane; results bit-identical to the BSP path)")
+		pipeCk  = flag.Int("pipeline-chunk", 0, "pipelined chunk size in owned vertices per seal (0 = engine default; any value is result-identical)")
+		pipeDp  = flag.Int("pipeline-depth", 0, "max in-flight sealed extents per receiver before senders block (0 = engine default; any value is result-identical)")
 		lambda  = flag.Float64("lambda", 0.1, "hub threshold heuristic λ")
 		spill   = flag.String("spill", "", "disk-spill dir (mapreduce backend)")
 		outPath = flag.String("out", "", "optional predictions output (one class id per line)")
@@ -50,6 +53,7 @@ func main() {
 		NumWorkers: *workers, PartialGather: *pg, Broadcast: *bc,
 		ShadowNodes: *sn, Lambda: *lambda, SpillDir: *spill, Parallel: true,
 		Partitioner: strat,
+		Pipelined:   *pipe, PipelineChunk: *pipeCk, PipelineDepth: *pipeDp,
 	}
 
 	var res *inferturbo.InferResult

@@ -70,6 +70,24 @@ type Options struct {
 	// per-vertex exists for comparison benchmarks and the plane-equivalence
 	// tests. MapReduce ignores this.
 	PerVertexCompute bool
+	// Pipelined switches the Pregel backend onto the pipelined superstep
+	// plane: scatter and delivery overlap with compute through chunked eager
+	// flushing and background inbox assembly, shrinking the superstep
+	// barrier to a drain plus the ascending-source merge. Results, delivery
+	// order and IO stats are bit-identical to the BSP path at any chunk size
+	// and pipeline depth. Requires the columnar message plane (incompatible
+	// with BoxedMessages); works on both compute planes. MapReduce ignores
+	// this.
+	Pipelined bool
+	// PipelineChunk is the pipelined plane's chunk granularity in owned
+	// vertices (how often a worker seals and flushes its sends). 0 selects
+	// the engine default. Any value is result-identical.
+	PipelineChunk int
+	// PipelineDepth bounds each receiver's in-flight sealed-extent queue
+	// under Parallel execution; a sender that runs further ahead blocks
+	// until the receiver's background assembly catches up. 0 selects the
+	// engine default. Any value is result-identical.
+	PipelineDepth int
 	// CheckpointEvery snapshots Pregel engine state (including the batched
 	// plane's per-worker state slabs) every n supersteps, enabling recovery
 	// from a worker failure. 0 disables checkpointing. MapReduce ignores

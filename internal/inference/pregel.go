@@ -551,6 +551,9 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 	if err := validateModelGraph(model, g); err != nil {
 		return nil, err
 	}
+	if opts.Pipelined && opts.BoxedMessages {
+		return nil, fmt.Errorf("inference: Pipelined requires the columnar message plane (unset BoxedMessages)")
+	}
 	defer applyTuning(opts)()
 	threshold := opts.threshold(g)
 
@@ -595,6 +598,9 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 		MaxSupersteps:   model.NumLayers() + 1,
 		Parallel:        opts.Parallel,
 		Batched:         driver.batched,
+		Pipelined:       opts.Pipelined,
+		ChunkSize:       opts.PipelineChunk,
+		PipelineDepth:   opts.PipelineDepth,
 		CheckpointEvery: opts.CheckpointEvery,
 		FailAtSuperstep: opts.FailAtSuperstep,
 	}

@@ -194,12 +194,19 @@ func (d *pregelDriver) gatherBatch(ctx *pregel.BatchContext[vtxValue, gnnMsg], l
 // scatterBatch walks the partition's slab rows in owned-vertex order through
 // the shared columnar scatter — the same sends, in the same order, that the
 // per-vertex plane issues, so send buffers (and therefore combiner merges
-// and delivery order) are identical between planes.
+// and delivery order) are identical between planes. On the pipelined plane
+// the walk seals and flushes at the engine's chunk cadence (the same cadence
+// the per-vertex plane seals at automatically), letting receivers assemble
+// this partition's extents while later rows are still scattering.
 func (d *pregelDriver) scatterBatch(ctx *pregel.BatchContext[vtxValue, gnnMsg], k int) {
 	w := ctx.WorkerID()
 	st := d.states[w]
+	chunk := ctx.ChunkSize() // 0 off the pipelined plane
 	for li, v := range ctx.Owned() {
 		d.scatterColumnar(ctx, w, v, st.Row(li), k)
+		if chunk > 0 && (li+1)%chunk == 0 {
+			ctx.FlushChunk()
+		}
 	}
 }
 

@@ -53,11 +53,15 @@ func (p *batchSumProg) ComputeBatch(ctx *BatchContext[float32, [3]float32]) {
 		return
 	}
 	var pay [3]float32
+	chunk := ctx.ChunkSize() // 0 off the pipelined plane
 	for li, v := range owned {
 		dsts, _ := ctx.OutEdges(v)
 		pay = [3]float32{p.vals[w][li], float32(v), 1}
 		for _, d := range dsts {
 			ctx.SendColumnar(d, 0, v, 1, pay[:])
+		}
+		if chunk > 0 && (li+1)%chunk == 0 {
+			ctx.FlushChunk()
 		}
 	}
 }

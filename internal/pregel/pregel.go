@@ -37,6 +37,13 @@
 // worker's whole owned range and its full CSR inbox, so partition-centric
 // programs can replace millions of tiny per-vertex operations with a few
 // dense kernel calls; see BatchProgram for the equivalence contract.
+//
+// Superstep execution itself is strict BSP by default; Config.Pipelined
+// (columnar only) overlaps each superstep's scatter/delivery with its
+// compute through chunked eager flushing and background inbox assembly,
+// shrinking the barrier to a drain plus the source merge — with results,
+// delivery order and IO accounting bit-identical to the BSP path. See
+// pipeline.go.
 package pregel
 
 import (
@@ -143,6 +150,31 @@ type Config[M any] struct {
 	// superstep instead of Compute once per vertex. Requires the columnar
 	// plane and a program implementing BatchProgram.
 	Batched bool
+	// Pipelined overlaps each superstep's scatter/delivery with its compute:
+	// workers seal their send buffers into fixed-size chunk extents and
+	// eagerly flush them to the destination workers, whose background inbox
+	// assembly (counting-sort bucketing plus send/receive accounting) runs
+	// while other chunks are still computing; the barrier shrinks to draining
+	// in-flight extents plus the ascending-source merge over the pre-bucketed
+	// runs (see pipeline.go). Results, delivery order and IO stats are
+	// bit-identical to the BSP path at any chunk size, pipeline depth and
+	// worker count. Requires the columnar plane, and requires programs to
+	// follow the SendColumnar src contract (src = the computing vertex's id —
+	// every bundled program and the GNN driver do); a violating program fails
+	// with a deterministic panic at the delivery barrier.
+	Pipelined bool
+	// ChunkSize is the pipelined plane's chunk granularity in owned vertices:
+	// the per-vertex plane seals automatically every ChunkSize vertices, and
+	// batch programs are told this cadence through BatchContext.ChunkSize.
+	// 0 selects the default (64). Ignored unless Pipelined.
+	ChunkSize int
+	// PipelineDepth bounds each receiver's in-flight sealed-extent queue
+	// under Parallel execution: a sender that runs more than PipelineDepth
+	// extents ahead of a receiver's assembly blocks until the assembler
+	// catches up. 0 selects the default (32). Ignored unless Pipelined; in
+	// serial runs assembly happens inline at the flush and the queue is
+	// unused.
+	PipelineDepth int
 	// Parallel executes workers on goroutines — both the compute phase and
 	// the barrier's delivery (receivers own disjoint inboxes). Delivery
 	// order stays deterministic either way.
@@ -382,6 +414,24 @@ func (c *BatchContext[V, M]) SendColumnarToWorker(w int, kind uint8, src, count 
 	c.worker.sendColumnarToWorker(w, kind, src, count, payload)
 }
 
+// ChunkSize reports the pipelined plane's chunk granularity in owned
+// vertices, or 0 when the engine is not pipelined. Batch programs drive the
+// pipeline themselves: scatter loops should call FlushChunk every ChunkSize
+// owned vertices (the cadence the per-vertex plane seals at automatically).
+func (c *BatchContext[V, M]) ChunkSize() int {
+	if !c.worker.engine.pipelined {
+		return 0
+	}
+	return c.worker.engine.chunkSize
+}
+
+// FlushChunk seals everything this worker has sent since the previous seal
+// and eagerly flushes the extents to the destination workers' background
+// assemblers. A no-op outside the pipelined plane. Calling it at any cadence
+// (or never) only changes when delivery work happens, never results: sealed
+// extents are concatenated in send order at the barrier.
+func (c *BatchContext[V, M]) FlushChunk() { c.worker.sealChunk() }
+
 // ExecSeq returns the engine's executed-superstep count; see
 // Context.ExecSeq.
 func (c *BatchContext[V, M]) ExecSeq() int { return c.worker.engine.executed }
@@ -450,6 +500,11 @@ type worker[V, M any] struct {
 	lastSeen  []int32
 	seenStamp []uint32
 	stamp     uint32
+
+	// Pipelined-plane sender state (allocated only when Config.Pipelined):
+	// sealedRows[r] is the row watermark of this sender's buffer for
+	// receiver r — rows below it have been sealed into flushed extents.
+	sealedRows []int
 
 	// Batched-plane scratch (len ownedCount, allocated only when
 	// Config.Batched): computed[li] records whether local vertex li computes
@@ -639,14 +694,31 @@ type Engine[V, M any] struct {
 	colLive [][]*colBuf
 	colFree bufPool
 
+	// Pipelined plane (see pipeline.go): one background assembler per
+	// receiver, and pendIn[r] carrying the assembler's receive totals to the
+	// next superstep's compute metrics. Send buffers, generations and
+	// recycling are the BSP plane's — sealed extents are row ranges of the
+	// colCur buffers.
+	pipelined bool
+	chunkSize int
+	pipeDepth int
+	asm       []*inboxAsm
+	pendIn    []inMetrics
+
 	inTotal   int // vertex-addressed messages awaiting the next superstep
 	mailTotal int // worker-addressed messages awaiting the next superstep
 
 	aggPrev map[string][]float32
 
-	metrics    [][]StepMetrics // one entry per executed superstep (replays add entries)
-	supersteps int
-	executed   int // total supersteps executed, never rolled back by recovery
+	metrics [][]StepMetrics // one entry per executed superstep (replays add entries)
+	// metricsSlab backs the per-superstep metrics windows: supersteps carve
+	// NumWorkers-wide windows out of one block allocation instead of
+	// allocating a fresh slice each superstep. Earlier windows keep aliasing
+	// retired blocks after growth, which is sound because a window is only
+	// written during its own superstep.
+	metricsSlab []StepMetrics
+	supersteps  int
+	executed    int // total supersteps executed, never rolled back by recovery
 
 	checkpoint *snapshot[V, M]
 	recoveries int
@@ -673,6 +745,11 @@ type snapshot[V, M any] struct {
 	// columnar plane
 	colIn   []colSnap
 	colMail []colSnap
+	// pipelined plane: the receive totals the checkpointed superstep's
+	// compute will credit (pendIn). Sealed extents themselves need no
+	// snapshotting — checkpoints are taken between supersteps, when every
+	// extent has been drained into the inbox the colIn snapshot deep-copies.
+	pendIn []inMetrics
 
 	// program-owned state (ProgramStater), e.g. a batch program's slabs
 	progState any
@@ -713,6 +790,20 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 		}
 		e.batch = bp
 	}
+	if cfg.Pipelined {
+		if !e.columnar {
+			panic("pregel: Config.Pipelined requires the columnar message plane")
+		}
+		e.pipelined = true
+		e.chunkSize = cfg.ChunkSize
+		if e.chunkSize <= 0 {
+			e.chunkSize = defaultChunkSize
+		}
+		e.pipeDepth = cfg.PipelineDepth
+		if e.pipeDepth <= 0 {
+			e.pipeDepth = defaultPipelineDepth
+		}
+	}
 	n := topo.NumVertices()
 	e.values = make([]V, n)
 	e.active = make([]bool, n)
@@ -742,6 +833,10 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 			e.colCur[s] = make([]*colBuf, nw)
 			e.colLive[s] = make([]*colBuf, nw)
 		}
+		if e.pipelined {
+			e.pendIn = make([]inMetrics, nw)
+			e.asm = make([]*inboxAsm, nw)
+		}
 	} else {
 		combining = cfg.Combiner != nil
 		e.boxIn = make([]boxInbox[M], nw)
@@ -763,6 +858,10 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 			wk.seenStamp = make([]uint32, n)
 		}
 		owned := len(wk.verts)
+		if e.pipelined {
+			wk.sealedRows = make([]int, nw)
+			e.asm[w] = newInboxAsm(nw, owned)
+		}
 		if cfg.Batched {
 			wk.computed = make([]bool, owned)
 			wk.halted = make([]bool, owned)
@@ -853,6 +952,9 @@ func (e *Engine[V, M]) takeCheckpoint(step int) {
 			cp.colIn[r] = snapCols(e.colIn[r].off, &e.colIn[r].cols)
 			cp.colMail[r] = snapCols(nil, &e.colMail[r])
 		}
+		if e.pipelined {
+			cp.pendIn = append([]inMetrics(nil), e.pendIn...)
+		}
 	} else {
 		cp.boxOff = make([][]int32, nw)
 		cp.boxMsgs = make([][]M, nw)
@@ -893,6 +995,9 @@ func (e *Engine[V, M]) restoreCheckpoint() {
 					e.colLive[s][r] = nil
 				}
 			}
+		}
+		if e.pipelined {
+			copy(e.pendIn, cp.pendIn)
 		}
 	} else {
 		for r := 0; r < nw; r++ {
@@ -936,7 +1041,7 @@ func (e *Engine[V, M]) forEachWorker(fn func(i int)) {
 func (e *Engine[V, M]) runSuperstep(step int) {
 	e.supersteps = step + 1
 	e.executed++
-	stepMetrics := make([]StepMetrics, e.cfg.NumWorkers)
+	stepMetrics := e.carveStepMetrics()
 	for w := range stepMetrics {
 		stepMetrics[w] = StepMetrics{Superstep: step, Worker: w}
 	}
@@ -958,6 +1063,11 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 				}
 				e.colCur[w.id][r] = b
 			}
+			if e.pipelined {
+				for r := range w.sealedRows {
+					w.sealedRows[r] = 0
+				}
+			}
 		} else {
 			for r := range w.out {
 				w.out[r].dsts = w.out[r].dsts[:0]
@@ -966,19 +1076,32 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 			}
 		}
 	}
+	if e.pipelined {
+		e.startAssembly()
+	}
 
 	// Compute phase: every worker runs its owned vertices against the
-	// current inbox, sending into its own per-destination buffers.
+	// current inbox, sending into its own per-destination buffers. On the
+	// pipelined plane, chunk seals flush extents to the receiving workers'
+	// assemblers throughout this phase.
 	e.forEachWorker(func(i int) { e.computeWorker(e.workers[i], step) })
 
-	// Barrier. Send-side accounting is parallel over senders (each writes
-	// its own metrics entry); delivery is parallel over receivers (each
-	// owns a disjoint inbox and drains sender buffers in worker-id order,
-	// keeping per-destination message order independent of scheduling).
-	e.forEachWorker(func(i int) { e.accountSent(i) })
-	if e.columnar {
+	// Barrier. On the BSP path, send-side accounting is parallel over
+	// senders (each writes its own metrics entry); delivery is parallel over
+	// receivers (each owns a disjoint inbox and drains sender buffers in
+	// worker-id order, keeping per-destination message order independent of
+	// scheduling). On the pipelined path, accounting already happened during
+	// assembly; the barrier drains the in-flight extents and runs the
+	// ascending-source merge over the assembled runs.
+	if e.pipelined {
+		e.finishAssembly()
+		e.forEachWorker(func(i int) { e.deliverPipelined(i) })
+		e.foldAssemblyMetrics()
+	} else if e.columnar {
+		e.forEachWorker(func(i int) { e.accountSent(i) })
 		e.forEachWorker(func(i int) { e.deliverColumnar(i) })
 	} else {
+		e.forEachWorker(func(i int) { e.accountSent(i) })
 		e.forEachWorker(func(i int) { e.deliverBoxed(i) })
 	}
 	inTotal, mailTotal := 0, 0
@@ -996,10 +1119,16 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 	e.inTotal, e.mailTotal = inTotal, mailTotal
 
 	// Merge aggregators serially in worker-id order (last writer wins, as
-	// in the seed engine).
-	agg := map[string][]float32{}
+	// in the seed engine). The map is only allocated when some worker
+	// published this superstep — aggregator-free programs (the GNN driver)
+	// skip the per-superstep allocation, and reads on a nil map miss as
+	// before.
+	var agg map[string][]float32
 	for _, w := range e.workers {
 		for k, v := range w.aggLocal {
+			if agg == nil {
+				agg = map[string][]float32{}
+			}
 			agg[k] = v
 		}
 	}
@@ -1007,7 +1136,9 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 
 	// Shift send-buffer generations: the buffers consumed by this
 	// superstep's compute recycle; the ones just filled back the new inbox
-	// views and stay live for one more superstep.
+	// views and stay live for one more superstep. Sealed extents are row
+	// ranges of these same buffers, so the pipelined plane shares the shift
+	// unchanged.
 	if e.columnar {
 		for s := 0; s < nw; s++ {
 			for r := 0; r < nw; r++ {
@@ -1021,17 +1152,44 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 	}
 }
 
+// carveStepMetrics returns this superstep's NumWorkers-wide metrics window,
+// carved from the slab (growing it by doubling when exhausted) instead of
+// allocating one slice per superstep.
+func (e *Engine[V, M]) carveStepMetrics() []StepMetrics {
+	nw := e.cfg.NumWorkers
+	if cap(e.metricsSlab)-len(e.metricsSlab) < nw {
+		grow := 8 * nw
+		if c := 2 * cap(e.metricsSlab); c > grow {
+			grow = c
+		}
+		// Retired blocks stay referenced by the windows already handed out;
+		// only the tail moves to the fresh block.
+		e.metricsSlab = make([]StepMetrics, 0, grow)
+	}
+	lo := len(e.metricsSlab)
+	e.metricsSlab = e.metricsSlab[:lo+nw]
+	return e.metricsSlab[lo : lo+nw : lo+nw]
+}
+
 // computeWorker runs one worker's compute phase for a superstep.
 func (e *Engine[V, M]) computeWorker(w *worker[V, M], step int) {
 	m := w.m
 	if e.batch != nil {
 		// Batched plane: the engine keeps the per-vertex activity and IO
 		// accounting (identical to the columnar per-vertex loop below), then
-		// hands the whole partition to ComputeBatch in one call.
-		mail := &e.colMail[w.id]
-		for i := range mail.kinds {
-			m.MessagesReceived++
-			m.BytesReceived += int64(e.colBytes(mail.kinds[i], len(mail.pays[i])))
+		// hands the whole partition to ComputeBatch in one call. On the
+		// pipelined plane the per-message receive totals were already summed
+		// by last superstep's assembly (pendIn), so only the per-vertex
+		// activity scan remains.
+		if e.pipelined {
+			m.MessagesReceived += e.pendIn[w.id].msgs
+			m.BytesReceived += e.pendIn[w.id].bytes
+		} else {
+			mail := &e.colMail[w.id]
+			for i := range mail.kinds {
+				m.MessagesReceived++
+				m.BytesReceived += int64(e.colBytes(mail.kinds[i], len(mail.pays[i])))
+			}
 		}
 		in := &e.colIn[w.id]
 		for li, v := range w.verts {
@@ -1042,12 +1200,15 @@ func (e *Engine[V, M]) computeWorker(w *worker[V, M], step int) {
 				continue
 			}
 			m.ActiveVertices++
-			m.MessagesReceived += int64(hi - lo)
-			for i := lo; i < hi; i++ {
-				m.BytesReceived += int64(e.colBytes(in.cols.kinds[i], len(in.cols.pays[i])))
+			if !e.pipelined {
+				m.MessagesReceived += int64(hi - lo)
+				for i := lo; i < hi; i++ {
+					m.BytesReceived += int64(e.colBytes(in.cols.kinds[i], len(in.cols.pays[i])))
+				}
 			}
 		}
 		e.batch.ComputeBatch(&BatchContext[V, M]{worker: w, Superstep: step})
+		w.sealTail()
 		for li, v := range w.verts {
 			if w.computed[li] {
 				e.active[v] = !w.halted[li]
@@ -1057,27 +1218,41 @@ func (e *Engine[V, M]) computeWorker(w *worker[V, M], step int) {
 		return
 	}
 	if e.columnar {
-		mail := &e.colMail[w.id]
-		for i := range mail.kinds {
-			m.MessagesReceived++
-			m.BytesReceived += int64(e.colBytes(mail.kinds[i], len(mail.pays[i])))
+		if e.pipelined {
+			m.MessagesReceived += e.pendIn[w.id].msgs
+			m.BytesReceived += e.pendIn[w.id].bytes
+		} else {
+			mail := &e.colMail[w.id]
+			for i := range mail.kinds {
+				m.MessagesReceived++
+				m.BytesReceived += int64(e.colBytes(mail.kinds[i], len(mail.pays[i])))
+			}
 		}
 		in := &e.colIn[w.id]
 		ctx := &Context[V, M]{worker: w, Superstep: step}
 		for li, v := range w.verts {
+			if e.pipelined && li > 0 && li%e.chunkSize == 0 {
+				// Chunk boundary: seal and flush what the previous chunk
+				// sent. The cadence runs over owned indices (not computed
+				// vertices), so it is deterministic under any halt pattern.
+				w.sealChunk()
+			}
 			lo, hi := in.off[li], in.off[li+1]
 			if !e.active[v] && lo == hi {
 				continue
 			}
 			m.ActiveVertices++
-			m.MessagesReceived += int64(hi - lo)
-			for i := lo; i < hi; i++ {
-				m.BytesReceived += int64(e.colBytes(in.cols.kinds[i], len(in.cols.pays[i])))
+			if !e.pipelined {
+				m.MessagesReceived += int64(hi - lo)
+				for i := lo; i < hi; i++ {
+					m.BytesReceived += int64(e.colBytes(in.cols.kinds[i], len(in.cols.pays[i])))
+				}
 			}
 			ctx.ID, ctx.Value, ctx.inLo, ctx.inHi, ctx.halted = v, &e.values[v], lo, hi, false
 			e.prog.Compute(ctx, nil)
 			e.active[v] = !ctx.halted
 		}
+		w.sealTail()
 	} else {
 		for _, ms := range e.boxMail[w.id] {
 			m.MessagesReceived++
@@ -1172,20 +1347,7 @@ func (e *Engine[V, M]) deliverColumnar(r int) {
 	total := int(off[len(off)-1])
 	in.cols.resize(total)
 	copy(in.next, off[:len(in.next)])
-	mail := &e.colMail[r]
-	mail.resize(mailN)
-	mi := 0
-	if mailN > 0 {
-		for s := 0; s < nw; s++ {
-			b := e.colCur[s][r]
-			for i, dst := range b.dsts {
-				if dst < 0 {
-					mail.set(mi, b.kinds[i], b.srcs[i], b.counts[i], b.payload(i))
-					mi++
-				}
-			}
-		}
-	}
+	e.fillColMail(r, mailN)
 	// Source-order merge of the vertex-addressed rows: each sender buffer
 	// is ascending in source id (workers compute owned vertices in id
 	// order) and a source is owned by exactly one worker, so consuming the
@@ -1211,14 +1373,6 @@ func (e *Engine[V, M]) deliverColumnar(r int) {
 			heads[s] = mergeDone
 		}
 	}
-	deliverRow := func(b *colBuf, i int, dst int32) {
-		li := e.localIdx[dst]
-		slot := in.next[li]
-		in.next[li]++
-		in.cols.set(int(slot), b.kinds[i], b.srcs[i], b.counts[i], b.payload(i))
-		// A message reactivates its destination.
-		e.active[dst] = true
-	}
 	if live == 1 {
 		// Single-sender fast path (one worker, or a converged region): the
 		// buffer order already is the global order.
@@ -1226,7 +1380,7 @@ func (e *Engine[V, M]) deliverColumnar(r int) {
 			b := e.colCur[s][r]
 			for i := cur[s]; i < len(b.dsts); i++ {
 				if dst := b.dsts[i]; dst >= 0 {
-					deliverRow(b, i, dst)
+					e.scatterColRow(in, b, i, dst)
 				}
 			}
 		}
@@ -1244,7 +1398,7 @@ func (e *Engine[V, M]) deliverColumnar(r int) {
 				if b.srcs[i] > second {
 					break
 				}
-				deliverRow(b, i, dst)
+				e.scatterColRow(in, b, i, dst)
 			}
 			i++
 		}
@@ -1253,6 +1407,39 @@ func (e *Engine[V, M]) deliverColumnar(r int) {
 			heads[best] = b.srcs[i]
 		} else {
 			heads[best] = mergeDone
+		}
+	}
+}
+
+// scatterColRow delivers one columnar row into its receiver's CSR slot —
+// the single scatter implementation both the BSP and pipelined barriers
+// use, so reactivation semantics and slot layout cannot drift apart.
+func (e *Engine[V, M]) scatterColRow(in *colInbox, b *colBuf, i int, dst int32) {
+	li := e.localIdx[dst]
+	slot := in.next[li]
+	in.next[li]++
+	in.cols.set(int(slot), b.kinds[i], b.srcs[i], b.counts[i], b.payload(i))
+	// A message reactivates its destination.
+	e.active[dst] = true
+}
+
+// fillColMail rebuilds receiver r's worker mailbox from the current send
+// buffers in sender-major, buffer order — shared by both barriers
+// (mailboxes are per-worker state, so this order is the contract).
+func (e *Engine[V, M]) fillColMail(r, mailN int) {
+	mail := &e.colMail[r]
+	mail.resize(mailN)
+	if mailN == 0 {
+		return
+	}
+	mi := 0
+	for s := 0; s < e.cfg.NumWorkers; s++ {
+		b := e.colCur[s][r]
+		for i, dst := range b.dsts {
+			if dst < 0 {
+				mail.set(mi, b.kinds[i], b.srcs[i], b.counts[i], b.payload(i))
+				mi++
+			}
 		}
 	}
 }

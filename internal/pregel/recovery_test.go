@@ -207,6 +207,95 @@ func TestColumnarRecoveryByteIdentical(t *testing.T) {
 	}
 }
 
+// TestPipelinedRecoveryByteIdentical: FailAtSuperstep mid-pipeline must
+// replay byte-identically on the pipelined plane. Checkpoints are taken
+// between supersteps, when every sealed extent has been drained into the
+// inbox the snapshot deep-copies — so in-flight extents are excluded from
+// snapshots by construction, deterministically — and the pending receive
+// totals (pendIn) ride in the snapshot so replayed supersteps charge the
+// same per-superstep metrics.
+func TestPipelinedRecoveryByteIdentical(t *testing.T) {
+	topo := randomTopology(t, 70, 300, 21)
+	run := func(failAt int) ([]float32, int) {
+		eng := NewEngine[float32, [3]float32](topo, newScratchSumProg(6, 4), Config[[3]float32]{
+			NumWorkers:      4,
+			Parallel:        true,
+			MaxSupersteps:   10,
+			CheckpointEvery: 2,
+			FailAtSuperstep: failAt,
+			Columnar:        &ColumnarOps{Combine: colSumCombiner},
+			Pipelined:       true,
+			ChunkSize:       5,
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float32(nil), eng.Values()...), eng.Recoveries()
+	}
+	clean, rec0 := run(0)
+	if rec0 != 0 {
+		t.Fatal("clean run must not recover")
+	}
+	failed, rec1 := run(5) // fails one superstep past the step-4 checkpoint
+	if rec1 != 1 {
+		t.Fatalf("recoveries = %d, want 1", rec1)
+	}
+	for v := range clean {
+		if clean[v] != failed[v] {
+			t.Fatalf("value[%d] differs after recovery: %v vs %v", v, clean[v], failed[v])
+		}
+	}
+	// The clean pipelined run must also match the clean BSP run bit for bit.
+	bspEng := NewEngine[float32, [3]float32](topo, newScratchSumProg(6, 4), Config[[3]float32]{
+		NumWorkers: 4, MaxSupersteps: 10, Columnar: &ColumnarOps{Combine: colSumCombiner},
+	})
+	if err := bspEng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range bspEng.Values() {
+		if clean[v] != want {
+			t.Fatalf("value[%d]: pipelined %v vs bsp %v", v, clean[v], want)
+		}
+	}
+}
+
+// TestPipelinedBatchedRecovery: the batched pipelined plane (program-driven
+// FlushChunk cadence plus ProgramStater slabs) must also replay to the
+// failure-free result.
+func TestPipelinedBatchedRecovery(t *testing.T) {
+	topo := randomTopology(t, 70, 300, 21)
+	run := func(failAt int) ([]float32, int) {
+		eng := NewEngine[float32, [3]float32](topo, newBatchSumProg(6, 4), Config[[3]float32]{
+			NumWorkers:      4,
+			Parallel:        true,
+			MaxSupersteps:   10,
+			CheckpointEvery: 2,
+			FailAtSuperstep: failAt,
+			Columnar:        &ColumnarOps{Combine: colSumCombiner},
+			Batched:         true,
+			Pipelined:       true,
+			ChunkSize:       4,
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float32(nil), eng.Values()...), eng.Recoveries()
+	}
+	clean, rec0 := run(0)
+	if rec0 != 0 {
+		t.Fatal("clean run must not recover")
+	}
+	failed, rec1 := run(5)
+	if rec1 != 1 {
+		t.Fatalf("recoveries = %d, want 1", rec1)
+	}
+	for v := range clean {
+		if clean[v] != failed[v] {
+			t.Fatalf("value[%d] differs after recovery: %v vs %v", v, clean[v], failed[v])
+		}
+	}
+}
+
 // TestCheckpointDeepCopiesArenas is the direct aliasing regression test:
 // take a checkpoint, scribble over every live in-flight payload arena (as
 // superstep recycling will), and verify a restore reproduces the original
