@@ -10,11 +10,15 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"syscall"
 
 	"inferturbo"
+	"inferturbo/internal/checkpoint"
 )
 
 func main() {
@@ -33,6 +37,15 @@ func main() {
 		lambda  = flag.Float64("lambda", 0.1, "hub threshold heuristic λ")
 		spill   = flag.String("spill", "", "disk-spill dir (mapreduce backend)")
 		outPath = flag.String("out", "", "optional predictions output (one class id per line)")
+
+		parallel  = flag.Bool("parallel", true, "run workers on goroutines (results identical either way)")
+		perVertex = flag.Bool("per-vertex", false, "pin the pregel backend onto the per-vertex compute plane (results bit-identical to the batched plane)")
+		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint directory (pregel backend): epochs are CRC-checksummed and atomically written, so a killed process can restart with -resume")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint every n supersteps (0 = 2 when -checkpoint-dir is set, else off)")
+		ckptSync  = flag.String("checkpoint-sync", "always", "epoch durability: always (fsync per epoch, survives power loss) | never (no fsync; atomic epochs survive process crashes only)")
+		resume    = flag.Bool("resume", false, "resume from the latest valid epoch in -checkpoint-dir; predictions are bit-identical to an uninterrupted run")
+		outLogits = flag.String("out-logits", "", "optional raw logits output (little-endian float32 bits) for bit-exact comparison")
+		dieAt     = flag.Int("die-at", -1, "kill -9 this process at the start of the given superstep, after pending epochs are durable (crash-resume testing)")
 	)
 	flag.Parse()
 
@@ -51,9 +64,29 @@ func main() {
 	}
 	opts := inferturbo.InferOptions{
 		NumWorkers: *workers, PartialGather: *pg, Broadcast: *bc,
-		ShadowNodes: *sn, Lambda: *lambda, SpillDir: *spill, Parallel: true,
-		Partitioner: strat,
-		Pipelined:   *pipe, PipelineChunk: *pipeCk, PipelineDepth: *pipeDp,
+		ShadowNodes: *sn, Lambda: *lambda, SpillDir: *spill, Parallel: *parallel,
+		Partitioner: strat, PerVertexCompute: *perVertex,
+		Pipelined: *pipe, PipelineChunk: *pipeCk, PipelineDepth: *pipeDp,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
+	}
+	switch *ckptSync {
+	case "always":
+		opts.CheckpointSync = checkpoint.SyncAlways
+	case "never":
+		opts.CheckpointSync = checkpoint.SyncNever
+	default:
+		fatalf("unknown -checkpoint-sync %q (want always | never)", *ckptSync)
+	}
+	if *dieAt >= 0 {
+		// The hook runs on the engine goroutine after queued durable epochs
+		// have drained, so every checkpoint the run reported before this
+		// superstep is on disk when the process dies.
+		target := *dieAt
+		opts.SuperstepHook = func(step int) {
+			if step == target {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
 	}
 
 	var res *inferturbo.InferResult
@@ -84,6 +117,18 @@ func main() {
 	fmt.Printf("combined away      %d (partial-gather)\n", st.CombinedAway)
 	fmt.Printf("broadcast hubs     %d node-steps\n", st.BroadcastHubs)
 	fmt.Printf("shadow mirrors     %d\n", st.ShadowMirrors)
+	if st.Checkpoints > 0 || st.Resumed {
+		fmt.Printf("checkpoints        %d (%d bytes durable, %.1fms snapshot + %.1fms persist)\n",
+			st.Checkpoints, st.CheckpointBytes,
+			float64(st.CheckpointWallNs)/1e6, float64(st.PersistWallNs)/1e6)
+		fmt.Printf("resumed            %v\n", st.Resumed)
+	}
+	if st.Recoveries > 0 {
+		fmt.Printf("recoveries         %d (in-run checkpoint rollbacks)\n", st.Recoveries)
+	}
+	if st.WatchdogTrips > 0 {
+		fmt.Printf("watchdog trips     %d (assemblers degraded to inline)\n", st.WatchdogTrips)
+	}
 
 	rep, err := inferturbo.SimulateCluster(spec, res)
 	if err != nil {
@@ -122,6 +167,16 @@ func main() {
 			fatalf("closing %s: %v", *outPath, err)
 		}
 		fmt.Printf("wrote predictions to %s\n", *outPath)
+	}
+	if *outLogits != "" {
+		buf := make([]byte, 0, 4*len(res.Logits.Data))
+		for _, x := range res.Logits.Data {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+		}
+		if err := os.WriteFile(*outLogits, buf, 0o644); err != nil {
+			fatalf("writing %s: %v", *outLogits, err)
+		}
+		fmt.Printf("wrote raw logits to %s\n", *outLogits)
 	}
 }
 

@@ -15,10 +15,13 @@ package inference
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"inferturbo/internal/checkpoint"
 	"inferturbo/internal/cluster"
 	"inferturbo/internal/gas"
 	"inferturbo/internal/graph"
+	"inferturbo/internal/pregel"
 	"inferturbo/internal/tensor"
 )
 
@@ -96,8 +99,43 @@ type Options struct {
 	// FailAtSuperstep injects one simulated Pregel worker crash at the
 	// given superstep (> 0); the engine restores the latest checkpoint and
 	// replays, and results are identical to a failure-free run. Used by the
-	// fault-tolerance tests.
+	// fault-tolerance tests. Superseded by Faults (which can target
+	// superstep 0 and schedule multiple crashes); kept for back-compat and
+	// folded into the same schedule.
 	FailAtSuperstep int
+	// Faults schedules deterministic injected crashes for the Pregel
+	// backend — the chaos-test surface. Each entry fires once at its
+	// superstep and lifecycle point; the engine recovers from the latest
+	// checkpoint and results stay bit-identical to a failure-free run.
+	// MapReduce rejects this.
+	Faults *pregel.FaultPlan
+	// CheckpointDir makes Pregel checkpoints durable: every snapshot is
+	// also written to this directory as a CRC-checksummed epoch file
+	// (atomic temp+fsync+rename with a manifest), so a killed process can
+	// restart from the latest valid epoch. Setting it defaults
+	// CheckpointEvery to 2 when unset. MapReduce rejects this.
+	CheckpointDir string
+	// Resume loads the latest valid epoch from CheckpointDir before
+	// running and continues from its superstep; predictions are
+	// bit-identical to an uninterrupted run. A cold start (no valid epoch)
+	// runs from superstep 0. MapReduce rejects this.
+	Resume bool
+	// CheckpointSync selects the epoch store's durability level:
+	// checkpoint.SyncAlways (default) fsyncs every epoch — survives power
+	// loss; checkpoint.SyncNever skips fsync — epochs stay atomic and
+	// survive process crashes (the guarantee the kill-and-resume tests
+	// exercise), but an OS crash may lose the newest ones.
+	CheckpointSync checkpoint.SyncMode
+	// PipelineWatchdog bounds how long a pipelined sender waits on a
+	// receiver's backed-up assembly queue before degrading that receiver to
+	// inline assembly for the rest of the superstep (results unchanged —
+	// assembly is commutative). 0 selects the engine default (30s);
+	// negative disables the watchdog.
+	PipelineWatchdog time.Duration
+	// SuperstepHook runs on the engine goroutine at the start of every
+	// superstep, after queued durable epochs have drained — the
+	// deterministic kill point the crash-resume integration tests use.
+	SuperstepHook func(step int)
 	// SpillDir routes MapReduce shuffles through disk when non-empty.
 	SpillDir string
 	// EmitEmbeddings additionally returns each node's penultimate-layer
@@ -326,15 +364,23 @@ type Stats struct {
 	// share vertex placement controls; the Sent totals include worker-local
 	// delivery. Pregel backend only (the MapReduce engine's shuffle does
 	// not attribute producers to reducers).
-	RemoteMessages  int64
-	RemoteBytes     int64
-	CombinedAway    int64 // messages eliminated by partial-gather
-	BroadcastHubs   int64 // node-steps that used the broadcast path
-	ShadowMirrors   int64 // extra vertices created by shadow-nodes
-	WorkerBytesIn   []int64
-	WorkerBytesOut  []int64
-	WorkerFlops     []int64
-	WorkerInRecords []int64 // records received per worker (Fig 11/12 x-axis)
+	RemoteMessages int64
+	RemoteBytes    int64
+	CombinedAway   int64 // messages eliminated by partial-gather
+	BroadcastHubs  int64 // node-steps that used the broadcast path
+	ShadowMirrors  int64 // extra vertices created by shadow-nodes
+	// Fault-tolerance counters (Pregel backend).
+	Resumed          bool  // run continued from a durable epoch on disk
+	Recoveries       int   // injected/simulated crashes recovered in-run
+	Checkpoints      int   // snapshots committed (in-memory or durable)
+	CheckpointBytes  int64 // bytes persisted to the durable sink
+	CheckpointWallNs int64 // snapshot capture time on the superstep critical path
+	PersistWallNs    int64 // background epoch encode+write time (overlapped)
+	WatchdogTrips    int   // pipelined assemblers degraded to inline assembly
+	WorkerBytesIn    []int64
+	WorkerBytesOut   []int64
+	WorkerFlops      []int64
+	WorkerInRecords  []int64 // records received per worker (Fig 11/12 x-axis)
 }
 
 // Result of a full-graph inference run.

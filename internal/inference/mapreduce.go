@@ -199,6 +199,12 @@ func RunMapReduce(model *gas.Model, g *graph.Graph, opts Options) (*Result, erro
 	if err := validateModelGraph(model, g); err != nil {
 		return nil, err
 	}
+	// The fault-tolerance surface is Pregel-only: rounds here have no
+	// checkpoint boundary to resume from, so silently ignoring these options
+	// would miscommunicate durability the backend doesn't provide.
+	if opts.CheckpointDir != "" || opts.Resume || opts.Faults != nil {
+		return nil, fmt.Errorf("inference: durable checkpoints, resume and fault plans require the Pregel backend")
+	}
 	defer applyTuning(opts)()
 	threshold := opts.threshold(g)
 

@@ -3,6 +3,7 @@ package inference
 import (
 	"fmt"
 
+	"inferturbo/internal/checkpoint"
 	"inferturbo/internal/cluster"
 	"inferturbo/internal/gas"
 	"inferturbo/internal/graph"
@@ -555,6 +556,9 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 		return nil, fmt.Errorf("inference: Pipelined requires the columnar message plane (unset BoxedMessages)")
 	}
 	defer applyTuning(opts)()
+	if opts.CheckpointDir != "" && opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = 2
+	}
 	threshold := opts.threshold(g)
 
 	sg := IdentityShadow(g)
@@ -593,16 +597,19 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 	}
 
 	cfg := pregel.Config[gnnMsg]{
-		NumWorkers:      opts.NumWorkers,
-		Partitioner:     driver.part,
-		MaxSupersteps:   model.NumLayers() + 1,
-		Parallel:        opts.Parallel,
-		Batched:         driver.batched,
-		Pipelined:       opts.Pipelined,
-		ChunkSize:       opts.PipelineChunk,
-		PipelineDepth:   opts.PipelineDepth,
-		CheckpointEvery: opts.CheckpointEvery,
-		FailAtSuperstep: opts.FailAtSuperstep,
+		NumWorkers:       opts.NumWorkers,
+		Partitioner:      driver.part,
+		MaxSupersteps:    model.NumLayers() + 1,
+		Parallel:         opts.Parallel,
+		Batched:          driver.batched,
+		Pipelined:        opts.Pipelined,
+		ChunkSize:        opts.PipelineChunk,
+		PipelineDepth:    opts.PipelineDepth,
+		CheckpointEvery:  opts.CheckpointEvery,
+		FailAtSuperstep:  opts.FailAtSuperstep,
+		Faults:           opts.Faults,
+		PipelineWatchdog: opts.PipelineWatchdog,
+		SuperstepHook:    opts.SuperstepHook,
 	}
 	if driver.columnar {
 		ops := &pregel.ColumnarOps{Bytes: columnarBytes}
@@ -636,6 +643,20 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 	}
 
 	eng := pregel.NewEngine[vtxValue, gnnMsg](pregel.GraphTopology{G: sg.G}, driver, cfg)
+	resumed := false
+	if opts.CheckpointDir != "" {
+		store, err := checkpoint.NewStore(opts.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		store.Sync = opts.CheckpointSync
+		eng.SetSink(store, gnnCodec{})
+		if opts.Resume {
+			if resumed, err = eng.Resume(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if err := eng.Run(); err != nil {
 		return nil, err
 	}
@@ -677,6 +698,14 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 	}
 	res.finalize(model)
 	res.Stats, res.Phases = pregelStats(eng, driver, model, sg, opts)
+	res.Stats.Resumed = resumed
+	res.Stats.Recoveries = eng.Recoveries()
+	cs := eng.CheckpointStats()
+	res.Stats.Checkpoints = cs.Checkpoints
+	res.Stats.CheckpointBytes = cs.Bytes
+	res.Stats.CheckpointWallNs = cs.SnapshotNs
+	res.Stats.PersistWallNs = cs.PersistNs
+	res.Stats.WatchdogTrips = eng.WatchdogTrips()
 	return res, nil
 }
 

@@ -266,26 +266,33 @@ type colSnap struct {
 	arena  []float32
 }
 
-// snapCols deep-copies columns into a snapshot, cutting every arena alias.
-func snapCols(off []int32, c *colCols) colSnap {
-	s := colSnap{
-		off:    append([]int32(nil), off...),
-		kinds:  append([]uint8(nil), c.kinds...),
-		srcs:   append([]int32(nil), c.srcs...),
-		counts: append([]int32(nil), c.counts...),
-		payOff: make([]int, len(c.pays)+1),
+// snapColsInto deep-copies columns into a snapshot slot, cutting every arena
+// alias. It reuses the slot's slice capacity, so a recycled snapshot (see
+// takeCheckpoint) captures without reallocating.
+func snapColsInto(s *colSnap, off []int32, c *colCols) {
+	s.off = append(s.off[:0], off...)
+	s.kinds = append(s.kinds[:0], c.kinds...)
+	s.srcs = append(s.srcs[:0], c.srcs...)
+	s.counts = append(s.counts[:0], c.counts...)
+	if cap(s.payOff) < len(c.pays)+1 {
+		s.payOff = make([]int, len(c.pays)+1)
+	} else {
+		s.payOff = s.payOff[:len(c.pays)+1]
 	}
 	total := 0
 	for _, p := range c.pays {
 		total += len(p)
 	}
-	s.arena = make([]float32, 0, total)
+	if cap(s.arena) < total {
+		s.arena = make([]float32, 0, total) // one exact allocation, no append doubling
+	} else {
+		s.arena = s.arena[:0]
+	}
 	for i, p := range c.pays {
 		s.payOff[i] = len(s.arena)
 		s.arena = append(s.arena, p...)
 	}
 	s.payOff[len(c.pays)] = len(s.arena)
-	return s
 }
 
 // restoreCols rebuilds live columns from a snapshot. Headers are copied

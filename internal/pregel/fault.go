@@ -1,0 +1,102 @@
+package pregel
+
+// Deterministic fault injection. The chaos tests drive the engine through
+// crashes at every interesting point of a superstep's lifecycle and assert
+// bit-identical results against a failure-free run; FaultPlan is the
+// schedule they author. Injection is deterministic by construction: a fault
+// fires on the single engine goroutine at a fixed phase boundary of a fixed
+// superstep, never from a signal or timer, so a plan replays identically on
+// every run.
+
+// FaultPoint identifies where within a superstep's lifecycle an injected
+// crash fires. All points sit at single-goroutine phase boundaries — worker
+// goroutines (compute, pipelined assembly) are always quiescent or joined
+// when a fault fires, which is what keeps injected runs deterministic.
+type FaultPoint int
+
+const (
+	// FaultBeforeSuperstep crashes before the superstep's compute begins —
+	// the legacy FailAtSuperstep semantics. Nothing of the superstep
+	// executed; recovery replays from the latest checkpoint.
+	FaultBeforeSuperstep FaultPoint = iota
+	// FaultMidPipeline crashes after the compute phase has produced (and, on
+	// the pipelined plane, flushed and partially assembled) send data, but
+	// before the barrier merges any of it: in-flight assembler state and the
+	// filled send buffers are lost work that recovery must discard.
+	FaultMidPipeline
+	// FaultAtBarrier crashes after the barrier's delivery/merge has rebuilt
+	// the inboxes but before the superstep commits (totals, aggregators, the
+	// send-buffer generation shift) — the freshly delivered inbox is lost.
+	FaultAtBarrier
+	// FaultDuringCheckpoint crashes while the checkpoint following the given
+	// superstep is being captured: the partially built snapshot is discarded
+	// and the previous checkpoint must remain the recovery point. (Torn
+	// epoch files on disk are the Store's own test surface — see
+	// internal/checkpoint.)
+	FaultDuringCheckpoint
+)
+
+// String names a FaultPoint for logs and test output.
+func (p FaultPoint) String() string {
+	switch p {
+	case FaultBeforeSuperstep:
+		return "before-superstep"
+	case FaultMidPipeline:
+		return "mid-pipeline"
+	case FaultAtBarrier:
+		return "at-barrier"
+	case FaultDuringCheckpoint:
+		return "during-checkpoint"
+	}
+	return "unknown"
+}
+
+// Fault is one injected crash: it fires the first time the run reaches
+// Point at Superstep, then disarms (a replayed superstep does not re-crash,
+// matching a real transient failure). Superstep 0 is targetable — unlike
+// the legacy FailAtSuperstep field, whose zero value means "off".
+type Fault struct {
+	Superstep int
+	Point     FaultPoint
+}
+
+// FaultPlan is a deterministic schedule of injected crashes for one run.
+// Multiple faults may target the same superstep (even the same point via
+// duplicate entries); each entry fires exactly once, in the order the run
+// reaches them.
+type FaultPlan struct {
+	Crashes []Fault
+}
+
+// faultState tracks one planned fault's armed/fired status.
+type faultState struct {
+	Fault
+	fired bool
+}
+
+// buildFaults folds the configured FaultPlan and the legacy FailAtSuperstep
+// field into one armed schedule.
+func buildFaults[M any](cfg Config[M]) []faultState {
+	var fs []faultState
+	if cfg.Faults != nil {
+		for _, f := range cfg.Faults.Crashes {
+			fs = append(fs, faultState{Fault: f})
+		}
+	}
+	if cfg.FailAtSuperstep > 0 {
+		fs = append(fs, faultState{Fault: Fault{Superstep: cfg.FailAtSuperstep, Point: FaultBeforeSuperstep}})
+	}
+	return fs
+}
+
+// faultAt reports whether an armed fault targets (step, p), consuming it.
+func (e *Engine[V, M]) faultAt(step int, p FaultPoint) bool {
+	for i := range e.faults {
+		f := &e.faults[i]
+		if !f.fired && f.Superstep == step && f.Point == p {
+			f.fired = true
+			return true
+		}
+	}
+	return false
+}

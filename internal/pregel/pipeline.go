@@ -52,12 +52,21 @@ package pregel
 // send phase for free), checkpoints deep-copy the delivered inbox the same
 // way, and inbox views stay zero-copy.
 
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
 // defaultChunkSize is the pipelined plane's default chunk granularity in
 // owned vertices; defaultPipelineDepth bounds each receiver's in-flight
-// extent queue under Parallel execution.
+// extent queue under Parallel execution; defaultWatchdog is how long a
+// sender blocks on a backpressured assembler before degrading it to inline
+// assembly (Config.PipelineWatchdog overrides).
 const (
 	defaultChunkSize     = 64
 	defaultPipelineDepth = 32
+	defaultWatchdog      = 30 * time.Second
 )
 
 // extent is one sealed chunk of a sender→receiver send buffer, in flight to
@@ -96,6 +105,15 @@ type inboxAsm struct {
 	// does.
 	sentMsgs  []int64
 	sentBytes []int64
+
+	// Watchdog degradation state. When a sender times out waiting on this
+	// assembler's queue it flips degraded and assembles its own extents
+	// inline from then on (this superstep); mu then serializes every
+	// assembleExtent touching this assembler — sender-inline and drain-
+	// goroutine alike. Assembly is commutative integer accumulation, so the
+	// serialization order does not affect results; see flushExtent.
+	mu       sync.Mutex
+	degraded atomic.Bool
 }
 
 func newInboxAsm(nw, owned int) *inboxAsm {
@@ -116,6 +134,7 @@ func (a *inboxAsm) reset() {
 	}
 	a.mailN = 0
 	a.in = inMetrics{}
+	a.degraded.Store(false)
 }
 
 // startAssembly resets every receiver's assembler and, under Parallel
@@ -131,7 +150,10 @@ func (e *Engine[V, M]) startAssembly() {
 			a.done = make(chan struct{})
 			go func(r int, a *inboxAsm) {
 				for ext := range a.queue {
-					e.assembleExtent(r, ext)
+					if e.asmStall != nil {
+						e.asmStall(r)
+					}
+					e.assembleGuarded(a, r, ext)
 				}
 				close(a.done)
 			}(r, a)
@@ -182,12 +204,67 @@ func (w *worker[V, M]) sealChunk() {
 			lens:   b.lens[lo:hi:hi],
 		}
 		if a := e.asm[r]; a.queue != nil {
-			a.queue <- ext // blocks when the receiver is PipelineDepth extents behind
+			w.flushExtent(a, r, ext)
 		} else {
 			e.assembleExtent(r, ext)
 		}
 	}
 }
+
+// flushExtent hands a sealed extent to receiver r's assembler. The fast
+// path is a non-blocking queue send; when the assembler is PipelineDepth
+// extents behind, the sender blocks — bounded by the watchdog. A watchdog
+// trip marks the assembler degraded: this extent and every later one this
+// sender seals for it are assembled inline under the assembler's mutex,
+// so a stalled (or starved) drain goroutine degrades the pipeline to
+// BSP-like inline assembly instead of hanging the run. Inline and drain
+// assembly interleave arbitrarily, which cannot affect results: an extent
+// is assembled exactly once, and assembleExtent only does commutative
+// integer accumulation into per-receiver state.
+func (w *worker[V, M]) flushExtent(a *inboxAsm, r int, ext extent) {
+	e := w.engine
+	if !a.degraded.Load() {
+		if e.watchdog <= 0 {
+			a.queue <- ext // blocks when the receiver is PipelineDepth extents behind
+			return
+		}
+		select {
+		case a.queue <- ext:
+			return
+		default:
+		}
+		if w.wdTimer == nil {
+			w.wdTimer = time.NewTimer(e.watchdog)
+		} else {
+			w.wdTimer.Reset(e.watchdog)
+		}
+		select {
+		case a.queue <- ext:
+			w.wdTimer.Stop()
+			return
+		case <-w.wdTimer.C:
+			a.degraded.Store(true)
+			atomic.AddInt64(&e.watchdogTrips, 1)
+		}
+	}
+	e.assembleGuarded(a, r, ext)
+}
+
+// assembleGuarded assembles one extent, taking the assembler's mutex when
+// the watchdog is armed (the only case where a degraded sender can be
+// assembling concurrently with the drain goroutine). With the watchdog
+// disabled the lock is skipped — single-owner assembly, as before.
+func (e *Engine[V, M]) assembleGuarded(a *inboxAsm, r int, ext extent) {
+	if e.watchdog > 0 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+	}
+	e.assembleExtent(r, ext)
+}
+
+// WatchdogTrips reports how many times a pipelined sender timed out on a
+// backpressured assembler and degraded it to inline assembly.
+func (e *Engine[V, M]) WatchdogTrips() int { return int(atomic.LoadInt64(&e.watchdogTrips)) }
 
 // sealTail flushes the worker's final partial chunk at the end of its
 // compute phase; a no-op outside the pipelined plane.

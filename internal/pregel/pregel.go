@@ -50,7 +50,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"inferturbo/internal/checkpoint"
 	"inferturbo/internal/graph"
 )
 
@@ -188,8 +191,28 @@ type Config[M any] struct {
 	// FailAtSuperstep injects one simulated worker crash at the given
 	// superstep (> 0; the zero value disables injection): that superstep's
 	// work is lost and the engine restores the latest checkpoint and
-	// re-executes. Used by the fault tolerance tests.
+	// re-executes. Kept for back-compat — it folds into the Faults plan as a
+	// FaultBeforeSuperstep entry; use Faults to target superstep 0 (which
+	// this field's zero-value overload cannot express) or any other fault
+	// point.
 	FailAtSuperstep int
+	// Faults schedules deterministic crash injections: multiple crashes per
+	// run, at any superstep lifecycle point (before compute, mid-pipeline,
+	// at the barrier, during checkpoint capture). See FaultPlan. nil injects
+	// nothing.
+	Faults *FaultPlan
+	// PipelineWatchdog bounds how long a pipelined sender blocks on a
+	// backpressured inbox assembler before degrading that receiver to
+	// inline assembly for the rest of the superstep (results unchanged —
+	// assembly is commutative bucketing; see pipeline.go). 0 selects the
+	// default (30s); negative disables the watchdog. Ignored unless
+	// Pipelined.
+	PipelineWatchdog time.Duration
+	// SuperstepHook, when non-nil, runs on the engine goroutine at the start
+	// of every superstep, after all previously enqueued durable checkpoints
+	// have been flushed to the sink. The flush makes hook-driven process
+	// kills (cmd/infer -die-at) deterministic about which epochs survive.
+	SuperstepHook func(step int)
 }
 
 // StepMetrics records one worker's activity during one superstep.
@@ -208,6 +231,11 @@ type StepMetrics struct {
 	RemoteBytesSent    int64
 	CombinedAway       int64 // messages eliminated by the combiner
 	ComputeCost        int64 // user-charged units via Context.AddCost
+	// CheckpointNs is the wall time of the in-memory snapshot taken after
+	// this superstep, charged to worker 0's row (capture blocks the whole
+	// engine; durable persistence overlaps compute and is reported in
+	// CheckpointStats instead). Zero on non-checkpoint supersteps.
+	CheckpointNs int64
 }
 
 // Context is handed to Compute; it exposes the vertex, its mutable value,
@@ -504,7 +532,10 @@ type worker[V, M any] struct {
 	// Pipelined-plane sender state (allocated only when Config.Pipelined):
 	// sealedRows[r] is the row watermark of this sender's buffer for
 	// receiver r — rows below it have been sealed into flushed extents.
+	// wdTimer is the sender's reusable watchdog timer for backpressured
+	// flushes (see flushExtent), allocated on first use.
 	sealedRows []int
+	wdTimer    *time.Timer
 
 	// Batched-plane scratch (len ownedCount, allocated only when
 	// Config.Batched): computed[li] records whether local vertex li computes
@@ -721,8 +752,35 @@ type Engine[V, M any] struct {
 	executed    int // total supersteps executed, never rolled back by recovery
 
 	checkpoint *snapshot[V, M]
+	spare      *snapshot[V, M] // displaced checkpoint, recycled by the next capture
 	recoveries int
-	failArmed  bool
+	faults     []faultState
+
+	// Durable checkpointing (see durable.go): sink/codec attached via
+	// SetSink, snapshots encoded and written by one persister goroutine.
+	sink           checkpoint.Sink
+	codec          SnapshotCodec[V, M]
+	encArena       segArena             // persister-goroutine-only encode scratch
+	encSegs        []checkpoint.Segment // persister-goroutine-only segment views
+	boxScratch     []byte               // persister-goroutine-only boxed-plane scratch
+	persistCh      chan *snapshot[V, M]
+	persistDone    chan struct{}
+	persistWG      sync.WaitGroup
+	persistMu      sync.Mutex
+	persistFailure error
+	startStep      int
+	resumed        bool
+
+	ckptCount  int
+	ckptWallNs int64
+	ckptBytes  int64 // atomic; written by the persister
+	persistNs  int64 // atomic; written by the persister
+
+	// Pipelined-assembler watchdog (see pipeline.go). asmStall is a test
+	// seam: when non-nil the drain goroutines call it before each extent.
+	watchdog      time.Duration
+	watchdogTrips int64 // atomic
+	asmStall      func(r int)
 }
 
 // snapshot is a recovery point: everything the next superstep reads. All
@@ -733,6 +791,11 @@ type snapshot[V, M any] struct {
 	values  []V
 	active  []bool
 	aggPrev map[string][]float32
+
+	// ioDone (atomic) is 1 once the persister has finished with this
+	// snapshot (or it was never enqueued); takeCheckpoint only recycles a
+	// displaced snapshot's slabs after observing it.
+	ioDone uint32
 
 	inTotal   int
 	mailTotal int
@@ -803,7 +866,12 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 		if e.pipeDepth <= 0 {
 			e.pipeDepth = defaultPipelineDepth
 		}
+		e.watchdog = cfg.PipelineWatchdog
+		if e.watchdog == 0 {
+			e.watchdog = defaultWatchdog
+		}
 	}
+	e.faults = buildFaults(cfg)
 	n := topo.NumVertices()
 	e.values = make([]V, n)
 	e.active = make([]bool, n)
@@ -882,13 +950,33 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 // flight, or MaxSupersteps is reached. When checkpointing is on and a
 // failure is injected, the engine rolls back to the latest checkpoint and
 // re-executes — results are identical to a failure-free run because every
-// superstep is deterministic.
+// superstep is deterministic. With a durable sink attached (SetSink),
+// checkpoints are additionally persisted by a background goroutine whose
+// first failure surfaces from Run after the computation finishes.
 func (e *Engine[V, M]) Run() error {
-	e.failArmed = failConfigured(e.cfg)
-	if e.cfg.CheckpointEvery > 0 {
-		e.takeCheckpoint(0) // superstep-0 inputs are always recoverable
+	if e.sink != nil {
+		e.startPersister()
 	}
-	for step := 0; step < e.cfg.MaxSupersteps; step++ {
+	err := e.runLoop()
+	if e.sink != nil {
+		e.persistWG.Wait()
+		if perr := e.stopPersister(); err == nil {
+			err = perr
+		}
+	}
+	return err
+}
+
+func (e *Engine[V, M]) runLoop() error {
+	if e.cfg.CheckpointEvery > 0 && !e.resumed && len(e.faults) > 0 {
+		// The superstep-0 seed is the rollback target for faults injected
+		// before the first periodic checkpoint — the only way an in-process
+		// rollback can be needed that early. Real crashes kill the process
+		// and resume from disk, where a superstep-0 epoch equals a cold
+		// start, so fault-free runs skip the capture entirely.
+		e.takeCheckpoint(0)
+	}
+	for step := e.startStep; step < e.cfg.MaxSupersteps; step++ {
 		// Delivery reactivates destinations, so in-flight vertex messages
 		// imply an active vertex; the explicit totals guard worker mail and
 		// keep the invariant local.
@@ -905,19 +993,38 @@ func (e *Engine[V, M]) Run() error {
 			return nil
 		}
 
-		if e.failArmed && step == e.cfg.FailAtSuperstep {
-			e.failArmed = false
-			if e.checkpoint == nil {
-				return fmt.Errorf("pregel: worker failure at superstep %d with no checkpoint", step)
+		if e.cfg.SuperstepHook != nil {
+			e.drainPersist()
+			e.cfg.SuperstepHook(step)
+		}
+
+		if e.faultAt(step, FaultBeforeSuperstep) {
+			if err := e.recoverFromCrash(step); err != nil {
+				return err
 			}
-			e.restoreCheckpoint()
-			e.recoveries++
 			step = e.checkpoint.step - 1 // loop increment re-enters at the checkpoint
 			continue
 		}
 
-		e.runSuperstep(step)
+		if crashed := e.runSuperstep(step); crashed {
+			if err := e.recoverFromCrash(step); err != nil {
+				return err
+			}
+			step = e.checkpoint.step - 1
+			continue
+		}
 		if e.cfg.CheckpointEvery > 0 && (step+1)%e.cfg.CheckpointEvery == 0 {
+			if e.faultAt(step, FaultDuringCheckpoint) {
+				// Crash mid-capture: the partially built snapshot is lost
+				// work (captured here, then discarded without committing);
+				// the previous checkpoint stays the recovery point.
+				_ = e.captureSnapshot(step + 1)
+				if err := e.recoverFromCrash(step); err != nil {
+					return err
+				}
+				step = e.checkpoint.step - 1
+				continue
+			}
 			e.takeCheckpoint(step + 1)
 		}
 	}
@@ -926,50 +1033,105 @@ func (e *Engine[V, M]) Run() error {
 	return nil
 }
 
-// failConfigured reports whether a failure injection is requested; the
-// Config zero value (FailAtSuperstep == 0) means no failure, so existing
-// configurations are unaffected.
-func failConfigured[M any](cfg Config[M]) bool { return cfg.FailAtSuperstep > 0 }
-
-// takeCheckpoint snapshots everything the upcoming superstep consumes.
-// Message payloads are deep-copied out of the live arenas: by the time a
-// recovery replays, the arenas backing the current inbox views have been
-// recycled and overwritten.
-func (e *Engine[V, M]) takeCheckpoint(step int) {
-	cp := &snapshot[V, M]{
-		step:      step,
-		aggPrev:   e.aggPrev,
-		inTotal:   e.inTotal,
-		mailTotal: e.mailTotal,
+// recoverFromCrash rolls back to the latest checkpoint after an injected
+// crash at superstep step.
+func (e *Engine[V, M]) recoverFromCrash(step int) error {
+	if e.checkpoint == nil {
+		return fmt.Errorf("pregel: worker failure at superstep %d with no checkpoint", step)
 	}
-	cp.values = append([]V(nil), e.values...)
-	cp.active = append([]bool(nil), e.active...)
+	e.restoreCheckpoint()
+	e.recoveries++
+	return nil
+}
+
+// takeCheckpoint snapshots everything the upcoming superstep consumes and
+// commits the snapshot as the recovery point, handing it to the background
+// persister when a durable sink is attached. Capture wall time is charged
+// to worker 0's metrics row of the superstep just finished (the initial
+// step-0 capture precedes all metrics and lands only in CheckpointStats).
+func (e *Engine[V, M]) takeCheckpoint(step int) {
+	t0 := time.Now()
+	cp := e.grabSpare()
+	e.captureSnapshotInto(cp, step)
+	if prev := e.checkpoint; prev != nil {
+		e.spare = prev
+	}
+	e.checkpoint = cp
+	ns := time.Since(t0).Nanoseconds()
+	e.ckptCount++
+	e.ckptWallNs += ns
+	if len(e.metrics) > 0 {
+		e.metrics[len(e.metrics)-1][0].CheckpointNs += ns
+	}
+	// The superstep-0 seed never reaches the sink: resuming from it is
+	// byte-identical to a cold start, so persisting it buys nothing.
+	if e.sink != nil && step > 0 {
+		e.enqueuePersist(cp)
+	} else {
+		atomic.StoreUint32(&cp.ioDone, 1)
+	}
+}
+
+// grabSpare returns the previously displaced checkpoint for slab reuse once
+// the persister is done with it, else a fresh snapshot. Recycling makes the
+// steady-state capture cost a memcpy instead of an allocation storm.
+func (e *Engine[V, M]) grabSpare() *snapshot[V, M] {
+	if sp := e.spare; sp != nil && atomic.LoadUint32(&sp.ioDone) == 1 {
+		e.spare = nil
+		return sp
+	}
+	return &snapshot[V, M]{}
+}
+
+// captureSnapshot deep-copies into a fresh snapshot (discard-path helper;
+// the checkpoint path goes through takeCheckpoint's recycling).
+func (e *Engine[V, M]) captureSnapshot(step int) *snapshot[V, M] {
+	cp := &snapshot[V, M]{}
+	e.captureSnapshotInto(cp, step)
+	return cp
+}
+
+// captureSnapshotInto deep-copies everything the upcoming superstep consumes
+// into cp, reusing its slice capacity. Message payloads are deep-copied out
+// of the live arenas: by the time a recovery replays, the arenas backing the
+// current inbox views have been recycled and overwritten.
+func (e *Engine[V, M]) captureSnapshotInto(cp *snapshot[V, M], step int) {
+	cp.step = step
+	cp.aggPrev = e.aggPrev
+	cp.inTotal = e.inTotal
+	cp.mailTotal = e.mailTotal
+	cp.ioDone = 0
+	cp.values = append(cp.values[:0], e.values...)
+	cp.active = append(cp.active[:0], e.active...)
 	nw := e.cfg.NumWorkers
 	if e.columnar {
-		cp.colIn = make([]colSnap, nw)
-		cp.colMail = make([]colSnap, nw)
+		if cp.colIn == nil {
+			cp.colIn = make([]colSnap, nw)
+			cp.colMail = make([]colSnap, nw)
+		}
 		for r := 0; r < nw; r++ {
-			cp.colIn[r] = snapCols(e.colIn[r].off, &e.colIn[r].cols)
-			cp.colMail[r] = snapCols(nil, &e.colMail[r])
+			snapColsInto(&cp.colIn[r], e.colIn[r].off, &e.colIn[r].cols)
+			snapColsInto(&cp.colMail[r], nil, &e.colMail[r])
 		}
 		if e.pipelined {
-			cp.pendIn = append([]inMetrics(nil), e.pendIn...)
+			cp.pendIn = append(cp.pendIn[:0], e.pendIn...)
 		}
 	} else {
-		cp.boxOff = make([][]int32, nw)
-		cp.boxMsgs = make([][]M, nw)
-		cp.boxMail = make([][]M, nw)
+		if cp.boxOff == nil {
+			cp.boxOff = make([][]int32, nw)
+			cp.boxMsgs = make([][]M, nw)
+			cp.boxMail = make([][]M, nw)
+		}
 		for r := 0; r < nw; r++ {
-			cp.boxOff[r] = append([]int32(nil), e.boxIn[r].off...)
-			cp.boxMsgs[r] = append([]M(nil), e.boxIn[r].msgs...)
-			cp.boxMail[r] = append([]M(nil), e.boxMail[r]...)
+			cp.boxOff[r] = append(cp.boxOff[r][:0], e.boxIn[r].off...)
+			cp.boxMsgs[r] = append(cp.boxMsgs[r][:0], e.boxIn[r].msgs...)
+			cp.boxMail[r] = append(cp.boxMail[r][:0], e.boxMail[r]...)
 		}
 	}
 	if ps, ok := e.prog.(ProgramStater); ok {
 		cp.progState = ps.SnapshotProgState()
 		cp.hasProg = true
 	}
-	e.checkpoint = cp
 }
 
 // restoreCheckpoint rolls engine state back to the latest checkpoint,
@@ -987,12 +1149,18 @@ func (e *Engine[V, M]) restoreCheckpoint() {
 			restoreCols(e.colIn[r].off, &e.colIn[r].cols, cp.colIn[r])
 			restoreCols(nil, &e.colMail[r], cp.colMail[r])
 		}
-		// The inbox no longer references the live arenas; recycle them.
+		// The inbox no longer references the live arenas; recycle them. A
+		// crash mid-superstep (FaultMidPipeline / FaultAtBarrier) also leaves
+		// the current generation filled but never shifted — recycle it too.
 		for s := 0; s < nw; s++ {
 			for r := 0; r < nw; r++ {
 				if e.colLive[s][r] != nil {
 					e.colFree.put(e.colLive[s][r])
 					e.colLive[s][r] = nil
+				}
+				if e.colCur[s][r] != nil {
+					e.colFree.put(e.colCur[s][r])
+					e.colCur[s][r] = nil
 				}
 			}
 		}
@@ -1038,7 +1206,12 @@ func (e *Engine[V, M]) forEachWorker(fn func(i int)) {
 	wg.Wait()
 }
 
-func (e *Engine[V, M]) runSuperstep(step int) {
+// runSuperstep executes one superstep. It returns true when an injected
+// fault crashed the step partway: the caller must roll back to the latest
+// checkpoint — everything the step produced (send buffers, assembler state,
+// delivered inboxes, its metrics row) is lost work that restoreCheckpoint
+// discards.
+func (e *Engine[V, M]) runSuperstep(step int) (crashed bool) {
 	e.supersteps = step + 1
 	e.executed++
 	stepMetrics := e.carveStepMetrics()
@@ -1086,6 +1259,17 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 	// assemblers throughout this phase.
 	e.forEachWorker(func(i int) { e.computeWorker(e.workers[i], step) })
 
+	// Fault point: compute finished (send data produced, and on the
+	// pipelined plane partially assembled), barrier not yet run. The drain
+	// goroutines are joined before the crash propagates so no assembly races
+	// the recovery; their output is discarded with the rest of the step.
+	if e.faultAt(step, FaultMidPipeline) {
+		if e.pipelined {
+			e.finishAssembly()
+		}
+		return true
+	}
+
 	// Barrier. On the BSP path, send-side accounting is parallel over
 	// senders (each writes its own metrics entry); delivery is parallel over
 	// receivers (each owns a disjoint inbox and drains sender buffers in
@@ -1104,6 +1288,13 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 		e.forEachWorker(func(i int) { e.accountSent(i) })
 		e.forEachWorker(func(i int) { e.deliverBoxed(i) })
 	}
+
+	// Fault point: delivery/merge done, superstep not yet committed (totals,
+	// aggregators, generation shift) — the freshly merged inboxes are lost.
+	if e.faultAt(step, FaultAtBarrier) {
+		return true
+	}
+
 	inTotal, mailTotal := 0, 0
 	if e.columnar {
 		for r := 0; r < nw; r++ {
@@ -1150,6 +1341,7 @@ func (e *Engine[V, M]) runSuperstep(step int) {
 			}
 		}
 	}
+	return false
 }
 
 // carveStepMetrics returns this superstep's NumWorkers-wide metrics window,
@@ -1606,6 +1798,7 @@ func (e *Engine[V, M]) TotalMetrics() []StepMetrics {
 			out[w].RemoteBytesSent += m.RemoteBytesSent
 			out[w].CombinedAway += m.CombinedAway
 			out[w].ComputeCost += m.ComputeCost
+			out[w].CheckpointNs += m.CheckpointNs
 		}
 	}
 	return out
