@@ -178,6 +178,8 @@ type perfReport struct {
 	CheckpointGates     []perfCheckpointGate     `json:"gate_checkpoint_overhead"`
 	Partitioning        []perfPartitionResult    `json:"partitioning"`
 	PartitionReductions []perfPartitionReduction `json:"partitioning_ldg_vs_hash"`
+	Serving             []perfServeResult        `json:"serving"`
+	ServeGates          []perfServeGate          `json:"gate_serving_slo"`
 	Identity            perfIdentity             `json:"identity"`
 }
 
@@ -676,7 +678,7 @@ func runCheckpointSuite(rep *perfReport, scale string) (bool, error) {
 	off, disk, err := measureBest(
 		pregelSpec("pr6/kernel-bound/w8/checkpoint-off", m, g, steps, offOpts),
 		pregelSpec("pr6/kernel-bound/w8/checkpoint-disk/every=4", m, g, steps, diskOpts),
-		2)
+		3)
 	if err != nil {
 		return false, err
 	}
@@ -1020,11 +1022,11 @@ func runPerf(path, scale, combos string, pipeChunk, pipeDepth int) error {
 	}
 
 	report := perfReport{
-		PR: 6,
-		Description: "Durable checkpoints and crash-resume: CRC-checksummed epoch files written " +
-			"atomically off the critical path, deterministic fault injection, and the " +
-			"checkpoint-overhead gate; plus the plane, pipelined, partitioning and identity " +
-			"suites of PR 2-5",
+		PR: 7,
+		Description: "Online serving: HTTP service with a resident prediction store, micro-batched " +
+			"k-hop queries, bounded-queue load shedding and stale-store degradation, gated on " +
+			"p99-within-SLO at nominal load and shedding at 2x queue capacity; plus the plane, " +
+			"pipelined, checkpointing, partitioning and identity suites of PR 2-6",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -1059,6 +1061,11 @@ func runPerf(path, scale, combos string, pipeChunk, pipeDepth int) error {
 			name: "partitioning",
 			fail: "LDG remote-byte reduction vs hash below 25% on skew-in",
 			run:  func() (bool, error) { return runPartitionSuite(&report, scale) },
+		},
+		{
+			name: "serving",
+			fail: "serving SLO gates failed (nominal load must shed nothing with p99 within the max-latency window; 2x queue capacity must shed)",
+			run:  func() (bool, error) { return runServeSuite(&report, scale) },
 		},
 		{
 			name: "identity",

@@ -1,0 +1,235 @@
+package main
+
+// The PR 7 serving suite: a closed-loop load generator drives the online
+// inference server (internal/serve) over real HTTP and records latency
+// percentiles, throughput, shed rate and degraded-answer fraction at two
+// operating points — nominal (client concurrency well under the admission
+// queue) and overload (2x the queue capacity in flight). Two gates fail the
+// run: at nominal load the server must shed nothing and hold p99 within the
+// configured max-latency window; at overload the bounded queue must shed
+// (429s observed) rather than let latency grow without bound.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inferturbo/internal/datagen"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/inference"
+	"inferturbo/internal/serve"
+	"inferturbo/internal/tensor"
+)
+
+// perfServeResult is one load-generator phase against the live server.
+type perfServeResult struct {
+	Phase        string  `json:"phase"`
+	Clients      int     `json:"clients"`
+	QueueDepth   int     `json:"queue_depth"`
+	Requests     int64   `json:"requests"`
+	Completed    int64   `json:"completed"`
+	QPS          float64 `json:"qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	ShedRate     float64 `json:"shed_rate"`
+	DegradedRate float64 `json:"degraded_rate"`
+	ErrorRate    float64 `json:"error_rate"`
+}
+
+// perfServeGate records one serving SLO verdict.
+type perfServeGate struct {
+	Phase        string  `json:"phase"`
+	Criterion    string  `json:"criterion"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxLatencyMs float64 `json:"max_latency_ms"`
+	ShedRate     float64 `json:"shed_rate"`
+	Gated        bool    `json:"gated"`
+	Pass         bool    `json:"pass"`
+}
+
+// serveLoadPhase runs a closed loop of `clients` goroutines for `dur`, each
+// firing single-root queries back to back, and aggregates the phase.
+func serveLoadPhase(ts *httptest.Server, phase string, clients, queueDepth, numNodes int, dur time.Duration) (perfServeResult, error) {
+	var (
+		requests, shed, degraded, errs atomic.Int64
+		mu                             sync.Mutex
+		lats                           []time.Duration
+		firstErr                       atomic.Value
+	)
+	stopAt := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := tensor.NewRNG(int64(1000 + id))
+			var local []time.Duration
+			for time.Now().Before(stopAt) {
+				root := rng.Intn(numNodes)
+				body := fmt.Sprintf(`{"roots":[%d],"deadline_ms":1000}`, root)
+				requests.Add(1)
+				start := time.Now()
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					errs.Add(1)
+					continue
+				}
+				var qr serve.QueryResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+				case resp.StatusCode == http.StatusOK && decErr == nil:
+					local = append(local, time.Since(start))
+					if len(qr.Answers) > 0 && qr.Answers[0].Stale {
+						degraded.Add(1)
+					}
+				default:
+					errs.Add(1)
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return perfServeResult{}, fmt.Errorf("serving load phase %s: %w", phase, err)
+	}
+
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i]) / 1e6
+	}
+	total := requests.Load()
+	res := perfServeResult{
+		Phase:      phase,
+		Clients:    clients,
+		QueueDepth: queueDepth,
+		Requests:   total,
+		Completed:  int64(len(lats)),
+		QPS:        float64(len(lats)) / dur.Seconds(),
+		P50Ms:      pct(0.50),
+		P99Ms:      pct(0.99),
+	}
+	if total > 0 {
+		res.ShedRate = float64(shed.Load()) / float64(total)
+		res.DegradedRate = float64(degraded.Load()) / float64(total)
+		res.ErrorRate = float64(errs.Load()) / float64(total)
+	}
+	fmt.Printf("serving/%-10s %3d clients: %6d req, %8.0f qps, p50 %6.2fms, p99 %7.2fms, shed %5.1f%%, degraded %4.1f%%\n",
+		phase, clients, total, res.QPS, res.P50Ms, res.P99Ms, 100*res.ShedRate, 100*res.DegradedRate)
+	return res, nil
+}
+
+// runServeSuite stands up the online server on the bench graph and gates
+// its load-shedding and latency SLOs.
+func runServeSuite(rep *perfReport, scale string) (bool, error) {
+	nodes, dur := 3000, 4*time.Second
+	if scale == "quick" {
+		nodes, dur = 800, 1500*time.Millisecond
+	}
+	ds := datagen.Generate(datagen.Config{
+		Name: "serve-bench", Nodes: nodes, AvgDegree: 6, Skew: datagen.SkewIn, Exponent: 1.6,
+		FeatureDim: 16, NumClasses: 8, TrainFrac: 0.3, ValFrac: 0.1, Seed: 77,
+	})
+	m := gas.NewGCNModel("serve-bench", gas.TaskSingleLabel, 16, 24, 8, 2, tensor.NewRNG(78))
+
+	// Overload must shed by capacity arithmetic, not timing luck: total
+	// server occupancy is one computing batch (MaxBatchSize) plus the
+	// admission queue (QueueDepth) = 12 slots, so the 2x-queue-capacity
+	// phase (16 closed-loop clients) always has ~4 requests over capacity
+	// in flight.
+	const (
+		queueDepth = 8
+		maxLatency = 250 * time.Millisecond
+	)
+	s, err := serve.New(serve.Config{
+		Model: m, Graph: ds.Graph,
+		Refresh:      inference.Options{NumWorkers: 8, Parallel: true},
+		QueryWorkers: 2,
+		MaxBatchSize: 4,
+		BatchWindow:  time.Millisecond,
+		QueueDepth:   queueDepth,
+		MaxLatency:   maxLatency,
+	})
+	if err != nil {
+		return false, err
+	}
+	if err := s.Start(); err != nil {
+		return false, err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	// Nominal: concurrency well under the queue bound — the server must
+	// shed nothing and answer within the SLO window.
+	nominal, err := serveLoadPhase(ts, "nominal", 2, queueDepth, nodes, dur)
+	if err != nil {
+		return false, err
+	}
+	// Overload: 2x queue capacity in closed loop — the bounded queue must
+	// shed rather than stretch latency unboundedly.
+	overload, err := serveLoadPhase(ts, "overload", 2*queueDepth, queueDepth, nodes, dur)
+	if err != nil {
+		return false, err
+	}
+	rep.Serving = []perfServeResult{nominal, overload}
+
+	maxMs := float64(maxLatency) / 1e6
+	gates := []perfServeGate{
+		{
+			Phase:        "nominal",
+			Criterion:    "shed_rate == 0",
+			ShedRate:     nominal.ShedRate,
+			P99Ms:        nominal.P99Ms,
+			MaxLatencyMs: maxMs,
+			Gated:        true,
+			Pass:         nominal.ShedRate == 0,
+		},
+		{
+			Phase:        "nominal",
+			Criterion:    "p99 <= max_latency window",
+			ShedRate:     nominal.ShedRate,
+			P99Ms:        nominal.P99Ms,
+			MaxLatencyMs: maxMs,
+			Gated:        true,
+			Pass:         nominal.P99Ms <= maxMs,
+		},
+		{
+			Phase:        "overload",
+			Criterion:    "shed_rate > 0 at 2x queue capacity",
+			ShedRate:     overload.ShedRate,
+			P99Ms:        overload.P99Ms,
+			MaxLatencyMs: maxMs,
+			Gated:        true,
+			Pass:         overload.ShedRate > 0,
+		},
+	}
+	rep.ServeGates = gates
+	pass := true
+	for _, g := range gates {
+		fmt.Printf("serving gate [%s] %-38s p99=%7.2fms shed=%5.1f%% pass=%v\n",
+			g.Phase, g.Criterion, g.P99Ms, 100*g.ShedRate, g.Pass)
+		if g.Gated && !g.Pass {
+			pass = false
+		}
+	}
+	return pass, nil
+}

@@ -93,15 +93,22 @@ func main() {
 	var spec inferturbo.ClusterSpec
 	switch *backend {
 	case "pregel":
-		res, err = inferturbo.InferPregel(m, g, opts)
+		res, err = runGuarded(func() (*inferturbo.InferResult, error) {
+			return inferturbo.InferPregel(m, g, opts)
+		})
 		spec = inferturbo.PregelCluster()
 	case "mapreduce":
-		res, err = inferturbo.InferMapReduce(m, g, opts)
+		res, err = runGuarded(func() (*inferturbo.InferResult, error) {
+			return inferturbo.InferMapReduce(m, g, opts)
+		})
 		spec = inferturbo.MapReduceCluster()
 	default:
 		fatalf("unknown backend %q", *backend)
 	}
 	if err != nil {
+		if *resume {
+			fatalf("inference: %v\nhint: -resume found unusable state in %q; a torn final epoch is skipped automatically, so this is a malformed (CRC-valid but inconsistent) epoch — clear the directory or drop -resume to rerun from scratch", err, *ckptDir)
+		}
 		fatalf("inference: %v", err)
 	}
 
@@ -178,6 +185,19 @@ func main() {
 		}
 		fmt.Printf("wrote raw logits to %s\n", *outLogits)
 	}
+}
+
+// runGuarded converts any residual panic out of the inference engines into
+// an error so a malformed checkpoint (or any other poisoned input that
+// slipped past validation) exits with a diagnosable message instead of a
+// bare stack trace.
+func runGuarded(run func() (*inferturbo.InferResult, error)) (res *inferturbo.InferResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("internal panic: %v", p)
+		}
+	}()
+	return run()
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,159 @@
+// Command serve runs the InferTurbo online inference service: it loads a
+// dataset and trained signature once, computes a resident full-graph
+// prediction store, and serves per-node lookups plus fresh k-hop queries
+// (what-if feature overrides, cold-start virtual nodes) over HTTP/JSON.
+//
+// Usage:
+//
+//	serve -data graph.bin -model model.json -addr :8080 \
+//	      -workers 16 -max-latency 250ms -queue-depth 64
+//
+// The service degrades gracefully under pressure: a full admission queue
+// sheds with 429 + Retry-After, a fresh query that misses its deadline
+// falls back to the resident store (marked stale), and background refreshes
+// — optionally durable via -checkpoint-dir — never block reads. With
+// -checkpoint-dir and -resume, a process killed mid-refresh restarts and
+// completes the interrupted pass from its latest durable epoch,
+// bit-identical to an uninterrupted run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"inferturbo"
+	"inferturbo/internal/checkpoint"
+	"inferturbo/internal/inference"
+	"inferturbo/internal/serve"
+)
+
+func main() {
+	var (
+		data  = flag.String("data", "graph.bin", "dataset path")
+		model = flag.String("model", "model.json", "signature file")
+		addr  = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+
+		workers  = flag.Int("workers", 16, "partition count for full-graph refresh passes")
+		parallel = flag.Bool("parallel", true, "run refresh workers on goroutines (results identical either way)")
+		part     = flag.String("partitioner", "hash", "vertex placement for refresh passes: hash | degree | ldg | fennel")
+
+		queryWorkers  = flag.Int("query-workers", 2, "partition count for k-hop query batches")
+		queryParallel = flag.Bool("query-parallel", false, "run query workers on goroutines")
+		hops          = flag.Int("hops", 0, "k-hop query depth (0 = the model's layer count)")
+		maxBatch      = flag.Int("max-batch", 16, "max roots coalesced into one query micro-batch")
+		batchWindow   = flag.Duration("batch-window", 2*time.Millisecond, "how long the batcher waits to fill a batch")
+		queueDepth    = flag.Int("queue-depth", 64, "admission queue bound; beyond it requests shed with 429")
+		maxLatency    = flag.Duration("max-latency", 250*time.Millisecond, "default per-request deadline (the serving SLO window)")
+		refreshEvery  = flag.Duration("refresh-every", 0, "periodic full-graph refresh interval (0 = on demand via POST /v1/refresh)")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint directory for refresh passes")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint every n supersteps (0 = 2 when -checkpoint-dir is set, else off)")
+		ckptSync  = flag.String("checkpoint-sync", "always", "epoch durability: always | never")
+		resume    = flag.Bool("resume", false, "resume an interrupted refresh from the latest valid epoch in -checkpoint-dir")
+
+		dieAt        = flag.Int("die-at", -1, "kill -9 this process at the start of the given superstep of the -die-on-refresh'th pass (crash-resume testing)")
+		dieOnRefresh = flag.Int("die-on-refresh", 1, "which full-graph pass -die-at targets (1 = the initial store build)")
+	)
+	flag.Parse()
+
+	g, err := inferturbo.LoadGraphFile(*data)
+	if err != nil {
+		fatalf("loading %s: %v", *data, err)
+	}
+	m, err := inferturbo.LoadModelFile(*model)
+	if err != nil {
+		fatalf("loading %s: %v", *model, err)
+	}
+	strat, err := inferturbo.PartitionStrategyByName(*part)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	refresh := inference.Options{
+		NumWorkers: *workers, Parallel: *parallel, Partitioner: strat,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
+	}
+	switch *ckptSync {
+	case "always":
+		refresh.CheckpointSync = checkpoint.SyncAlways
+	case "never":
+		refresh.CheckpointSync = checkpoint.SyncNever
+	default:
+		fatalf("unknown -checkpoint-sync %q (want always | never)", *ckptSync)
+	}
+	if *dieAt >= 0 {
+		// Passes are counted by watching the superstep sequence restart: a
+		// hook step that does not extend the previous pass begins the next
+		// one. The hook runs on the engine goroutine after queued durable
+		// epochs have drained, so everything the run reported as
+		// checkpointed is on disk when the process dies.
+		pass, last := 0, -1
+		target, targetPass := *dieAt, *dieOnRefresh
+		refresh.SuperstepHook = func(step int) {
+			if last == -1 || step <= last {
+				pass++
+			}
+			last = step
+			if pass == targetPass && step == target {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+
+	s, err := serve.New(serve.Config{
+		Model: m, Graph: g, Refresh: refresh,
+		Hops:         *hops,
+		QueryWorkers: *queryWorkers, QueryParallel: *queryParallel,
+		MaxBatchSize: *maxBatch, BatchWindow: *batchWindow,
+		QueueDepth: *queueDepth, MaxLatency: *maxLatency,
+		RefreshEvery: *refreshEvery,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// The initial pass runs before the socket opens: once the address is
+	// printed, the store is resident and /readyz is green.
+	if err := s.Start(); err != nil {
+		if *resume {
+			fatalf("initial full-graph pass: %v\nhint: -resume found unusable state in %q; a torn final epoch is skipped automatically, so this is a malformed (CRC-valid but inconsistent) epoch — clear the directory or drop -resume to rebuild from scratch", err, *ckptDir)
+		}
+		fatalf("initial full-graph pass: %v", err)
+	}
+	snap := s.Store()
+	fmt.Printf("serve: store epoch %d resident (%d nodes, %d supersteps, resumed=%v)\n",
+		snap.Epoch, g.NumNodes, snap.Stats.Supersteps, snap.Stats.Resumed)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen %s: %v", *addr, err)
+	}
+	fmt.Printf("serve: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Printf("serve: %v, shutting down\n", got)
+	case err := <-errCh:
+		fatalf("http: %v", err)
+	}
+	if err := hs.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: closing http: %v\n", err)
+	}
+	s.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"inferturbo"
+)
+
+// TestMain lets the test binary stand in for the serve command: a child
+// launched with SERVE_MAIN_RUN=1 runs main() against its own flags. The
+// chaos test SIGKILLs a live server mid-refresh and restarts it with
+// -resume — a real crash, a real recovery, over real HTTP.
+func TestMain(m *testing.M) {
+	if os.Getenv("SERVE_MAIN_RUN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func writeFixture(t *testing.T) (dataPath, modelPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	ds := inferturbo.PowerLaw(400, inferturbo.SkewOut, 1)
+	m := inferturbo.NewSAGEModel("serve-chaos", inferturbo.TaskSingleLabel,
+		ds.Graph.FeatureDim(), 16, ds.Graph.NumClasses, 3, 0, inferturbo.NewRNG(7))
+	dataPath = filepath.Join(dir, "graph.bin")
+	modelPath = filepath.Join(dir, "model.json")
+	if err := inferturbo.SaveGraphFile(ds.Graph, dataPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := inferturbo.SaveModelFile(m, modelPath); err != nil {
+		t.Fatal(err)
+	}
+	return dataPath, modelPath
+}
+
+// syncBuf collects a child's output from its writer goroutine while the
+// test polls it.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startServe launches main() in a child on an ephemeral port and waits for
+// its listen line. exited resolves with cmd.Wait's error.
+func startServe(t *testing.T, args ...string) (cmd *exec.Cmd, out *syncBuf, baseURL string, exited chan error) {
+	t.Helper()
+	cmd = exec.Command(os.Args[0], append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Env = append(os.Environ(), "SERVE_MAIN_RUN=1")
+	out = &syncBuf{}
+	cmd.Stdout, cmd.Stderr = out, out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited = make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-exited
+	})
+
+	const marker = "serve: listening on "
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		s := out.String()
+		if i := strings.Index(s, marker); i >= 0 {
+			if j := strings.IndexByte(s[i:], '\n'); j >= 0 {
+				return cmd, out, "http://" + strings.TrimSpace(s[i+len(marker):i+j]), exited
+			}
+		}
+		select {
+		case err := <-exited:
+			exited <- err
+			t.Fatalf("server exited before listening: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never listened:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil
+	}
+	return resp.StatusCode, b
+}
+
+func postJSON(t *testing.T, url string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// TestServerChaosKillRefreshAndResume is the serving layer's crash-resume
+// guarantee end to end: a live server is SIGKILLed in the middle of a
+// background refresh while answering queries; a restarted server resumes
+// the interrupted pass from its durable epochs and presents a resident
+// store byte-identical to the pre-crash one, still answering.
+func TestServerChaosKillRefreshAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos")
+	}
+	dataPath, modelPath := writeFixture(t)
+	ckptDir := filepath.Join(t.TempDir(), "ckpt")
+	base := []string{"-data", dataPath, "-model", modelPath, "-workers", "4", "-checkpoint-dir", ckptDir}
+
+	// Phase 1: serve, then die at superstep 3 of the second pass — the
+	// refresh we kick below. The epoch for superstep 2 is durable by then.
+	_, _, url1, exited := startServe(t, append(base, "-die-at", "3", "-die-on-refresh", "2")...)
+
+	if st, _ := httpGet(t, url1+"/readyz"); st != 200 {
+		t.Fatalf("readyz=%d before chaos", st)
+	}
+	st, before := httpGet(t, url1+"/v1/logits")
+	if st != 200 || len(before) == 0 {
+		t.Fatalf("logits dump: status=%d len=%d", st, len(before))
+	}
+	if st, body := postJSON(t, url1+"/v1/query", `{"roots":[5,9],"deadline_ms":5000}`); st != 200 {
+		t.Fatalf("query before chaos: %d %s", st, body)
+	}
+
+	if st, body := postJSON(t, url1+"/v1/refresh", ""); st != 202 {
+		t.Fatalf("refresh kick: %d %s", st, body)
+	}
+	// The server must keep answering store lookups until the very moment
+	// the kill lands.
+	for alive := true; alive; {
+		select {
+		case err := <-exited:
+			exited <- err // keep the cleanup in startServe unblocked
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+				t.Fatalf("server did not die by SIGKILL: %v", err)
+			}
+			alive = false
+		default:
+			if st, _ := httpGet(t, url1+"/v1/nodes/0"); st != 0 && st != 200 {
+				t.Fatalf("store lookup failed during refresh: %d", st)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if names, _ := filepath.Glob(filepath.Join(ckptDir, "epoch-*.ckpt")); len(names) == 0 {
+		t.Fatal("killed server left no durable epochs")
+	}
+
+	// Phase 2: restart with -resume. The initial pass continues the killed
+	// refresh from its latest epoch instead of starting over.
+	_, out2, url2, _ := startServe(t, append(base, "-resume")...)
+	if !strings.Contains(out2.String(), "resumed=true") {
+		t.Fatalf("restarted server did not resume:\n%s", out2.String())
+	}
+	st, statsBody := httpGet(t, url2+"/v1/stats")
+	if st != 200 {
+		t.Fatalf("stats: %d", st)
+	}
+	var stats struct {
+		Resumed bool  `json:"resumed"`
+		Epoch   int64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(statsBody, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Resumed || stats.Epoch != 1 {
+		t.Fatalf("stats after resume: %s", statsBody)
+	}
+
+	// The recovered store is bit-identical to the pre-crash one: same
+	// model, same graph, and recovery replays the pass exactly.
+	st, after := httpGet(t, url2+"/v1/logits")
+	if st != 200 {
+		t.Fatalf("logits after resume: %d", st)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("resident store bytes changed across SIGKILL + resume")
+	}
+	if st, body := postJSON(t, url2+"/v1/query", `{"roots":[5,9],"deadline_ms":5000}`); st != 200 {
+		t.Fatalf("query after resume: %d %s", st, body)
+	}
+}
+
+// TestServerGracefulShutdown: SIGTERM stops the server cleanly.
+func TestServerGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess")
+	}
+	dataPath, modelPath := writeFixture(t)
+	cmd, out, url, exited := startServe(t, "-data", dataPath, "-model", modelPath, "-workers", "2")
+	if st, body := postJSON(t, url+"/v1/query", `{"roots":[1],"deadline_ms":5000}`); st != 200 {
+		t.Fatalf("query: %d %s", st, body)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		exited <- err
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server did not shut down on SIGTERM:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("no shutdown log:\n%s", out.String())
+	}
+}

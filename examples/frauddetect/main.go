@@ -10,11 +10,20 @@
 //     between runs (different sampling seeds), and
 //   - InferTurbo full-graph inference, which is bit-identical across runs
 //     and backends, with the broadcast strategy taming the hub accounts.
+//
+// It then stands the same model up as a live risk service: per-account
+// lookups from the resident store, a what-if query re-scoring a hub with
+// neutralized features, and a cold-start score for a brand-new account known
+// only by its first counterparties.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 
 	"inferturbo"
 )
@@ -94,14 +103,105 @@ func main() {
 		agree, g.NumNodes, risky)
 	fmt.Printf("broadcast handled %d hub node-steps, saving repeated hub payloads\n",
 		a.Stats.BroadcastHubs)
+
+	// --- Live serving: the batch job becomes an online risk service. ---
+	// The initial full-graph pass (same options, same bit-identical result)
+	// becomes the resident store; fresh k-hop queries answer what the batch
+	// job cannot: hypotheticals and accounts that did not exist last night.
+	srv, err := inferturbo.NewServer(inferturbo.ServeConfig{
+		Model: model, Graph: g, Refresh: opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("\nrisk service live on %s\n", base)
+
+	// Per-account lookup: wait-free read from the resident store.
+	hub := hubAccount(g)
+	var hubAns inferturbo.ServeAnswer
+	getJSON(base+fmt.Sprintf("/v1/nodes/%d", hub), &hubAns)
+	fmt.Printf("hub account %d (out-degree %d): class %d from store epoch %d\n",
+		hub, g.OutDegree(hub), hubAns.Class, hubAns.Epoch)
+
+	// What-if: re-score the hub's neighborhood with its transaction
+	// features neutralized — a fresh k-hop pass, nothing written back.
+	neutral := make([]float32, g.FeatureDim())
+	whatIf := postQuery(base, inferturbo.QueryRequest{
+		Roots:      []int32{hub},
+		DeadlineMs: 10000,
+		Overrides:  map[string][]float32{fmt.Sprint(hub): neutral},
+	})
+	fmt.Printf("what-if (hub features zeroed): class %d -> %d\n",
+		hubAns.Class, whatIf.Answers[0].Class)
+
+	// Cold start: a brand-new account whose only signal is that its first
+	// counterparties include the hub. The virtual node rides the same
+	// canonical k-hop plane, so the score is deterministic too.
+	cold := postQuery(base, inferturbo.QueryRequest{
+		DeadlineMs: 10000,
+		ColdStart: &inferturbo.ColdStartRequest{
+			Features:    g.Features.Row(int(hub)),
+			InNeighbors: []int32{hub},
+		},
+	})
+	newAcct := cold.Answers[len(cold.Answers)-1]
+	fmt.Printf("cold-start account wired to the hub: class %d (source %s)\n",
+		newAcct.Class, newAcct.Source)
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func postQuery(base string, req inferturbo.QueryRequest) inferturbo.QueryResponse {
+	b, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr inferturbo.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("query failed (%d): %s", resp.StatusCode, qr.Error)
+	}
+	return qr
+}
+
+func hubAccount(g *inferturbo.Graph) int32 {
+	best, bestDeg := int32(0), -1
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		if d := g.OutDegree(v); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best
 }
 
 func maxOutDegree(g *inferturbo.Graph) int {
-	max := 0
-	for v := int32(0); v < int32(g.NumNodes); v++ {
-		if d := g.OutDegree(v); d > max {
-			max = d
-		}
-	}
-	return max
+	return g.OutDegree(hubAccount(g))
 }

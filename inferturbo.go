@@ -40,6 +40,7 @@ import (
 	"inferturbo/internal/gas"
 	"inferturbo/internal/graph"
 	"inferturbo/internal/inference"
+	"inferturbo/internal/serve"
 	"inferturbo/internal/tensor"
 	"inferturbo/internal/train"
 )
@@ -103,6 +104,32 @@ type (
 	// ClusterReport prices a run's phases on a ClusterSpec.
 	ClusterReport = cluster.Report
 )
+
+// Serving types (the online inference service; see cmd/serve for the
+// standalone binary and DESIGN.md for the serving architecture).
+type (
+	// Server is a long-lived inference service: a resident full-graph
+	// prediction store refreshed by background passes, plus micro-batched
+	// k-hop queries for what-if overrides and cold-start nodes.
+	Server = serve.Server
+	// ServeConfig wires a Server: model, graph, refresh options, batching
+	// and admission-control knobs.
+	ServeConfig = serve.Config
+	// ServeStats is the JSON shape of GET /v1/stats.
+	ServeStats = serve.Stats
+	// ServeAnswer is one node's prediction in a serving response.
+	ServeAnswer = serve.Answer
+	// QueryRequest is the JSON body of POST /v1/query.
+	QueryRequest = serve.QueryRequest
+	// QueryResponse is the JSON body of a serving query answer.
+	QueryResponse = serve.QueryResponse
+	// ColdStartRequest describes a node not yet in the graph.
+	ColdStartRequest = serve.ColdStartRequest
+)
+
+// NewServer builds an online inference server. Call Start to run the
+// initial full-graph pass and begin serving; Handler returns its HTTP API.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
 // Partitioning types.
 type (

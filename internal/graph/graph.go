@@ -179,18 +179,41 @@ func (g *Graph) EdgeList() (src, dst []int32) {
 }
 
 // Validate checks internal consistency: pointer monotonicity, symmetric
-// edge counts between CSR and CSC, and index bounds. Intended for tests and
-// dataset loaders; cost is O(V+E).
+// edge counts between CSR and CSC, index bounds, array lengths and matrix
+// shapes. Intended for tests and dataset loaders — it must reject any
+// adversarial byte-level corruption a loader can hand it without panicking,
+// so every array access below is guarded by an explicit length or range
+// check first. Cost is O(V+E).
 func (g *Graph) Validate() error {
+	if g.NumNodes < 0 || g.NumEdges < 0 {
+		return fmt.Errorf("graph: negative counts (nodes=%d edges=%d)", g.NumNodes, g.NumEdges)
+	}
 	if len(g.OutPtr) != g.NumNodes+1 || len(g.InPtr) != g.NumNodes+1 {
 		return fmt.Errorf("graph: ptr arrays sized %d/%d, want %d", len(g.OutPtr), len(g.InPtr), g.NumNodes+1)
 	}
-	if int(g.OutPtr[g.NumNodes]) != g.NumEdges || int(g.InPtr[g.NumNodes]) != g.NumEdges {
-		return fmt.Errorf("graph: edge totals %d/%d, want %d", g.OutPtr[g.NumNodes], g.InPtr[g.NumNodes], g.NumEdges)
+	if len(g.OutDst) != g.NumEdges || len(g.OutEdge) != g.NumEdges ||
+		len(g.InSrc) != g.NumEdges || len(g.InEdge) != g.NumEdges {
+		return fmt.Errorf("graph: adjacency arrays sized %d/%d/%d/%d, want %d edges",
+			len(g.OutDst), len(g.OutEdge), len(g.InSrc), len(g.InEdge), g.NumEdges)
+	}
+	if g.OutPtr[0] != 0 || g.InPtr[0] != 0 ||
+		int(g.OutPtr[g.NumNodes]) != g.NumEdges || int(g.InPtr[g.NumNodes]) != g.NumEdges {
+		return fmt.Errorf("graph: ptr spans [%d,%d]/[%d,%d], want [0,%d]",
+			g.OutPtr[0], g.OutPtr[g.NumNodes], g.InPtr[0], g.InPtr[g.NumNodes], g.NumEdges)
 	}
 	for v := 0; v < g.NumNodes; v++ {
 		if g.OutPtr[v] > g.OutPtr[v+1] || g.InPtr[v] > g.InPtr[v+1] {
 			return fmt.Errorf("graph: non-monotone ptr at node %d", v)
+		}
+	}
+	for i, d := range g.OutDst {
+		if int(d) < 0 || int(d) >= g.NumNodes {
+			return fmt.Errorf("graph: out neighbor %d at slot %d out of range [0,%d)", d, i, g.NumNodes)
+		}
+	}
+	for i, s := range g.InSrc {
+		if int(s) < 0 || int(s) >= g.NumNodes {
+			return fmt.Errorf("graph: in neighbor %d at slot %d out of range [0,%d)", s, i, g.NumNodes)
 		}
 	}
 	seen := make([]bool, g.NumEdges)
@@ -226,14 +249,38 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
-	if g.Features != nil && g.Features.Rows != g.NumNodes {
-		return fmt.Errorf("graph: features rows %d != nodes %d", g.Features.Rows, g.NumNodes)
+	if err := checkMatrix("features", g.Features, g.NumNodes); err != nil {
+		return err
 	}
-	if g.EdgeFeatures != nil && g.EdgeFeatures.Rows != g.NumEdges {
-		return fmt.Errorf("graph: edge features rows %d != edges %d", g.EdgeFeatures.Rows, g.NumEdges)
+	if err := checkMatrix("edge features", g.EdgeFeatures, g.NumEdges); err != nil {
+		return err
+	}
+	if err := checkMatrix("multi-labels", g.MultiLabels, g.NumNodes); err != nil {
+		return err
 	}
 	if g.Labels != nil && len(g.Labels) != g.NumNodes {
 		return fmt.Errorf("graph: labels len %d != nodes %d", len(g.Labels), g.NumNodes)
+	}
+	for name, mask := range map[string][]bool{"train": g.TrainMask, "val": g.ValMask, "test": g.TestMask} {
+		if mask != nil && len(mask) != g.NumNodes {
+			return fmt.Errorf("graph: %s mask len %d != nodes %d", name, len(mask), g.NumNodes)
+		}
+	}
+	return nil
+}
+
+// checkMatrix rejects a matrix whose header disagrees with its backing data
+// or with the expected row count — a decoded matrix with a lying shape
+// would turn every Row call into an out-of-bounds slice.
+func checkMatrix(name string, m *tensor.Matrix, rows int) error {
+	if m == nil {
+		return nil
+	}
+	if m.Rows != rows {
+		return fmt.Errorf("graph: %s rows %d, want %d", name, m.Rows, rows)
+	}
+	if m.Rows < 0 || m.Cols < 0 || len(m.Data) != m.Rows*m.Cols {
+		return fmt.Errorf("graph: %s shape %dx%d does not match %d data values", name, m.Rows, m.Cols, len(m.Data))
 	}
 	return nil
 }

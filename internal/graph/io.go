@@ -25,8 +25,17 @@ func (g *Graph) Encode(w io.Writer) error {
 	return nil
 }
 
-// Decode deserializes a graph written by Encode and validates it.
-func Decode(r io.Reader) (*Graph, error) {
+// Decode deserializes a graph written by Encode and validates it. Corrupt
+// or adversarial input yields an error, never a panic: Validate guards every
+// index and length invariant, and a recover converts any residual decode
+// panic (gob internals on pathological streams) into an error, because this
+// is a data-plane entry point fed by files the process does not control.
+func Decode(r io.Reader) (g *Graph, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			g, err = nil, fmt.Errorf("graph: decoding panicked on corrupt input: %v", p)
+		}
+	}()
 	dec := gob.NewDecoder(r)
 	var magic string
 	if err := dec.Decode(&magic); err != nil {
@@ -35,14 +44,14 @@ func Decode(r io.Reader) (*Graph, error) {
 	if magic != ioMagic {
 		return nil, fmt.Errorf("graph: bad header %q", magic)
 	}
-	var g Graph
-	if err := dec.Decode(&g); err != nil {
+	var dg Graph
+	if err := dec.Decode(&dg); err != nil {
 		return nil, fmt.Errorf("graph: decoding graph: %w", err)
 	}
-	if err := g.Validate(); err != nil {
+	if err := dg.Validate(); err != nil {
 		return nil, fmt.Errorf("graph: loaded graph invalid: %w", err)
 	}
-	return &g, nil
+	return &dg, nil
 }
 
 // SaveFile writes g to path.

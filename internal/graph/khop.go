@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"sort"
 
 	"inferturbo/internal/tensor"
 )
@@ -92,7 +93,7 @@ func KHop(g *Graph, roots []int32, opt KHopOptions) *Subgraph {
 		frontier = append(frontier, r)
 	}
 
-	for d := 0; d < opt.Hops; d++ {
+	for d := 0; d < opt.Hops && len(frontier) > 0; d++ {
 		fanout := -1
 		if d < len(opt.Fanouts) {
 			fanout = opt.Fanouts[d]
@@ -125,4 +126,166 @@ func KHop(g *Graph, roots []int32, opt KHopOptions) *Subgraph {
 		frontier = next
 	}
 	return sub
+}
+
+// VirtualRoot describes a node that does not exist in the graph — a
+// cold-start query: its features plus the in-edges connecting it to existing
+// nodes. The virtual node sends nothing (out-degree 0), so attaching it
+// perturbs no existing node's inference.
+type VirtualRoot struct {
+	Features []float32
+	// InNeighbors are global node ids; repeats create parallel edges. Every
+	// neighbor must already be in the subgraph being induced.
+	InNeighbors []int32
+	// EdgeFeatures carries one feature row per in-edge; required (aligned
+	// with InNeighbors) when the graph has edge features, nil otherwise.
+	EdgeFeatures [][]float32
+}
+
+// Induced is a Subgraph rebuilt as an executable Graph in canonical form:
+// local node ids ascend with global node ids and edges are inserted in
+// ascending global edge-id order. That canonicalization is what makes
+// subgraph inference bit-identical to the full-graph pass at the roots —
+// the engine delivers each destination's messages in globally ascending
+// source order with ties broken by edge insertion order, so a relabeling
+// that preserves both orders reproduces every per-destination reduction
+// sequence (and hence every float32 summation) exactly. Degree-scaled
+// layers additionally need OutDegrees: the full graph's out-degree per
+// local node, fed through inference.Options.OutDegrees, because a node's
+// local out-degree undercounts edges that left the neighborhood.
+type Induced struct {
+	// G is the executable subgraph, carrying gathered node/edge features
+	// and the root graph's NumClasses.
+	G *Graph
+	// OutDegrees is the ROOT graph's out-degree for each local node (0 for
+	// the virtual root).
+	OutDegrees []int32
+	// Roots maps the subgraph's roots, in request order, to their canonical
+	// local ids.
+	Roots []int32
+	// Nodes maps canonical local ids back to global ids (-1 for the virtual
+	// root).
+	Nodes []int32
+	// Virtual is the local id of the attached VirtualRoot, -1 when none.
+	Virtual int32
+}
+
+// Induce rebuilds the subgraph as a canonical executable Graph (see
+// Induced), optionally attaching one virtual cold-start root. It validates
+// its inputs and returns errors rather than panicking: the serving layer
+// feeds it request-derived data.
+func (s *Subgraph) Induce(g *Graph, virt *VirtualRoot) (*Induced, error) {
+	n := len(s.Nodes)
+	total := n
+	if virt != nil {
+		total++
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("graph: inducing an empty subgraph")
+	}
+
+	// Canonical node order: ascending global id. rank[old local] = new local.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return s.Nodes[order[a]] < s.Nodes[order[b]] })
+	rank := make([]int32, n)
+	for newID, oldID := range order {
+		rank[oldID] = int32(newID)
+	}
+
+	// Canonical edge order: ascending global edge id (unique by
+	// construction — KHop expands each node at most once).
+	eorder := make([]int32, len(s.Src))
+	for i := range eorder {
+		eorder[i] = int32(i)
+	}
+	sort.Slice(eorder, func(a, b int) bool { return s.EdgeIDs[eorder[a]] < s.EdgeIDs[eorder[b]] })
+
+	ind := &Induced{
+		OutDegrees: make([]int32, total),
+		Roots:      make([]int32, s.NumRoots),
+		Nodes:      make([]int32, total),
+		Virtual:    -1,
+	}
+	for i := 0; i < s.NumRoots; i++ {
+		ind.Roots[i] = rank[i] // roots occupy old local ids 0..R-1
+	}
+
+	b := NewBuilder(total)
+	hasEdgeFeat := g.EdgeFeatures != nil
+	for _, e := range eorder {
+		src, dst := rank[s.Src[e]], rank[s.Dst[e]]
+		var feat []float32
+		if hasEdgeFeat {
+			eid := s.EdgeIDs[e]
+			if int(eid) < 0 || int(eid) >= g.NumEdges {
+				return nil, fmt.Errorf("graph: subgraph edge id %d out of range [0,%d)", eid, g.NumEdges)
+			}
+			feat = g.EdgeFeatures.Row(int(eid))
+		}
+		b.AddEdge(src, dst, feat)
+	}
+
+	for oldID, global := range s.Nodes {
+		if int(global) < 0 || int(global) >= g.NumNodes {
+			return nil, fmt.Errorf("graph: subgraph node %d out of range [0,%d)", global, g.NumNodes)
+		}
+		ind.Nodes[rank[oldID]] = global
+		ind.OutDegrees[rank[oldID]] = int32(g.OutDegree(global))
+	}
+
+	if virt != nil {
+		// The virtual root takes the last local id: it never sends (the
+		// engine orders deliveries by source), so its position cannot
+		// disturb any existing node's message order.
+		v := int32(n)
+		ind.Virtual = v
+		ind.Nodes[v] = -1
+		if g.Features != nil && len(virt.Features) != g.Features.Cols {
+			return nil, fmt.Errorf("graph: virtual root features dim %d, graph has %d", len(virt.Features), g.Features.Cols)
+		}
+		if hasEdgeFeat && len(virt.EdgeFeatures) != len(virt.InNeighbors) {
+			return nil, fmt.Errorf("graph: virtual root has %d edge feature rows for %d in-edges", len(virt.EdgeFeatures), len(virt.InNeighbors))
+		}
+		for i, row := range virt.EdgeFeatures {
+			if hasEdgeFeat && len(row) != g.EdgeFeatures.Cols {
+				return nil, fmt.Errorf("graph: virtual root edge feature %d has dim %d, graph has %d", i, len(row), g.EdgeFeatures.Cols)
+			}
+		}
+		// In-edges attach after every real edge; their relative order only
+		// affects the virtual root's own inbox, deterministically.
+		local := make(map[int32]int32, n)
+		for newID, global := range ind.Nodes[:n] {
+			local[global] = int32(newID)
+		}
+		for i, nbr := range virt.InNeighbors {
+			src, ok := local[nbr]
+			if !ok {
+				return nil, fmt.Errorf("graph: virtual root in-neighbor %d not in the subgraph", nbr)
+			}
+			var feat []float32
+			if hasEdgeFeat {
+				feat = virt.EdgeFeatures[i]
+			}
+			b.AddEdge(src, v, feat)
+		}
+	}
+
+	sub := b.Build()
+	sub.NumClasses = g.NumClasses
+	if g.Features != nil {
+		f := tensor.New(total, g.Features.Cols)
+		for newID, global := range ind.Nodes {
+			if global >= 0 {
+				copy(f.Row(newID), g.Features.Row(int(global)))
+			} else {
+				copy(f.Row(newID), virt.Features)
+			}
+		}
+		sub.Features = f
+	}
+	ind.G = sub
+	return ind, nil
 }

@@ -136,6 +136,22 @@ type Options struct {
 	// superstep, after queued durable epochs have drained — the
 	// deterministic kill point the crash-resume integration tests use.
 	SuperstepHook func(step int)
+	// Cancel, when non-nil, is polled by the Pregel backend at the start of
+	// every superstep; a non-nil return aborts the run with that error.
+	// Superstep granularity means an abort never leaves partially delivered
+	// state behind. The serving layer uses this to propagate request
+	// deadlines from HTTP through micro-batching into the compute plane
+	// (partial-batch cancellation). MapReduce rejects this.
+	Cancel func() error
+	// OutDegrees overrides the out-degree that degree-scaled layers
+	// (gas.MessageScaler — GCN) see for each node; len must equal the
+	// graph's node count. The serving layer sets it when executing a k-hop
+	// induced subgraph, whose local out-degrees undercount the full graph's:
+	// scaling by the original degrees is what keeps subgraph inference
+	// bit-identical to the full-graph pass at the roots. Composes with
+	// ShadowNodes (mirrors resolve through their origin). MapReduce rejects
+	// this.
+	OutDegrees []int32
 	// SpillDir routes MapReduce shuffles through disk when non-empty.
 	SpillDir string
 	// EmitEmbeddings additionally returns each node's penultimate-layer

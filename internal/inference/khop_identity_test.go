@@ -1,0 +1,183 @@
+package inference
+
+import (
+	"math"
+	"testing"
+
+	"inferturbo/internal/datagen"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/tensor"
+)
+
+// The serving fallback's correctness contract: a k-hop induced subgraph,
+// canonicalized by Subgraph.Induce and executed with the full graph's
+// out-degrees, must reproduce the full-graph pass at the roots BIT FOR BIT —
+// not just within tolerance. The engine's ascending-source merge delivers
+// each destination's messages in globally ascending source order with ties
+// in edge insertion order; Induce's relabeling preserves both orders, so
+// every per-destination float32 reduction replays in the identical sequence.
+
+// bitEqualRows fails the test when the logits row for local id differs from
+// want's row for global id in any single bit.
+func bitEqualRows(t *testing.T, tag string, got *tensor.Matrix, local int32, want *tensor.Matrix, global int32) {
+	t.Helper()
+	gr, wr := got.Row(int(local)), want.Row(int(global))
+	if len(gr) != len(wr) {
+		t.Fatalf("%s: node %d row dims %d vs %d", tag, global, len(gr), len(wr))
+	}
+	for j := range gr {
+		if math.Float32bits(gr[j]) != math.Float32bits(wr[j]) {
+			t.Fatalf("%s: node %d logit %d differs: %x vs %x (%v vs %v)",
+				tag, global, j, math.Float32bits(gr[j]), math.Float32bits(wr[j]), gr[j], wr[j])
+		}
+	}
+}
+
+func TestKHopInducedBitIdenticalToFullGraph(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{
+		Name: "khop", Nodes: 240, AvgDegree: 5, Skew: datagen.SkewIn, Exponent: 1.6,
+		FeatureDim: 8, NumClasses: 4, TrainFrac: 0.3, ValFrac: 0.1, Seed: 11,
+	})
+	g := ds.Graph
+
+	models := map[string]*gas.Model{
+		// GCN is the hard case: its wire message scales by sender
+		// out-degree, which the induced subgraph undercounts without the
+		// OutDegrees override.
+		"gcn":  gas.NewGCNModel("k-gcn", gas.TaskSingleLabel, 8, 12, 4, 2, tensor.NewRNG(21)),
+		"sage": gas.NewSAGEModel("k-sage", gas.TaskSingleLabel, 8, 12, 4, 2, 0, tensor.NewRNG(22)),
+		"gin":  gas.NewGINModel("k-gin", gas.TaskSingleLabel, 8, 12, 4, 2, tensor.NewRNG(23)),
+	}
+	rng := tensor.NewRNG(99)
+	for name, m := range models {
+		full, err := RunPregel(m, g, Options{NumWorkers: 5})
+		if err != nil {
+			t.Fatalf("%s full pass: %v", name, err)
+		}
+		for trial := 0; trial < 6; trial++ {
+			nroots := 1 + rng.Intn(4)
+			roots := make([]int32, 0, nroots)
+			seen := map[int32]bool{}
+			for len(roots) < nroots {
+				v := int32(rng.Intn(g.NumNodes))
+				if !seen[v] {
+					seen[v] = true
+					roots = append(roots, v)
+				}
+			}
+			sub := graph.KHop(g, roots, graph.KHopOptions{Hops: m.NumLayers()})
+			ind, err := sub.Induce(g, nil)
+			if err != nil {
+				t.Fatalf("%s induce: %v", name, err)
+			}
+			// Worker count and plane knobs deliberately differ from the
+			// full pass: bit-identity must hold across them.
+			res, err := RunPregel(m, ind.G, Options{
+				NumWorkers: 1 + trial%3, Parallel: trial%2 == 0,
+				OutDegrees: ind.OutDegrees,
+			})
+			if err != nil {
+				t.Fatalf("%s subgraph pass: %v", name, err)
+			}
+			for i, root := range roots {
+				bitEqualRows(t, name, res.Logits, ind.Roots[i], full.Logits, root)
+			}
+		}
+	}
+}
+
+// Without the out-degree override, a GCN subgraph pass must diverge whenever
+// a root's neighborhood lost out-edges — guarding against the override
+// silently becoming a no-op.
+func TestKHopGCNRequiresOutDegreeOverride(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{
+		Name: "khop-neg", Nodes: 240, AvgDegree: 5, Skew: datagen.SkewOut, Exponent: 1.6,
+		FeatureDim: 8, NumClasses: 4, TrainFrac: 0.3, ValFrac: 0.1, Seed: 12,
+	})
+	g := ds.Graph
+	m := gas.NewGCNModel("k-gcn-neg", gas.TaskSingleLabel, 8, 12, 4, 2, tensor.NewRNG(31))
+	full, err := RunPregel(m, g, Options{NumWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for v := int32(0); v < 40 && !diverged; v++ {
+		sub := graph.KHop(g, []int32{v}, graph.KHopOptions{Hops: m.NumLayers()})
+		ind, err := sub.Induce(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunPregel(m, ind.G, Options{NumWorkers: 2}) // no OutDegrees
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := res.Logits.Row(int(ind.Roots[0])), full.Logits.Row(int(v))
+		for j := range got {
+			if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("dropping the OutDegrees override changed nothing across 40 ego networks; the override is not being exercised")
+	}
+}
+
+// A virtual cold-start root must predict exactly what a full pass over the
+// graph-with-that-node-added predicts, for models without degree scaling
+// (SAGE): the virtual node contributes no out-edges, so only its own row is
+// new. (For GCN the serving convention deliberately keeps the original
+// degrees — the existing graph is not perturbed by a what-if node — so the
+// augmented-full-pass oracle does not apply.)
+func TestVirtualRootMatchesAugmentedGraph(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{
+		Name: "khop-virt", Nodes: 160, AvgDegree: 4, Skew: datagen.SkewIn, Exponent: 1.5,
+		FeatureDim: 6, NumClasses: 3, TrainFrac: 0.3, ValFrac: 0.1, Seed: 13,
+	})
+	g := ds.Graph
+	m := gas.NewSAGEModel("virt-sage", gas.TaskSingleLabel, 6, 10, 3, 2, 0, tensor.NewRNG(41))
+	rng := tensor.NewRNG(55)
+
+	nbrs := []int32{3, 17, 42, 99}
+	feats := make([]float32, 6)
+	for i := range feats {
+		feats[i] = rng.Float32()
+	}
+
+	// Oracle: rebuild the graph with the virtual node materialized.
+	b := graph.NewBuilder(g.NumNodes + 1)
+	src, dst := g.EdgeList()
+	for e := range src {
+		b.AddEdge(src[e], dst[e], nil)
+	}
+	newID := int32(g.NumNodes)
+	for _, u := range nbrs {
+		b.AddEdge(u, newID, nil)
+	}
+	aug := b.Build()
+	aug.NumClasses = g.NumClasses
+	f := tensor.New(g.NumNodes+1, 6)
+	for v := 0; v < g.NumNodes; v++ {
+		copy(f.Row(v), g.Features.Row(v))
+	}
+	copy(f.Row(g.NumNodes), feats)
+	aug.Features = f
+	want, err := RunPregel(m, aug, Options{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serving path: k-hop around the neighbors, virtual root attached.
+	sub := graph.KHop(g, nbrs, graph.KHopOptions{Hops: m.NumLayers()})
+	ind, err := sub.Induce(g, &graph.VirtualRoot{Features: feats, InNeighbors: nbrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPregel(m, ind.G, Options{NumWorkers: 2, OutDegrees: ind.OutDegrees})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqualRows(t, "sage-virtual", res.Logits, ind.Virtual, want.Logits, newID)
+}

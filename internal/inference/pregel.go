@@ -565,6 +565,16 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 	if opts.ShadowNodes {
 		sg = BuildShadowGraph(g, threshold)
 	}
+	if opts.OutDegrees != nil {
+		if len(opts.OutDegrees) != g.NumNodes {
+			return nil, fmt.Errorf("inference: OutDegrees len %d != graph nodes %d", len(opts.OutDegrees), g.NumNodes)
+		}
+		// Degree-scaled layers see the override instead of the executed
+		// graph's structural degree; mirrors resolve through their origin.
+		for v := range sg.OrigOutDeg {
+			sg.OrigOutDeg[v] = opts.OutDegrees[sg.Origin[v]]
+		}
+	}
 
 	driver := &pregelDriver{
 		model:     model,
@@ -610,6 +620,7 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 		Faults:           opts.Faults,
 		PipelineWatchdog: opts.PipelineWatchdog,
 		SuperstepHook:    opts.SuperstepHook,
+		Cancel:           opts.Cancel,
 	}
 	if driver.columnar {
 		ops := &pregel.ColumnarOps{Bytes: columnarBytes}

@@ -402,6 +402,44 @@ func readColSnap(r *checkpoint.Reader) colSnap {
 	return s
 }
 
+// validateColSnap checks a decoded column snapshot's internal consistency —
+// the invariants snapColsInto guarantees on capture — so a CRC-valid but
+// semantically corrupt epoch fails the resume with an error instead of
+// panicking later inside restoreCols or the delivery barrier. wantOff > 0
+// additionally pins the CSR offsets: monotone from 0 to the message count,
+// so every Batch view sliced from them stays in bounds.
+func validateColSnap(s colSnap, wantOff int) error {
+	n := len(s.srcs)
+	if len(s.kinds) != n || len(s.counts) != n {
+		return fmt.Errorf("column lengths disagree (kinds=%d srcs=%d counts=%d)", len(s.kinds), n, len(s.counts))
+	}
+	if len(s.payOff) != n+1 {
+		return fmt.Errorf("payload offsets len %d, want %d", len(s.payOff), n+1)
+	}
+	if s.payOff[0] != 0 || s.payOff[n] != len(s.arena) {
+		return fmt.Errorf("payload offsets span [%d,%d], arena holds %d", s.payOff[0], s.payOff[n], len(s.arena))
+	}
+	for i := 0; i < n; i++ {
+		if s.payOff[i] > s.payOff[i+1] {
+			return fmt.Errorf("payload offsets regress at message %d", i)
+		}
+	}
+	if wantOff > 0 {
+		if len(s.off) != wantOff {
+			return fmt.Errorf("CSR has %d offsets, want %d", len(s.off), wantOff)
+		}
+		if s.off[0] != 0 || int(s.off[wantOff-1]) != n {
+			return fmt.Errorf("CSR spans [%d,%d], inbox holds %d messages", s.off[0], s.off[wantOff-1], n)
+		}
+		for i := 0; i+1 < wantOff; i++ {
+			if s.off[i] > s.off[i+1] {
+				return fmt.Errorf("CSR offsets regress at slot %d", i)
+			}
+		}
+	}
+	return nil
+}
+
 // decodeSnapshot rebuilds a snapshot from epoch segments, validating shape
 // against the engine's configuration before any state is touched.
 func (e *Engine[V, M]) decodeSnapshot(step int, segs []checkpoint.Segment) (*snapshot[V, M], error) {
@@ -427,7 +465,7 @@ func (e *Engine[V, M]) decodeSnapshot(step int, segs []checkpoint.Segment) (*sna
 	nvert := int(mr.U64())
 	inTotal := int(mr.I64())
 	mailTotal := int(mr.I64())
-	if mr.Err() != nil || len(flags) != 4 {
+	if mr.Err() != nil || len(flags) != 4 || nw < 0 || nvert < 0 || inTotal < 0 || mailTotal < 0 {
 		return nil, errors.New("pregel: checkpoint meta segment malformed")
 	}
 	if version != snapshotVersion {
@@ -491,12 +529,17 @@ func (e *Engine[V, M]) decodeSnapshot(step int, segs []checkpoint.Segment) (*sna
 		for r := 0; r < nw; r++ {
 			cp.colIn[r] = readColSnap(ir)
 			cp.colMail[r] = readColSnap(mrd)
-			if want := len(e.colIn[r].off); len(cp.colIn[r].off) != want {
-				return nil, fmt.Errorf("pregel: checkpoint inbox CSR for worker %d has %d offsets, engine expects %d", r, len(cp.colIn[r].off), want)
-			}
 		}
 		if ir.Err() != nil || mrd.Err() != nil {
 			return nil, errors.New("pregel: checkpoint columnar segments malformed")
+		}
+		for r := 0; r < nw; r++ {
+			if err := validateColSnap(cp.colIn[r], len(e.colIn[r].off)); err != nil {
+				return nil, fmt.Errorf("pregel: checkpoint inbox for worker %d malformed: %w", r, err)
+			}
+			if err := validateColSnap(cp.colMail[r], 0); err != nil {
+				return nil, fmt.Errorf("pregel: checkpoint worker mail for worker %d malformed: %w", r, err)
+			}
 		}
 		if e.pipelined {
 			pr, err := need(segPendIn)

@@ -213,6 +213,13 @@ type Config[M any] struct {
 	// have been flushed to the sink. The flush makes hook-driven process
 	// kills (cmd/infer -die-at) deterministic about which epochs survive.
 	SuperstepHook func(step int)
+	// Cancel, when non-nil, is polled on the engine goroutine at the start
+	// of every superstep; a non-nil return aborts the run with that error
+	// before any further compute. Superstep granularity is the engine's
+	// cancellation unit: an in-flight superstep always completes, so an
+	// aborted run leaves no partially delivered state behind. The serving
+	// layer uses this to propagate request deadlines into the compute plane.
+	Cancel func() error
 }
 
 // StepMetrics records one worker's activity during one superstep.
@@ -996,6 +1003,12 @@ func (e *Engine[V, M]) runLoop() error {
 		if e.cfg.SuperstepHook != nil {
 			e.drainPersist()
 			e.cfg.SuperstepHook(step)
+		}
+
+		if e.cfg.Cancel != nil {
+			if err := e.cfg.Cancel(); err != nil {
+				return fmt.Errorf("pregel: run canceled before superstep %d: %w", step, err)
+			}
 		}
 
 		if e.faultAt(step, FaultBeforeSuperstep) {

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"inferturbo/internal/graph"
+)
+
+// maxBodyBytes bounds a query body; a request larger than this is hostile
+// or misrouted, not a workload.
+const maxBodyBytes = 8 << 20
+
+// QueryRequest is the JSON body of POST /v1/query.
+type QueryRequest struct {
+	// Roots are existing node ids to answer.
+	Roots []int32 `json:"roots"`
+	// DeadlineMs overrides the server's MaxLatency deadline for this
+	// request; 0 means the default.
+	DeadlineMs int `json:"deadline_ms"`
+	// Overrides maps node id -> replacement feature vector for a what-if
+	// query (keys are strings because JSON objects require it).
+	Overrides map[string][]float32 `json:"overrides,omitempty"`
+	// ColdStart describes a node not in the graph.
+	ColdStart *ColdStartRequest `json:"cold_start,omitempty"`
+}
+
+// ColdStartRequest describes a cold-start virtual node.
+type ColdStartRequest struct {
+	Features     []float32   `json:"features"`
+	InNeighbors  []int32     `json:"in_neighbors"`
+	EdgeFeatures [][]float32 `json:"edge_features,omitempty"`
+}
+
+// QueryResponse is the JSON body of a query answer. For cold-start queries
+// the virtual node's answer is last, with Node == -1.
+type QueryResponse struct {
+	Answers []Answer `json:"answers,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	GET  /healthz       — liveness (process up)
+//	GET  /readyz        — readiness (store epoch present, queue has room)
+//	GET  /v1/nodes/{id} — resident-store lookup for one node
+//	POST /v1/query      — fresh k-hop inference (roots / what-if / cold-start)
+//	GET  /v1/stats      — serving counters + store epoch
+//	GET  /v1/logits     — raw little-endian float32 store dump (bit-level audits)
+//	POST /v1/refresh    — kick a background full-graph pass
+//
+// Every handler runs behind a recover fence: a panicking request 500s alone
+// while the server and all in-flight work survive.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /v1/nodes/{id}", s.handleNode)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/logits", s.handleLogits)
+	mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
+	return s.withRecovery(mux)
+}
+
+func (s *Server) withRecovery(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.m.panics.Add(1)
+				writeJSON(w, http.StatusInternalServerError,
+					QueryResponse{Error: fmt.Sprintf("internal error: %v", p)})
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if ok, reason := s.Ready(); !ok {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unready", "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, QueryResponse{Error: "resident store empty"})
+		return
+	}
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "node id must be an integer"})
+		return
+	}
+	if id < 0 || int(id) >= snap.Logits.Rows {
+		writeJSON(w, http.StatusNotFound,
+			QueryResponse{Error: fmt.Sprintf("node %d outside [0,%d)", id, snap.Logits.Rows)})
+		return
+	}
+	s.m.storeServed.Add(1)
+	writeJSON(w, http.StatusOK, storeAnswer(snap, int32(id), false))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleLogits streams the resident store's logits as raw little-endian
+// float32 — the chaos harness compares these bytes across crash/resume to
+// prove bit-identical recovery.
+func (s *Server) handleLogits(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, QueryResponse{Error: "resident store empty"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Store-Epoch", strconv.FormatInt(snap.Epoch, 10))
+	w.Header().Set("X-Rows", strconv.Itoa(snap.Logits.Rows))
+	w.Header().Set("X-Cols", strconv.Itoa(snap.Logits.Cols))
+	buf := make([]byte, 4*len(snap.Logits.Data))
+	for i, f := range snap.Logits.Data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(f))
+	}
+	_, _ = w.Write(buf)
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if !s.TryRefreshAsync() {
+		writeJSON(w, http.StatusConflict, map[string]string{"status": "refresh already running"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "refresh started"})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	j, errMsg := s.buildJob(&req)
+	if errMsg != "" {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: errMsg})
+		return
+	}
+	s.m.requests.Add(1)
+
+	deadline := s.cfg.MaxLatency
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	j.ctx = ctx
+
+	// Admission: refuse during shutdown, shed when the bounded queue is
+	// full — the server's capacity statement, not a transient failure.
+	select {
+	case <-s.stop:
+		writeJSON(w, http.StatusServiceUnavailable, QueryResponse{Error: "server shutting down"})
+		return
+	default:
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.m.shed.Add(1)
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeJSON(w, http.StatusTooManyRequests, QueryResponse{Error: "overloaded: admission queue full"})
+		return
+	}
+
+	var res jobResult
+	select {
+	case res = <-j.res:
+	case <-ctx.Done():
+		// Deadline passed with the job still queued or mid-compute: degrade
+		// from the store. finish races the batcher; whichever delivery wins
+		// is the response (the channel is guaranteed non-empty after).
+		s.finish(j, s.degradeResult(j, "deadline exceeded"))
+		res = <-j.res
+	}
+	if res.errMsg != "" {
+		writeJSON(w, res.status, QueryResponse{Error: res.errMsg})
+		return
+	}
+	writeJSON(w, res.status, QueryResponse{Answers: res.answers})
+}
+
+// buildJob validates a query against the resident graph and assembles the
+// batcher job. All request-derived indices and dimensions are checked here,
+// at the boundary, so the compute path never sees malformed input.
+func (s *Server) buildJob(req *QueryRequest) (*job, string) {
+	g := s.cfg.Graph
+	if len(req.Roots) == 0 && req.ColdStart == nil {
+		return nil, "query needs roots or cold_start"
+	}
+	seen := make(map[int32]bool, len(req.Roots))
+	for _, r := range req.Roots {
+		if int(r) < 0 || int(r) >= g.NumNodes {
+			return nil, fmt.Sprintf("root %d outside [0,%d)", r, g.NumNodes)
+		}
+		if seen[r] {
+			return nil, fmt.Sprintf("duplicate root %d", r)
+		}
+		seen[r] = true
+	}
+	j := &job{roots: req.Roots, res: make(chan jobResult, 1)}
+	if len(req.Overrides) > 0 {
+		j.overrides = make(map[int32][]float32, len(req.Overrides))
+		for key, feat := range req.Overrides {
+			node, err := strconv.ParseInt(key, 10, 32)
+			if err != nil || int(node) < 0 || int(node) >= g.NumNodes {
+				return nil, fmt.Sprintf("override key %q is not a node id in [0,%d)", key, g.NumNodes)
+			}
+			if len(feat) != g.FeatureDim() {
+				return nil, fmt.Sprintf("override for node %d has dim %d, graph features are %d", node, len(feat), g.FeatureDim())
+			}
+			j.overrides[int32(node)] = feat
+		}
+	}
+	if cs := req.ColdStart; cs != nil {
+		if len(cs.InNeighbors) == 0 {
+			return nil, "cold_start needs at least one in-neighbor"
+		}
+		if len(cs.Features) != g.FeatureDim() {
+			return nil, fmt.Sprintf("cold_start features dim %d, graph features are %d", len(cs.Features), g.FeatureDim())
+		}
+		for _, u := range cs.InNeighbors {
+			if int(u) < 0 || int(u) >= g.NumNodes {
+				return nil, fmt.Sprintf("cold_start in-neighbor %d outside [0,%d)", u, g.NumNodes)
+			}
+		}
+		if g.EdgeFeatures != nil {
+			if len(cs.EdgeFeatures) != len(cs.InNeighbors) {
+				return nil, fmt.Sprintf("cold_start has %d edge feature rows for %d in-edges", len(cs.EdgeFeatures), len(cs.InNeighbors))
+			}
+			for i, row := range cs.EdgeFeatures {
+				if len(row) != g.EdgeFeatureDim() {
+					return nil, fmt.Sprintf("cold_start edge feature %d has dim %d, graph edges are %d", i, len(row), g.EdgeFeatureDim())
+				}
+			}
+		} else if len(cs.EdgeFeatures) != 0 {
+			return nil, "cold_start carries edge features but the graph has none"
+		}
+		j.cold = &graph.VirtualRoot{
+			Features:     cs.Features,
+			InNeighbors:  cs.InNeighbors,
+			EdgeFeatures: cs.EdgeFeatures,
+		}
+	}
+	return j, ""
+}

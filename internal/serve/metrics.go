@@ -1,0 +1,86 @@
+package serve
+
+import "sync/atomic"
+
+// counters aggregates serving metrics. All fields are independent atomics:
+// consistency across fields is not needed, only monotonicity per field.
+type counters struct {
+	requests        atomic.Int64 // queries accepted into a handler
+	shed            atomic.Int64 // rejected 429 at the admission queue
+	fresh           atomic.Int64 // answered by a k-hop compute pass
+	degraded        atomic.Int64 // answered from the store after a missed deadline
+	storeServed     atomic.Int64 // plain per-node store lookups
+	errors          atomic.Int64 // queries that failed with an error status
+	panics          atomic.Int64 // compute panics contained by isolation
+	batches         atomic.Int64 // micro-batches executed
+	batchedJobs     atomic.Int64 // jobs carried by those batches
+	cancelAborts    atomic.Int64 // passes aborted mid-run by deadline propagation
+	refreshes       atomic.Int64 // successful full-graph passes
+	refreshFailures atomic.Int64
+}
+
+// metricKind tags a jobResult with the counter to bump when it is actually
+// delivered — the delivery point is the only increment site, so a result
+// raced between the batcher and a timed-out handler is counted exactly once.
+type metricKind int
+
+const (
+	metricNone metricKind = iota
+	metricFresh
+	metricDegraded
+	metricError
+)
+
+// Stats is the JSON shape of /v1/stats.
+type Stats struct {
+	Epoch      int64 `json:"epoch"`
+	Ready      bool  `json:"ready"`
+	QueueDepth int   `json:"queue_depth"`
+	QueueCap   int   `json:"queue_cap"`
+
+	Requests     int64 `json:"requests"`
+	Shed         int64 `json:"shed"`
+	Fresh        int64 `json:"fresh"`
+	Degraded     int64 `json:"degraded"`
+	StoreServed  int64 `json:"store_served"`
+	Errors       int64 `json:"errors"`
+	Panics       int64 `json:"panics"`
+	Batches      int64 `json:"batches"`
+	BatchedJobs  int64 `json:"batched_jobs"`
+	CancelAborts int64 `json:"cancel_aborts"`
+
+	Refreshes       int64 `json:"refreshes"`
+	RefreshFailures int64 `json:"refresh_failures"`
+	// Resumed / Recoveries reflect the CURRENT snapshot's pass — the chaos
+	// harness asserts a restarted server reports Resumed=true.
+	Resumed    bool `json:"resumed"`
+	Recoveries int  `json:"recoveries"`
+}
+
+// Metrics assembles a consistent-enough view of the serving counters.
+func (s *Server) Metrics() Stats {
+	st := Stats{
+		QueueDepth:   len(s.queue),
+		QueueCap:     cap(s.queue),
+		Requests:     s.m.requests.Load(),
+		Shed:         s.m.shed.Load(),
+		Fresh:        s.m.fresh.Load(),
+		Degraded:     s.m.degraded.Load(),
+		StoreServed:  s.m.storeServed.Load(),
+		Errors:       s.m.errors.Load(),
+		Panics:       s.m.panics.Load(),
+		Batches:      s.m.batches.Load(),
+		BatchedJobs:  s.m.batchedJobs.Load(),
+		CancelAborts: s.m.cancelAborts.Load(),
+
+		Refreshes:       s.m.refreshes.Load(),
+		RefreshFailures: s.m.refreshFailures.Load(),
+	}
+	st.Ready, _ = s.Ready()
+	if snap := s.snap.Load(); snap != nil {
+		st.Epoch = snap.Epoch
+		st.Resumed = snap.Stats.Resumed
+		st.Recoveries = snap.Stats.Recoveries
+	}
+	return st
+}

@@ -1,0 +1,274 @@
+// Package serve is InferTurbo's online inference service: a long-lived
+// server that loads graph and model once, keeps the latest full-graph pass
+// resident as an immutable prediction store behind an RCU-style atomic swap
+// (refreshes never block reads), and answers cold-start/what-if queries with
+// fresh k-hop induced-subgraph inference on the batched compute plane.
+//
+// Robustness is the design center, and it threads through every request:
+//
+//   - Dynamic micro-batching: concurrent k-hop queries coalesce under a
+//     max-batch-size / max-latency window and execute as one canonical
+//     induced subgraph, with per-request result scatter.
+//   - Bounded admission: a fixed-depth queue sheds excess load with 429 +
+//     Retry-After instead of growing goroutines without bound.
+//   - Deadline propagation: each request's context deadline flows through
+//     the batcher into the compute plane via inference.Options.Cancel; a
+//     batch whose every member died aborts at the next superstep.
+//   - Graceful degradation: a fresh query that misses its deadline falls
+//     back to the resident store's answer, marked stale with its epoch.
+//   - Panic isolation: a poisoned query 500s; batch mates are re-executed
+//     individually and the server survives.
+//   - Health/readiness gated on store epoch and queue depth.
+//
+// Fresh answers are bit-identical to the resident store's (enforced by the
+// k-hop identity property tests): degradation changes freshness, never
+// values, for any graph the store was computed on.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/inference"
+	"inferturbo/internal/tensor"
+)
+
+// Config assembles a Server.
+type Config struct {
+	Model *gas.Model
+	Graph *graph.Graph
+	// Refresh configures the resident store's full-graph pass — including,
+	// for chaos testing and crash recovery, CheckpointDir/Resume and a
+	// pregel.FaultPlan. Resume is honored only while the store is empty
+	// (i.e. the first pass after process start).
+	Refresh inference.Options
+	// Hops is the induced-subgraph depth for fresh queries; 0 selects the
+	// model's layer count (the exact, information-complete neighborhood).
+	Hops int
+	// QueryWorkers is the partition count for query-batch inference
+	// (default 2 — query subgraphs are small).
+	QueryWorkers int
+	// QueryParallel runs query-batch workers on goroutines.
+	QueryParallel bool
+	// MaxBatchSize caps the roots coalesced into one micro-batch
+	// (default 16).
+	MaxBatchSize int
+	// BatchWindow is how long the batcher waits to fill a batch after the
+	// first request arrives (default 2ms).
+	BatchWindow time.Duration
+	// QueueDepth bounds the admission queue; a full queue sheds with 429
+	// (default 64).
+	QueueDepth int
+	// MaxLatency is the serving SLO window: the default per-request
+	// deadline, and the p99 gate the bench enforces (default 250ms).
+	MaxLatency time.Duration
+	// RefreshEvery re-runs the full-graph pass periodically when > 0.
+	RefreshEvery time.Duration
+}
+
+// Snapshot is one immutable full-graph pass result — the resident store.
+// Readers load it with a single atomic pointer read; a refresh installs a
+// fresh Snapshot with one atomic store and never mutates a published one,
+// so lookups are wait-free and always internally consistent.
+type Snapshot struct {
+	Epoch      int64
+	Logits     *tensor.Matrix
+	Classes    []int32
+	MultiLabel *tensor.Matrix
+	Stats      inference.Stats
+}
+
+// Server is the online inference service. Construct with New, start the
+// background machinery with Start, serve s.Handler() over HTTP, stop with
+// Close.
+type Server struct {
+	cfg  Config
+	hops int
+
+	snap  atomic.Pointer[Snapshot]
+	queue chan *job
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	refreshMu sync.Mutex // single-flight: at most one full-graph pass at a time
+
+	m counters
+
+	// execHook, when non-nil, runs inside the batch compute path (and its
+	// panic recovery) before inference — the test seam for slow and
+	// poisoned queries.
+	execHook func(batch []*job)
+}
+
+// New validates cfg, applies defaults, and returns an unstarted Server. The
+// store is empty (readiness reports 503) until Start's initial refresh.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil || cfg.Graph == nil {
+		return nil, fmt.Errorf("serve: Config requires Model and Graph")
+	}
+	if cfg.Graph.FeatureDim() != cfg.Model.InDim() {
+		return nil, fmt.Errorf("serve: graph features dim %d, model expects %d", cfg.Graph.FeatureDim(), cfg.Model.InDim())
+	}
+	if cfg.Hops == 0 {
+		cfg.Hops = cfg.Model.NumLayers()
+	}
+	if cfg.Hops < 0 {
+		return nil, fmt.Errorf("serve: negative hops %d", cfg.Hops)
+	}
+	if cfg.QueryWorkers <= 0 {
+		cfg.QueryWorkers = 2
+	}
+	if cfg.MaxBatchSize <= 0 {
+		cfg.MaxBatchSize = 16
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = 2 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = 250 * time.Millisecond
+	}
+	return &Server{
+		cfg:   cfg,
+		hops:  cfg.Hops,
+		queue: make(chan *job, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+	}, nil
+}
+
+// Start runs the initial full-graph pass synchronously (honoring
+// Refresh.Resume, so a restarted process continues a killed pass from its
+// latest durable epoch) and launches the batcher plus the optional periodic
+// refresher.
+func (s *Server) Start() error {
+	if err := s.Refresh(); err != nil {
+		return err
+	}
+	s.wg.Add(1)
+	go s.runBatcher()
+	if s.cfg.RefreshEvery > 0 {
+		s.wg.Add(1)
+		go s.refreshLoop()
+	}
+	return nil
+}
+
+// Close stops the background goroutines and fails any queued requests with
+// a shutdown status. Idempotent.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	// The batcher has exited; anything a racing handler enqueued afterwards
+	// is failed here so no caller waits out its full deadline.
+	for {
+		select {
+		case j := <-s.queue:
+			s.finish(j, jobResult{status: 503, errMsg: "server shutting down", metric: metricError})
+		default:
+			return
+		}
+	}
+}
+
+// Store returns the current resident snapshot, nil before the first
+// completed refresh.
+func (s *Server) Store() *Snapshot { return s.snap.Load() }
+
+// Ready reports whether the server can take queries: the store holds at
+// least one epoch and the admission queue has room.
+func (s *Server) Ready() (bool, string) {
+	if s.snap.Load() == nil {
+		return false, "store empty: no full-graph pass has completed"
+	}
+	if len(s.queue) >= cap(s.queue) {
+		return false, "admission queue full"
+	}
+	return true, "ok"
+}
+
+// Refresh runs one full-graph pass and atomically swaps the result in as
+// the new resident snapshot. Concurrent callers serialize; queries keep
+// answering from the previous snapshot throughout (including across any
+// injected faults or checkpoint replays inside the pass).
+func (s *Server) Refresh() error {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return s.refreshLocked()
+}
+
+// TryRefreshAsync starts a background refresh unless one is already
+// running; reports whether a refresh was started.
+func (s *Server) TryRefreshAsync() bool {
+	if !s.refreshMu.TryLock() {
+		return false
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.refreshMu.Unlock()
+		_ = s.refreshLocked() // failures are counted and surfaced via /v1/stats
+	}()
+	return true
+}
+
+func (s *Server) refreshLocked() error {
+	opts := s.cfg.Refresh
+	prev := s.snap.Load()
+	if prev != nil {
+		// Resume only bridges a killed pass across a process restart; once
+		// a pass has completed in this process, later refreshes start clean.
+		opts.Resume = false
+	}
+	res, err := s.runRefresh(opts)
+	if err != nil {
+		s.m.refreshFailures.Add(1)
+		return err
+	}
+	epoch := int64(1)
+	if prev != nil {
+		epoch = prev.Epoch + 1
+	}
+	s.snap.Store(&Snapshot{
+		Epoch:      epoch,
+		Logits:     res.Logits,
+		Classes:    res.Classes,
+		MultiLabel: res.MultiLabel,
+		Stats:      res.Stats,
+	})
+	s.m.refreshes.Add(1)
+	return nil
+}
+
+// runRefresh isolates the pass behind a recover so a panicking refresh
+// degrades to an error (the previous snapshot stays live) instead of
+// killing the server.
+func (s *Server) runRefresh(opts inference.Options) (res *inference.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("serve: refresh panicked: %v", p)
+		}
+	}()
+	return inference.RunPregel(s.cfg.Model, s.cfg.Graph, opts)
+}
+
+func (s *Server) refreshLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.RefreshEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			_ = s.Refresh()
+		}
+	}
+}

@@ -1,0 +1,591 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"inferturbo/internal/datagen"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/inference"
+	"inferturbo/internal/pregel"
+	"inferturbo/internal/tensor"
+)
+
+// testFixture builds a small skewed graph plus a 2-layer GCN — the degree-
+// scaled model is the hardest case for subgraph/full-graph agreement.
+func testFixture(t *testing.T) (*graph.Graph, *gas.Model) {
+	t.Helper()
+	ds := datagen.Generate(datagen.Config{
+		Name: "serve", Nodes: 200, AvgDegree: 4, Skew: datagen.SkewIn, Exponent: 1.5,
+		FeatureDim: 6, NumClasses: 3, TrainFrac: 0.3, ValFrac: 0.1, Seed: 7,
+	})
+	m := gas.NewGCNModel("serve-gcn", gas.TaskSingleLabel, 6, 10, 3, 2, tensor.NewRNG(17))
+	return ds.Graph, m
+}
+
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	g, m := testFixture(t)
+	cfg := Config{
+		Model: m, Graph: g,
+		Refresh:      inference.Options{NumWorkers: 3},
+		QueryWorkers: 2,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, req QueryRequest) (int, QueryResponse, http.Header) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("query response decode: %v", err)
+	}
+	return resp.StatusCode, qr, resp.Header
+}
+
+func bitEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fresh k-hop answers must agree with the resident store bit for bit: same
+// model, same graph, so degradation can never change values — only
+// freshness metadata.
+func TestFreshAnswersMatchStoreBitwise(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	snap := s.Store()
+	if snap == nil || snap.Epoch != 1 {
+		t.Fatalf("store not populated after Start: %+v", snap)
+	}
+	for _, roots := range [][]int32{{0}, {5, 190}, {42, 7, 99}} {
+		status, qr, _ := postQuery(t, ts, QueryRequest{Roots: roots, DeadlineMs: 5000})
+		if status != 200 {
+			t.Fatalf("status %d: %s", status, qr.Error)
+		}
+		if len(qr.Answers) != len(roots) {
+			t.Fatalf("%d answers for %d roots", len(qr.Answers), len(roots))
+		}
+		for i, a := range qr.Answers {
+			if a.Source != "fresh" || a.Stale {
+				t.Fatalf("answer %+v not fresh", a)
+			}
+			if a.Node != roots[i] {
+				t.Fatalf("answer %d for node %d, want %d", i, a.Node, roots[i])
+			}
+			if !bitEqual(a.Logits, snap.Logits.Row(int(roots[i]))) {
+				t.Fatalf("node %d: fresh logits %v != store %v", roots[i], a.Logits, snap.Logits.Row(int(roots[i])))
+			}
+			if a.Class != snap.Classes[roots[i]] {
+				t.Fatalf("node %d: class %d != store %d", roots[i], a.Class, snap.Classes[roots[i]])
+			}
+		}
+	}
+	// Store lookups agree too.
+	resp, err := http.Get(ts.URL + "/v1/nodes/42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var a Answer
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || a.Stale || a.Epoch != 1 || !bitEqual(a.Logits, snap.Logits.Row(42)) {
+		t.Fatalf("store lookup mismatch: status=%d answer=%+v", resp.StatusCode, a)
+	}
+}
+
+func TestBadRequestsRejectedCleanly(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cases := []QueryRequest{
+		{},                       // nothing to answer
+		{Roots: []int32{-1}},     // negative root
+		{Roots: []int32{100000}}, // out of range
+		{Roots: []int32{3, 3}},   // duplicate
+		{Roots: []int32{1}, Overrides: map[string][]float32{"zzz": {1}}},                // bad key
+		{Roots: []int32{1}, Overrides: map[string][]float32{"2": {1, 2}}},               // bad dim
+		{ColdStart: &ColdStartRequest{Features: []float32{1, 2, 3, 4, 5, 6}}},           // no neighbors
+		{ColdStart: &ColdStartRequest{Features: []float32{1}, InNeighbors: []int32{2}}}, // bad dim
+	}
+	for i, req := range cases {
+		status, qr, _ := postQuery(t, ts, req)
+		if status != 400 || qr.Error == "" {
+			t.Fatalf("case %d: status=%d err=%q, want 400 with message", i, status, qr.Error)
+		}
+	}
+	// Node lookups out of range 404, non-integers 400.
+	for path, want := range map[string]int{"/v1/nodes/99999": 404, "/v1/nodes/xyz": 400} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// At 2x admission-queue capacity the server sheds deterministically with
+// 429 + Retry-After while every admitted request completes.
+func TestOverloadShedsWith429(t *testing.T) {
+	gate := make(chan struct{})
+	var s *Server
+	var ts *httptest.Server
+	s, ts = newTestServer(t, func(c *Config) {
+		c.QueueDepth = 4
+		c.MaxBatchSize = 1
+		c.BatchWindow = time.Millisecond
+	})
+	entered := make(chan struct{}, 16)
+	s.execHook = func([]*job) {
+		entered <- struct{}{}
+		<-gate
+	}
+
+	type outcome struct {
+		status int
+		qr     QueryResponse
+	}
+	results := make(chan outcome, 16)
+	fire := func(root int32) {
+		go func() {
+			st, qr, _ := postQuery(t, ts, QueryRequest{Roots: []int32{root}, DeadlineMs: 10000})
+			results <- outcome{st, qr}
+		}()
+	}
+
+	// One request occupies the batcher (blocked in the hook)...
+	fire(0)
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batcher never picked up the first job")
+	}
+	// ...four more fill the bounded queue...
+	for r := int32(1); r <= 4; r++ {
+		fire(r)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d never reached 4", len(s.queue))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...so the next four — 2x capacity in flight — must shed with 429.
+	for r := int32(5); r <= 8; r++ {
+		status, qr, hdr := postQuery(t, ts, QueryRequest{Roots: []int32{r}, DeadlineMs: 10000})
+		if status != 429 {
+			t.Fatalf("root %d: status %d (%s), want 429", r, status, qr.Error)
+		}
+		if hdr.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+	}
+	close(gate)
+	for i := 0; i < 5; i++ {
+		o := <-results
+		if o.status != 200 {
+			t.Fatalf("admitted request failed: %d %s", o.status, o.qr.Error)
+		}
+	}
+	if got := s.m.shed.Load(); got != 4 {
+		t.Fatalf("shed=%d, want 4", got)
+	}
+	if ok, reason := s.Ready(); !ok {
+		t.Fatalf("server unready after load drained: %s", reason)
+	}
+}
+
+// A fresh query that misses its deadline degrades to the resident store's
+// answer, marked stale with the store epoch — values identical, freshness
+// honest.
+func TestDeadlineDegradesToStaleStoreAnswer(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	s.execHook = func([]*job) { time.Sleep(300 * time.Millisecond) }
+	status, qr, _ := postQuery(t, ts, QueryRequest{Roots: []int32{11}, DeadlineMs: 40})
+	if status != 200 {
+		t.Fatalf("status %d: %s", status, qr.Error)
+	}
+	a := qr.Answers[0]
+	if !a.Stale || a.Source != "store" || a.Epoch != 1 {
+		t.Fatalf("answer not degraded-from-store: %+v", a)
+	}
+	if !bitEqual(a.Logits, s.Store().Logits.Row(11)) {
+		t.Fatal("degraded answer diverges from the store")
+	}
+	waitCounter(t, &s.m.degraded, 1)
+	// What-if queries have no store fallback: an expired deadline is an
+	// honest 504, never a silently wrong answer.
+	status, qr, _ = postQuery(t, ts, QueryRequest{
+		Roots: []int32{11}, DeadlineMs: 40,
+		Overrides: map[string][]float32{"11": {0, 0, 0, 0, 0, 0}},
+	})
+	if status != 504 || qr.Error == "" {
+		t.Fatalf("what-if past deadline: status=%d err=%q, want 504", status, qr.Error)
+	}
+}
+
+// Within one micro-batch, a member whose deadline expires degrades while a
+// member with headroom still gets the fresh result of the shared pass.
+func TestPartialBatchDeadline(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.MaxBatchSize = 8
+		c.BatchWindow = 150 * time.Millisecond
+	})
+	s.execHook = func([]*job) { time.Sleep(250 * time.Millisecond) }
+
+	type outcome struct {
+		status int
+		qr     QueryResponse
+	}
+	short := make(chan outcome, 1)
+	long := make(chan outcome, 1)
+	go func() {
+		st, qr, _ := postQuery(t, ts, QueryRequest{Roots: []int32{20}, DeadlineMs: 80})
+		short <- outcome{st, qr}
+	}()
+	go func() {
+		st, qr, _ := postQuery(t, ts, QueryRequest{Roots: []int32{21}, DeadlineMs: 5000})
+		long <- outcome{st, qr}
+	}()
+	so, lo := <-short, <-long
+	if so.status != 200 || !so.qr.Answers[0].Stale || so.qr.Answers[0].Source != "store" {
+		t.Fatalf("short-deadline member: status=%d answers=%+v, want stale store answer", so.status, so.qr.Answers)
+	}
+	if lo.status != 200 || lo.qr.Answers[0].Stale || lo.qr.Answers[0].Source != "fresh" {
+		t.Fatalf("long-deadline member: status=%d answers=%+v, want fresh answer", lo.status, lo.qr.Answers)
+	}
+	if !bitEqual(lo.qr.Answers[0].Logits, s.Store().Logits.Row(21)) {
+		t.Fatal("fresh member's logits diverge from the store")
+	}
+}
+
+// When every member of a batch is past deadline, the propagated Cancel
+// aborts the pass at a superstep boundary instead of burning the compute
+// plane on answers nobody is waiting for.
+func TestFullBatchCancelAbortsCompute(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.MaxBatchSize = 8
+		c.BatchWindow = 100 * time.Millisecond
+	})
+	// Deadlines outlive the batch window (so the batch reaches compute)
+	// but expire during the injected sleep (so Cancel fires mid-pass).
+	s.execHook = func([]*job) { time.Sleep(500 * time.Millisecond) }
+	done := make(chan int, 2)
+	for _, root := range []int32{30, 31} {
+		go func(r int32) {
+			st, qr, _ := postQuery(t, ts, QueryRequest{Roots: []int32{r}, DeadlineMs: 200})
+			if st == 200 && (!qr.Answers[0].Stale || qr.Answers[0].Source != "store") {
+				t.Errorf("root %d: expected degraded store answer, got %+v", r, qr.Answers[0])
+			}
+			done <- st
+		}(root)
+	}
+	if a, b := <-done, <-done; a != 200 || b != 200 {
+		t.Fatalf("degraded answers should still be 200/200, got %d/%d", a, b)
+	}
+	waitCounter(t, &s.m.cancelAborts, 1)
+}
+
+// A poisoned query panics its batch: the batch splits, mates re-execute
+// individually and succeed, the poisoned member 500s, and the server keeps
+// serving.
+func TestPanicIsolationSplitsBatch(t *testing.T) {
+	const poison = int32(13)
+	s, ts := newTestServer(t, func(c *Config) {
+		c.MaxBatchSize = 8
+		c.BatchWindow = 150 * time.Millisecond
+	})
+	s.execHook = func(batch []*job) {
+		for _, j := range batch {
+			for _, r := range j.roots {
+				if r == poison {
+					panic("poisoned query")
+				}
+			}
+		}
+	}
+	type outcome struct {
+		status int
+		qr     QueryResponse
+	}
+	mate := make(chan outcome, 1)
+	bad := make(chan outcome, 1)
+	go func() {
+		st, qr, _ := postQuery(t, ts, QueryRequest{Roots: []int32{40}, DeadlineMs: 5000})
+		mate <- outcome{st, qr}
+	}()
+	go func() {
+		st, qr, _ := postQuery(t, ts, QueryRequest{Roots: []int32{poison}, DeadlineMs: 5000})
+		bad <- outcome{st, qr}
+	}()
+	mo, bo := <-mate, <-bad
+	if bo.status != 500 || bo.qr.Error == "" {
+		t.Fatalf("poisoned query: status=%d err=%q, want 500", bo.status, bo.qr.Error)
+	}
+	if mo.status != 200 || mo.qr.Answers[0].Source != "fresh" {
+		t.Fatalf("batch mate: status=%d answers=%+v, want fresh 200", mo.status, mo.qr.Answers)
+	}
+	// The whole-batch panic plus the singleton retry both count.
+	if got := s.m.panics.Load(); got < 1 {
+		t.Fatalf("panics=%d, want >=1", got)
+	}
+	// The server survived: a followup query answers normally.
+	s.execHook = nil
+	if st, qr, _ := postQuery(t, ts, QueryRequest{Roots: []int32{41}, DeadlineMs: 5000}); st != 200 {
+		t.Fatalf("server did not survive the panic: %d %s", st, qr.Error)
+	}
+}
+
+// Cold-start and what-if queries run on the batched plane against a
+// subgraph copy; the resident graph and store never change.
+func TestColdStartAndWhatIf(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	g, m := s.cfg.Graph, s.cfg.Model
+
+	nbrs := []int32{3, 17, 42}
+	feats := []float32{0.5, -0.25, 0.125, 1, 0, -1}
+	status, qr, _ := postQuery(t, ts, QueryRequest{
+		DeadlineMs: 5000,
+		ColdStart:  &ColdStartRequest{Features: feats, InNeighbors: nbrs},
+	})
+	if status != 200 {
+		t.Fatalf("cold start: %d %s", status, qr.Error)
+	}
+	got := qr.Answers[len(qr.Answers)-1]
+	if got.Node != -1 || got.Source != "fresh" {
+		t.Fatalf("cold answer %+v", got)
+	}
+	// Oracle: the same virtual root computed directly.
+	sub := graph.KHop(g, nbrs, graph.KHopOptions{Hops: m.NumLayers()})
+	ind, err := sub.Induce(g, &graph.VirtualRoot{Features: feats, InNeighbors: nbrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := inference.RunPregel(m, ind.G, inference.Options{
+		NumWorkers: s.cfg.QueryWorkers, OutDegrees: ind.OutDegrees,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitEqual(got.Logits, want.Logits.Row(int(ind.Virtual))) {
+		t.Fatalf("cold-start logits %v != direct compute %v", got.Logits, want.Logits.Row(int(ind.Virtual)))
+	}
+
+	// What-if: zeroing a node's features must change its fresh answer...
+	status, qr, _ = postQuery(t, ts, QueryRequest{
+		Roots: []int32{55}, DeadlineMs: 5000,
+		Overrides: map[string][]float32{"55": {0, 0, 0, 0, 0, 0}},
+	})
+	if status != 200 {
+		t.Fatalf("what-if: %d %s", status, qr.Error)
+	}
+	if bitEqual(qr.Answers[0].Logits, s.Store().Logits.Row(55)) {
+		t.Fatal("override did not change the answer")
+	}
+	// ...without perturbing the resident graph: a plain query afterwards
+	// still matches the store bitwise.
+	status, qr, _ = postQuery(t, ts, QueryRequest{Roots: []int32{55}, DeadlineMs: 5000})
+	if status != 200 || !bitEqual(qr.Answers[0].Logits, s.Store().Logits.Row(55)) {
+		t.Fatal("what-if leaked into the resident graph")
+	}
+}
+
+// Readiness is gated on the store: a server that has not completed its
+// first pass reports unready, and flips ready after Start.
+func TestReadinessGatedOnStore(t *testing.T) {
+	g, m := testFixture(t)
+	s, err := New(Config{Model: m, Graph: g, Refresh: inference.Options{NumWorkers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Ready(); ok {
+		t.Fatal("ready before any pass completed")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("readyz=%d before first pass, want 503", resp.StatusCode)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("readyz=%d after first pass, want 200", resp.StatusCode)
+	}
+}
+
+// Chaos: a background refresh crashes twice mid-pass (checkpoint recovery
+// inside the engine) while live queries keep answering; the refreshed store
+// is bit-identical to the first epoch because recovery is exact.
+func TestChaosRefreshUnderLiveLoad(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Refresh = inference.Options{NumWorkers: 3, CheckpointEvery: 1}
+	})
+	before := fetchLogits(t, ts)
+
+	s.cfg.Refresh.Faults = &pregel.FaultPlan{Crashes: []pregel.Fault{
+		{Superstep: 1, Point: pregel.FaultMidPipeline},
+		{Superstep: 2, Point: pregel.FaultAtBarrier},
+	}}
+	if !s.TryRefreshAsync() {
+		t.Fatal("refresh did not start")
+	}
+	// Queries must keep answering from the old epoch throughout.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.m.refreshes.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("refresh never completed")
+		}
+		st, qr, _ := postQuery(t, ts, QueryRequest{Roots: []int32{8}, DeadlineMs: 2000})
+		if st != 200 {
+			t.Fatalf("query failed during chaos refresh: %d %s", st, qr.Error)
+		}
+		resp, err := http.Get(ts.URL + "/v1/nodes/8")
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("store lookup failed during chaos refresh: %v %d", err, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	snap := s.Store()
+	if snap.Epoch != 2 {
+		t.Fatalf("epoch %d after refresh, want 2", snap.Epoch)
+	}
+	if snap.Stats.Recoveries != 2 {
+		t.Fatalf("recoveries=%d, want 2 (both injected crashes)", snap.Stats.Recoveries)
+	}
+	after := fetchLogits(t, ts)
+	if !bytes.Equal(before, after) {
+		t.Fatal("store bytes changed across a crash-recovered refresh")
+	}
+	if s.m.refreshFailures.Load() != 0 {
+		t.Fatal("refresh reported failures")
+	}
+}
+
+func fetchLogits(t *testing.T, ts *httptest.Server) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/logits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("logits: %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("empty logits dump")
+	}
+	return b
+}
+
+// The server's full lifecycle — load, queries, degradation, refresh,
+// shutdown — leaks no goroutines.
+func TestNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		g, m := testFixture(t)
+		s, err := New(Config{
+			Model: m, Graph: g,
+			Refresh:      inference.Options{NumWorkers: 2},
+			RefreshEvery: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		for i := 0; i < 10; i++ {
+			st, qr, _ := postQuery(t, ts, QueryRequest{Roots: []int32{int32(i)}, DeadlineMs: 2000})
+			if st != 200 {
+				t.Fatalf("query %d: %d %s", i, st, qr.Error)
+			}
+		}
+		resp, err := http.Post(ts.URL+"/v1/refresh", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ts.Close()
+		s.Close()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if now := runtime.NumGoroutine(); now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func waitCounter(t *testing.T, c interface{ Load() int64 }, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter stuck at %d, want >= %d", c.Load(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
