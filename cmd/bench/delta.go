@@ -1,0 +1,310 @@
+package main
+
+// The PR 8 delta suite: prices the incremental refresh path (the
+// inference.Session resident-state machine) against the same-run full pass
+// on a skew-in power-law bench. Each delta op stages a 1% feature-update
+// batch and refreshes; the batch toggles between two value sets every
+// iteration so each refresh floods a genuinely changed wave — re-applying
+// identical bits would let the bitwise-unchanged cutoff stop the wave at the
+// seeds and flatter the measurement. One gate fails the run: the delta
+// refresh must be at least 5x faster in ns/op than a from-scratch full pass
+// measured in the same run on the same machine, AND its logits must be
+// bit-identical to that full pass. Report-only rows price the tail of the
+// ladder: a 0.1% batch, a structural (edge add/remove) toggle — which also
+// pays the O(N+E) gather-index rebuild — and the no-op refresh floor.
+//
+// The dataset sits in the kernel-bound regime (hidden width 96) the
+// incremental path is built for: matmuls dominate gathers, so the delta
+// pass's cost tracks the flooded vertex-steps rather than the hub-biased
+// in-edge mass of the flooded set. The session pins DeltaCutover high so the
+// gate always measures the delta plane; the cutover heuristic itself is
+// covered by the session unit tests.
+
+import (
+	"fmt"
+
+	"inferturbo/internal/datagen"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/inference"
+	"inferturbo/internal/tensor"
+)
+
+// perfDeltaGate records one delta-vs-full comparison: both sides measured in
+// the same run, so machine speed cancels out. The gated row requires the
+// delta refresh to be at least 5x faster at a 1% mutation rate and
+// bit-identical to the from-scratch pass.
+type perfDeltaGate struct {
+	Benchmark    string  `json:"benchmark"`
+	FullNs       float64 `json:"full_ns_per_op"`
+	DeltaNs      float64 `json:"delta_ns_per_op"`
+	Speedup      float64 `json:"speedup_x"`
+	MutatedPct   float64 `json:"mutated_pct"`
+	FloodPct     float64 `json:"flood_upper_bound_pct"`
+	BitIdentical bool    `json:"bit_identical"`
+	Gated        bool    `json:"gated"`
+	Pass         bool    `json:"pass"`
+}
+
+// deltaDataset builds the delta suite's bench graph: skew-in power-law at
+// avg degree 4 with a 96-wide 2-layer GCN. The degree keeps a 1% seed set's
+// 2-hop out-flood under the graph (so a delta pass has headroom to win), and
+// the width keeps the run kernel-bound (see the package comment above).
+func deltaDataset(nodes int) (*gas.Model, *datagen.Dataset) {
+	ds := datagen.Generate(datagen.Config{
+		Name: "delta-bench", Nodes: nodes, AvgDegree: 4, Skew: datagen.SkewIn, Exponent: 2.0,
+		FeatureDim: 96, NumClasses: 4, Seed: 41,
+	})
+	m := gas.NewGCNModel("delta-bench", gas.TaskSingleLabel, 96, 96, 4, 2, tensor.NewRNG(42))
+	return m, ds
+}
+
+// toggleBatches builds the two alternating feature-update batches over one
+// random node subset: same nodes, two distinct random value sets.
+func toggleBatches(rng *tensor.RNG, nodes, count, dim int) [2][]graph.FeatureUpdate {
+	chosen := make(map[int32]bool, count)
+	order := make([]int32, 0, count)
+	for len(order) < count {
+		v := int32(rng.Intn(nodes))
+		if !chosen[v] {
+			chosen[v] = true
+			order = append(order, v)
+		}
+	}
+	var batches [2][]graph.FeatureUpdate
+	for side := range batches {
+		batch := make([]graph.FeatureUpdate, len(order))
+		for i, v := range order {
+			f := make([]float32, dim)
+			for j := range f {
+				f[j] = rng.Float32() - 0.5
+			}
+			batch[i] = graph.FeatureUpdate{Node: v, Features: f}
+		}
+		batches[side] = batch
+	}
+	return batches
+}
+
+// toggleEdges picks count (src, dst) pairs absent from g, for an
+// add-then-remove structural toggle that returns the graph to its original
+// edge set every second iteration.
+func toggleEdges(rng *tensor.RNG, g *graph.Graph, count int) []graph.EdgeAdd {
+	var out []graph.EdgeAdd
+	for len(out) < count {
+		src := int32(rng.Intn(g.NumNodes))
+		dst := int32(rng.Intn(g.NumNodes))
+		if src == dst {
+			continue
+		}
+		exists := false
+		for _, u := range g.OutNeighbors(src) {
+			if u == dst {
+				exists = true
+				break
+			}
+		}
+		if !exists {
+			out = append(out, graph.EdgeAdd{Src: src, Dst: dst})
+		}
+	}
+	return out
+}
+
+// floodUpperBound mirrors the session's cutover estimate: an L-hop out-edge
+// BFS from the seeds with a visited set, reported here so the JSON carries
+// the flood the gated speedup was achieved against.
+func floodUpperBound(g *graph.Graph, seeds []int32, hops int) int {
+	visited := make([]bool, g.NumNodes)
+	cur := append([]int32(nil), seeds...)
+	for _, v := range cur {
+		visited[v] = true
+	}
+	count := len(cur)
+	for hop := 0; hop < hops && len(cur) > 0; hop++ {
+		var next []int32
+		for _, v := range cur {
+			for _, u := range g.OutNeighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					count++
+					next = append(next, u)
+				}
+			}
+		}
+		cur = next
+	}
+	return count
+}
+
+// deltaRefreshSpec wires one toggling mutation batch into a benchSpec: every
+// op stages the next parity's batch and refreshes, asserting the delta path
+// actually ran.
+func deltaRefreshSpec(name string, sess *inference.Session, steps int, next func() graph.Delta) benchSpec {
+	return benchSpec{name: name, steps: steps, run: func() error {
+		if _, err := sess.Mutate(next()); err != nil {
+			return err
+		}
+		_, kind, err := sess.Refresh()
+		if err != nil {
+			return err
+		}
+		if kind != inference.RefreshDelta {
+			return fmt.Errorf("refresh took the %s path; want delta", kind)
+		}
+		return nil
+	}}
+}
+
+// runDeltaSuite measures the incremental refresh ladder and gates the 1%
+// delta-vs-full speedup.
+func runDeltaSuite(rep *perfReport, scale string) (bool, error) {
+	nodes := 12000
+	if scale == "quick" {
+		nodes = 4000
+	}
+	m, ds := deltaDataset(nodes)
+	steps := m.NumLayers() + 1
+	opts := inference.Options{NumWorkers: 8}
+
+	sessOpts := opts
+	// Pin the delta path: the gate measures the delta plane's price, not the
+	// cutover heuristic's verdict on one particular seed draw.
+	sessOpts.DeltaCutover = 1.1
+	sess, err := inference.NewSession(m, ds.Graph, sessOpts)
+	if err != nil {
+		return false, err
+	}
+	if _, kind, err := sess.Refresh(); err != nil {
+		return false, err
+	} else if kind != inference.RefreshFull {
+		return false, fmt.Errorf("priming refresh took the %s path; want full", kind)
+	}
+
+	rng := tensor.NewRNG(43)
+	onePct := nodes / 100
+	batches := toggleBatches(rng, nodes, onePct, ds.Graph.FeatureDim())
+	seeds := make([]int32, len(batches[0]))
+	for i, fu := range batches[0] {
+		seeds[i] = fu.Node
+	}
+	flood := floodUpperBound(ds.Graph, seeds, m.NumLayers())
+
+	// Bit-identity first (this is half the gate): one toggled batch through
+	// the delta path must reproduce a from-scratch full pass on the mutated
+	// graph bit for bit.
+	parity := 0
+	nextBatch := func() graph.Delta {
+		d := graph.Delta{Features: batches[parity]}
+		parity = 1 - parity
+		return d
+	}
+	if _, err := sess.Mutate(nextBatch()); err != nil {
+		return false, err
+	}
+	res, kind, err := sess.Refresh()
+	if err != nil {
+		return false, err
+	}
+	if kind != inference.RefreshDelta {
+		return false, fmt.Errorf("identity refresh took the %s path; want delta", kind)
+	}
+	scratch, err := inference.RunPregel(m, sess.Graph(), opts)
+	if err != nil {
+		return false, err
+	}
+	bitIdentical := res.Logits.Equal(scratch.Logits)
+
+	// The gated pair, alternated with best-of-rounds (see measureBest). The
+	// full side runs the one-shot driver on the session's current graph — the
+	// production alternative the delta path replaces.
+	full, delta, err := measureBest(
+		benchSpec{name: "pr8/skew-in/w8/full-pass", steps: steps, run: func() error {
+			_, err := inference.RunPregel(m, sess.Graph(), opts)
+			return err
+		}},
+		deltaRefreshSpec("pr8/skew-in/w8/delta-refresh/1pct", sess, steps, nextBatch),
+		2)
+	if err != nil {
+		return false, err
+	}
+	rep.Delta = append(rep.Delta, full, delta)
+
+	gate := perfDeltaGate{
+		Benchmark:    "pr8/skew-in/w8/1pct",
+		FullNs:       full.NsPerOp,
+		DeltaNs:      delta.NsPerOp,
+		Speedup:      full.NsPerOp / delta.NsPerOp,
+		MutatedPct:   100 * float64(onePct) / float64(nodes),
+		FloodPct:     100 * float64(flood) / float64(nodes),
+		BitIdentical: bitIdentical,
+		Gated:        true,
+	}
+	gate.Pass = gate.Speedup >= 5 && bitIdentical
+	rep.DeltaGates = append(rep.DeltaGates, gate)
+	fmt.Printf("gate %-40s delta %12.0f ns/op vs full %12.0f ns/op (%.1fx, need ≥5x, bit-identical=%v) pass=%v\n",
+		gate.Benchmark, gate.DeltaNs, gate.FullNs, gate.Speedup, bitIdentical, gate.Pass)
+
+	// Report-only rows: the rest of the ladder. A 0.1% batch (the wave the
+	// serving layer's per-mutation refreshes ride), a structural toggle
+	// (edge add/remove floods InboxDirty/DegreeChanged seeds AND rebuilds the
+	// gather index — the delta path's worst fixed cost), and the no-op floor
+	// (refresh with nothing pending clones the resident logits and returns).
+	tenthPct := nodes / 1000
+	if tenthPct < 1 {
+		tenthPct = 1
+	}
+	smallBatches := toggleBatches(rng, nodes, tenthPct, ds.Graph.FeatureDim())
+	smallParity := 0
+	edges := toggleEdges(rng, ds.Graph, tenthPct)
+	edgeParity := 0
+	extra := []benchSpec{
+		deltaRefreshSpec("pr8/skew-in/w8/delta-refresh/0.1pct", sess, steps, func() graph.Delta {
+			d := graph.Delta{Features: smallBatches[smallParity]}
+			smallParity = 1 - smallParity
+			return d
+		}),
+		deltaRefreshSpec("pr8/skew-in/w8/delta-refresh/edge-toggle", sess, steps, func() graph.Delta {
+			var d graph.Delta
+			if edgeParity == 0 {
+				d.AddEdges = edges
+			} else {
+				for _, e := range edges {
+					d.RemoveEdges = append(d.RemoveEdges, graph.EdgeKey{Src: e.Src, Dst: e.Dst})
+				}
+			}
+			edgeParity = 1 - edgeParity
+			return d
+		}),
+		deltaRefreshSpec("pr8/skew-in/w8/refresh/no-op", sess, 0, func() graph.Delta {
+			return graph.Delta{}
+		}),
+	}
+	results, byName, err := runSpecs(extra)
+	if err != nil {
+		return false, err
+	}
+	rep.Delta = append(rep.Delta, results...)
+
+	// Ungated observation rows so the JSON carries the deltas directly.
+	for _, name := range []string{
+		"pr8/skew-in/w8/delta-refresh/0.1pct",
+		"pr8/skew-in/w8/delta-refresh/edge-toggle",
+		"pr8/skew-in/w8/refresh/no-op",
+	} {
+		r, ok := byName[name]
+		if !ok {
+			continue
+		}
+		rep.DeltaGates = append(rep.DeltaGates, perfDeltaGate{
+			Benchmark:    r.Name,
+			FullNs:       full.NsPerOp,
+			DeltaNs:      r.NsPerOp,
+			Speedup:      full.NsPerOp / r.NsPerOp,
+			BitIdentical: bitIdentical,
+			Gated:        false,
+			Pass:         true,
+		})
+	}
+	return gate.Pass, nil
+}

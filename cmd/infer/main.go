@@ -121,6 +121,11 @@ func main() {
 		// so remote traffic is only metered on the Pregel backend.
 		fmt.Printf("cross-worker bytes %d (placement: %s)\n", st.RemoteBytes, *part)
 	}
+	if len(st.StepActive) > 0 {
+		// Frontier size per superstep: a full pass holds at NumNodes; a delta
+		// pass would show the change-set flood collapsing step by step.
+		fmt.Printf("active vertices    %v per superstep\n", st.StepActive)
+	}
 	fmt.Printf("combined away      %d (partial-gather)\n", st.CombinedAway)
 	fmt.Printf("broadcast hubs     %d node-steps\n", st.BroadcastHubs)
 	fmt.Printf("shadow mirrors     %d\n", st.ShadowMirrors)

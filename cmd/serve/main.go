@@ -15,6 +15,12 @@
 // -checkpoint-dir and -resume, a process killed mid-refresh restarts and
 // completes the interrupted pass from its latest durable epoch,
 // bit-identical to an uninterrupted run.
+//
+// Without -checkpoint-dir the server runs in incremental mode: POST
+// /v1/mutate stages graph deltas (feature updates, new nodes, edge changes)
+// and the next refresh recomputes only their L-hop flood against resident
+// state — bit-identical to a full pass, proportional to the change set.
+// -no-incremental restores full passes everywhere.
 package main
 
 import (
@@ -50,7 +56,8 @@ func main() {
 		batchWindow   = flag.Duration("batch-window", 2*time.Millisecond, "how long the batcher waits to fill a batch")
 		queueDepth    = flag.Int("queue-depth", 64, "admission queue bound; beyond it requests shed with 429")
 		maxLatency    = flag.Duration("max-latency", 250*time.Millisecond, "default per-request deadline (the serving SLO window)")
-		refreshEvery  = flag.Duration("refresh-every", 0, "periodic full-graph refresh interval (0 = on demand via POST /v1/refresh)")
+		refreshEvery  = flag.Duration("refresh-every", 0, "periodic refresh interval (0 = on demand via POST /v1/refresh)")
+		noIncremental = flag.Bool("no-incremental", false, "disable the incremental delta-refresh session; every refresh is a full pass and /v1/mutate answers 409")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint directory for refresh passes")
 		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint every n supersteps (0 = 2 when -checkpoint-dir is set, else off)")
@@ -112,7 +119,8 @@ func main() {
 		QueryWorkers: *queryWorkers, QueryParallel: *queryParallel,
 		MaxBatchSize: *maxBatch, BatchWindow: *batchWindow,
 		QueueDepth: *queueDepth, MaxLatency: *maxLatency,
-		RefreshEvery: *refreshEvery,
+		RefreshEvery:       *refreshEvery,
+		DisableIncremental: *noIncremental,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -1,0 +1,290 @@
+package graph
+
+// Graph mutation for the incremental-execution path: a Delta describes a
+// batch of feature updates, new nodes and edge additions/removals;
+// ApplyDelta materializes a fresh immutable Graph (the original is never
+// touched — readers holding the old snapshot stay consistent) together with
+// the DeltaEffect seed sets the delta drivers flood from. GatherIndex is the
+// pull-side mirror of the CSR: per-destination (source, edge-id) lists in
+// exactly the order the Pregel barrier would deliver scattered messages, so
+// a resident-state driver can regenerate any vertex's inbox bit-identically
+// without messages ever being sent.
+
+import (
+	"fmt"
+	"sort"
+
+	"inferturbo/internal/tensor"
+)
+
+// FeatureUpdate replaces an existing node's feature row.
+type FeatureUpdate struct {
+	Node     int32
+	Features []float32
+}
+
+// NodeAdd appends a new node; its id is the graph's node count at the time
+// the delta is applied, plus the entry's index within AddNodes.
+type NodeAdd struct {
+	Features []float32
+}
+
+// EdgeAdd appends a directed edge. Features must match the graph's edge
+// feature dimensionality (empty when the graph carries no edge attributes).
+type EdgeAdd struct {
+	Src, Dst int32
+	Features []float32
+}
+
+// EdgeKey names a directed (src, dst) pair; removal drops every edge
+// between the pair (multi-edges included).
+type EdgeKey struct {
+	Src, Dst int32
+}
+
+// Delta is one batch of graph mutations. Added edges may reference nodes
+// introduced by AddNodes in the same batch.
+type Delta struct {
+	Features    []FeatureUpdate
+	AddNodes    []NodeAdd
+	AddEdges    []EdgeAdd
+	RemoveEdges []EdgeKey
+}
+
+// Empty reports whether the delta mutates nothing.
+func (d Delta) Empty() bool {
+	return len(d.Features) == 0 && len(d.AddNodes) == 0 &&
+		len(d.AddEdges) == 0 && len(d.RemoveEdges) == 0
+}
+
+// DeltaEffect is the seed set an incremental pass floods from, classified by
+// what invalidates downstream state:
+//
+//   - StateDirty: the node's h^0 (feature row) changed — its own layer-1
+//     state and every wire message derived from h^0 are stale.
+//   - InboxDirty: the node's in-edge set changed — every layer's gather for
+//     it must re-run against the new structure, even where no upstream value
+//     changed.
+//   - DegreeChanged: the node's out-degree changed — degree-scaled wire
+//     messages (gas.MessageScaler layers) it sends are stale at every layer
+//     even though its states are not.
+//
+// New nodes appear in both StateDirty and InboxDirty. Sets are sorted and
+// duplicate-free.
+type DeltaEffect struct {
+	// NumNodes is the node count after the delta.
+	NumNodes      int
+	StateDirty    []int32
+	InboxDirty    []int32
+	DegreeChanged []int32
+	EdgesAdded    int
+	EdgesRemoved  int
+}
+
+// ApplyDelta builds the mutated graph and its seed sets. g is not modified;
+// the returned graph shares no mutable state with it. Edge ids are
+// renumbered (kept edges first in original id order, then additions), with
+// edge features carried along. An error leaves g unchanged and returns no
+// effect; removals that match no edge are errors.
+func ApplyDelta(g *Graph, d Delta) (*Graph, *DeltaEffect, error) {
+	oldN := g.NumNodes
+	newN := oldN + len(d.AddNodes)
+	fdim := g.FeatureDim()
+	edim := g.EdgeFeatureDim()
+
+	for _, fu := range d.Features {
+		if int(fu.Node) < 0 || int(fu.Node) >= oldN {
+			return nil, nil, fmt.Errorf("graph: feature update for node %d out of range [0,%d)", fu.Node, oldN)
+		}
+		if len(fu.Features) != fdim {
+			return nil, nil, fmt.Errorf("graph: feature update for node %d has dim %d, want %d", fu.Node, len(fu.Features), fdim)
+		}
+	}
+	for i, na := range d.AddNodes {
+		if len(na.Features) != fdim {
+			return nil, nil, fmt.Errorf("graph: new node %d has feature dim %d, want %d", i, len(na.Features), fdim)
+		}
+	}
+	for _, ea := range d.AddEdges {
+		if int(ea.Src) < 0 || int(ea.Src) >= newN || int(ea.Dst) < 0 || int(ea.Dst) >= newN {
+			return nil, nil, fmt.Errorf("graph: added edge (%d,%d) out of range [0,%d)", ea.Src, ea.Dst, newN)
+		}
+		if len(ea.Features) != edim {
+			return nil, nil, fmt.Errorf("graph: added edge (%d,%d) has feature dim %d, want %d", ea.Src, ea.Dst, len(ea.Features), edim)
+		}
+	}
+	// Removal pairs: every matching edge is dropped; a pair matching nothing
+	// is a caller error surfaced before anything is built.
+	remove := make(map[EdgeKey]int, len(d.RemoveEdges))
+	for _, rk := range d.RemoveEdges {
+		if int(rk.Src) < 0 || int(rk.Src) >= oldN || int(rk.Dst) < 0 || int(rk.Dst) >= oldN {
+			return nil, nil, fmt.Errorf("graph: removed edge (%d,%d) out of range [0,%d)", rk.Src, rk.Dst, oldN)
+		}
+		remove[rk] = 0
+	}
+
+	b := NewBuilder(newN)
+	src, dst := g.EdgeList()
+	removed := 0
+	for e := 0; e < g.NumEdges; e++ {
+		key := EdgeKey{Src: src[e], Dst: dst[e]}
+		if n, ok := remove[key]; ok {
+			remove[key] = n + 1
+			removed++
+			continue
+		}
+		var ef []float32
+		if g.EdgeFeatures != nil {
+			ef = g.EdgeFeatures.Row(e)
+		}
+		b.AddEdge(src[e], dst[e], ef)
+	}
+	for key, n := range remove {
+		if n == 0 {
+			return nil, nil, fmt.Errorf("graph: removed edge (%d,%d) does not exist", key.Src, key.Dst)
+		}
+	}
+	for _, ea := range d.AddEdges {
+		b.AddEdge(ea.Src, ea.Dst, ea.Features)
+	}
+	ng := b.Build()
+
+	// Node attributes: copy-on-write feature matrix, extended with the new
+	// rows; labels/masks extend with zero values (serving graphs predict —
+	// labels for new nodes are unknown).
+	if g.Features != nil {
+		nf := tensor.New(newN, fdim)
+		copy(nf.Data, g.Features.Data)
+		for i, na := range d.AddNodes {
+			nf.SetRow(oldN+i, na.Features)
+		}
+		for _, fu := range d.Features {
+			nf.SetRow(int(fu.Node), fu.Features)
+		}
+		ng.Features = nf
+	} else if len(d.AddNodes) > 0 || len(d.Features) > 0 {
+		return nil, nil, fmt.Errorf("graph: feature mutations on a graph without features")
+	}
+	if g.Labels != nil {
+		labels := make([]int32, newN)
+		copy(labels, g.Labels)
+		ng.Labels = labels
+	}
+	if g.MultiLabels != nil {
+		ml := tensor.New(newN, g.MultiLabels.Cols)
+		copy(ml.Data, g.MultiLabels.Data)
+		ng.MultiLabels = ml
+	}
+	ng.NumClasses = g.NumClasses
+	ng.TrainMask = extendMask(g.TrainMask, newN)
+	ng.ValMask = extendMask(g.ValMask, newN)
+	ng.TestMask = extendMask(g.TestMask, newN)
+
+	eff := &DeltaEffect{
+		NumNodes:     newN,
+		EdgesAdded:   len(d.AddEdges),
+		EdgesRemoved: removed,
+	}
+	state := make(map[int32]bool)
+	inbox := make(map[int32]bool)
+	degCand := make(map[int32]bool)
+	for _, fu := range d.Features {
+		state[fu.Node] = true
+	}
+	for i := range d.AddNodes {
+		state[int32(oldN+i)] = true
+		inbox[int32(oldN+i)] = true
+	}
+	for _, ea := range d.AddEdges {
+		inbox[ea.Dst] = true
+		degCand[ea.Src] = true
+	}
+	for _, rk := range d.RemoveEdges {
+		inbox[rk.Dst] = true
+		degCand[rk.Src] = true
+	}
+	// Out-degree changes are measured, not assumed: a node that removed one
+	// edge and added another sends the same scaled values — its receivers are
+	// already covered through InboxDirty.
+	for v := range degCand {
+		if int(v) < oldN && g.OutDegree(v) == ng.OutDegree(v) {
+			continue
+		}
+		if int(v) >= oldN {
+			continue // new nodes have no stale resident messages to repair
+		}
+		eff.DegreeChanged = append(eff.DegreeChanged, v)
+	}
+	eff.StateDirty = sortedKeys(state)
+	eff.InboxDirty = sortedKeys(inbox)
+	sortInt32(eff.DegreeChanged)
+	return ng, eff, nil
+}
+
+func extendMask(m []bool, n int) []bool {
+	if m == nil {
+		return nil
+	}
+	out := make([]bool, n)
+	copy(out, m)
+	return out
+}
+
+func sortedKeys(m map[int32]bool) []int32 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sortInt32(out)
+	return out
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// GatherIndex is the pull-side view of a graph's in-edges in message
+// delivery order: vertex v's in-edges are (Src[i], Edge[i]) for i in
+// Ptr[v]..Ptr[v+1], ordered by ascending source id with a source's
+// multi-edges in its CSR out-edge order. That is exactly the per-destination
+// order the Pregel barrier's ascending-source merge delivers scattered
+// messages in — independent of worker count and placement — so folding a
+// regenerated inbox in GatherIndex order reproduces an engine gather bit for
+// bit. (The CSC's per-destination lists are in edge-insertion order and
+// cannot serve this purpose.)
+type GatherIndex struct {
+	Ptr  []int32 // len NumNodes+1
+	Src  []int32 // len NumEdges
+	Edge []int32 // len NumEdges
+}
+
+// BuildGatherIndex constructs the delivery-order pull index in O(V+E).
+func BuildGatherIndex(g *Graph) *GatherIndex {
+	gi := &GatherIndex{
+		Ptr:  make([]int32, g.NumNodes+1),
+		Src:  make([]int32, g.NumEdges),
+		Edge: make([]int32, g.NumEdges),
+	}
+	copy(gi.Ptr, g.InPtr) // in-degree counts are order-independent
+	cur := make([]int32, g.NumNodes)
+	copy(cur, gi.Ptr[:g.NumNodes])
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		dsts, eids := g.OutNeighbors(v), g.OutEdgeIDs(v)
+		for i, d := range dsts {
+			p := cur[d]
+			gi.Src[p] = v
+			gi.Edge[p] = eids[i]
+			cur[d]++
+		}
+	}
+	return gi
+}
+
+// InEdges returns v's (sources, edge ids) in delivery order (aliases
+// storage; callers must not mutate).
+func (gi *GatherIndex) InEdges(v int32) (srcs, eids []int32) {
+	return gi.Src[gi.Ptr[v]:gi.Ptr[v+1]], gi.Edge[gi.Ptr[v]:gi.Ptr[v+1]]
+}

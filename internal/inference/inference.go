@@ -164,6 +164,22 @@ type Options struct {
 	// tuning (tensor.SetTuning). Any setting produces bit-identical results;
 	// this knob only trades wall-clock.
 	Tuning tensor.Tuning
+	// DeltaCutover is the incremental Session's fallback fraction: when a
+	// mutation's L-hop flood is estimated to touch more than this fraction of
+	// the graph, Refresh runs a full pass (which is cheaper than a delta pass
+	// degenerating to the whole graph) instead of the frontier-driven delta
+	// pass. 0 selects the default (0.25). Both paths are bit-identical; this
+	// knob only trades wall-clock.
+	DeltaCutover float64
+
+	// captureLayers, when non-nil, makes the Pregel drivers copy every
+	// vertex's layer-k state into captureLayers[k] as superstep k computes it
+	// (k = 1..NumLayers; entry 0 is the caller's alias of the feature
+	// matrix). The incremental Session sets this so a full pass doubles as
+	// resident-state population. Requires ShadowNodes off (mirror vertex ids
+	// would not map onto the capture rows); incompatible with durable
+	// cross-process resume, where earlier supersteps never re-execute.
+	captureLayers []*tensor.Matrix
 }
 
 // Kernel-tuning override bookkeeping. The tensor tuning is process-global,
@@ -393,10 +409,16 @@ type Stats struct {
 	CheckpointWallNs int64 // snapshot capture time on the superstep critical path
 	PersistWallNs    int64 // background epoch encode+write time (overlapped)
 	WatchdogTrips    int   // pipelined assemblers degraded to inline assembly
-	WorkerBytesIn    []int64
-	WorkerBytesOut   []int64
-	WorkerFlops      []int64
-	WorkerInRecords  []int64 // records received per worker (Fig 11/12 x-axis)
+	// StepActive is the frontier size per superstep: how many vertices each
+	// superstep actually computed. A full pass reports the node count at
+	// every step; a delta pass reports the L-hop flood of the change set
+	// collapsing as it converges — the observable the incremental mode is
+	// judged by.
+	StepActive      []int64
+	WorkerBytesIn   []int64
+	WorkerBytesOut  []int64
+	WorkerFlops     []int64
+	WorkerInRecords []int64 // records received per worker (Fig 11/12 x-axis)
 }
 
 // Result of a full-graph inference run.

@@ -252,6 +252,12 @@ func (d *pregelDriver) Compute(ctx *pregel.Context[vtxValue, gnnMsg], msgs []gnn
 	next := d.nextHRow(ctx, out.Cols)
 	copy(next, out.Row(0))
 	ctx.Value.h = next
+	if d.opts.captureLayers != nil {
+		// Resident-state capture for the incremental Session: superstep k's
+		// output is layer k's state. Checkpoint replays rewrite identical
+		// rows, so capture composes with in-process fault recovery.
+		copy(d.opts.captureLayers[k].Row(int(ctx.ID)), next)
+	}
 	pool.Put(out)
 	releaseAggregated(pool, aggr)
 	ctx.AddCost(layerNodeFlops(layer) + int64(received)*layerMsgFlops(layer))
@@ -555,6 +561,9 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 	if opts.Pipelined && opts.BoxedMessages {
 		return nil, fmt.Errorf("inference: Pipelined requires the columnar message plane (unset BoxedMessages)")
 	}
+	if opts.captureLayers != nil && opts.ShadowNodes {
+		return nil, fmt.Errorf("inference: layer capture is incompatible with ShadowNodes")
+	}
 	defer applyTuning(opts)()
 	if opts.CheckpointDir != "" && opts.CheckpointEvery == 0 {
 		opts.CheckpointEvery = 2
@@ -722,37 +731,53 @@ func RunPregel(model *gas.Model, g *graph.Graph, opts Options) (*Result, error) 
 
 // pregelStats converts engine metrics into run stats and cluster phases.
 func pregelStats(eng *pregel.Engine[vtxValue, gnnMsg], driver *pregelDriver, model *gas.Model, sg *ShadowGraph, opts Options) (Stats, []cluster.Phase) {
-	st := Stats{
-		Supersteps:      eng.Supersteps(),
-		ShadowMirrors:   int64(sg.Mirrors),
-		WorkerBytesIn:   make([]int64, opts.NumWorkers),
-		WorkerBytesOut:  make([]int64, opts.NumWorkers),
-		WorkerFlops:     make([]int64, opts.NumWorkers),
-		WorkerInRecords: make([]int64, opts.NumWorkers),
-	}
+	resident := residentBytes(sg.G, driver.part, model, opts.NumWorkers)
+	st, phases := statsFromMetrics(eng.Metrics(), eng.Supersteps(), model, resident, opts.NumWorkers)
+	st.ShadowMirrors = int64(sg.Mirrors)
 	for _, n := range driver.bcHubs {
 		st.BroadcastHubs += n
 	}
+	return st, phases
+}
 
-	// Resident state per worker: every owned vertex holds its widest
-	// embedding plus its out-edge structure.
+// residentBytes estimates each worker's resident footprint: every owned
+// vertex holds its widest embedding plus its out-edge structure.
+func residentBytes(g *graph.Graph, part graph.Partitioner, model *gas.Model, numWorkers int) []int64 {
 	maxDim := model.InDim()
 	for _, l := range model.Layers {
 		if l.OutDim() > maxDim {
 			maxDim = l.OutDim()
 		}
 	}
-	resident := make([]int64, opts.NumWorkers)
-	for v := int32(0); v < int32(sg.G.NumNodes); v++ {
-		w := driver.part.WorkerFor(v)
-		resident[w] += int64(4*maxDim) + int64(8*sg.G.OutDegree(v))
+	resident := make([]int64, numWorkers)
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		resident[part.WorkerFor(v)] += int64(4*maxDim) + int64(8*g.OutDegree(v))
 	}
+	return resident
+}
 
+// statsFromMetrics converts engine step metrics into run stats and cluster
+// phases — shared by the one-shot drivers and the incremental Session's
+// delta passes (whose engine is instantiated over different type parameters,
+// hence the plain-metrics signature).
+func statsFromMetrics(metrics [][]pregel.StepMetrics, supersteps int, model *gas.Model, resident []int64, numWorkers int) (Stats, []cluster.Phase) {
+	st := Stats{
+		Supersteps:      supersteps,
+		WorkerBytesIn:   make([]int64, numWorkers),
+		WorkerBytesOut:  make([]int64, numWorkers),
+		WorkerFlops:     make([]int64, numWorkers),
+		WorkerInRecords: make([]int64, numWorkers),
+	}
 	var phases []cluster.Phase
-	for _, step := range eng.Metrics() {
+	for _, step := range metrics {
 		s := step[0].Superstep // robust under checkpoint replays
-		ph := cluster.Phase{Name: fmt.Sprintf("superstep-%d", s), Workers: make([]cluster.WorkerLoad, opts.NumWorkers)}
+		for len(st.StepActive) <= s {
+			st.StepActive = append(st.StepActive, 0)
+		}
+		st.StepActive[s] = 0 // set, not add: replays revisit superstep numbers
+		ph := cluster.Phase{Name: fmt.Sprintf("superstep-%d", s), Workers: make([]cluster.WorkerLoad, numWorkers)}
 		for w, m := range step {
+			st.StepActive[s] += int64(m.ActiveVertices)
 			flops := m.ComputeCost
 			// Partial-gather moves aggregation flops to the sender: charge
 			// combined-away messages at the sending worker against the layer

@@ -68,6 +68,14 @@ func (d *pregelDriver) ComputeBatch(ctx *pregel.BatchContext[vtxValue, gnnMsg]) 
 		pool.Put(st)
 	}
 	d.states[w] = out
+	if cl := d.opts.captureLayers; cl != nil {
+		// Resident-state capture for the incremental Session: the new slab is
+		// layer k's state for this partition. Checkpoint replays rewrite
+		// identical rows, so capture composes with in-process fault recovery.
+		for li, v := range owned {
+			copy(cl[k].Row(int(v)), out.Row(li))
+		}
+	}
 	ctx.AddCost(int64(len(owned))*layerNodeFlops(layer) + int64(in.Len())*layerMsgFlops(layer))
 
 	if k == numLayers {

@@ -1,0 +1,338 @@
+package inference
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"inferturbo/internal/datagen"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/pregel"
+	"inferturbo/internal/tensor"
+)
+
+// assertBitIdentical fails unless two matrices are byte-for-byte equal — the
+// exact contract the incremental mode promises against a from-scratch pass
+// (float equality would let ±0 differences slip through).
+func assertBitIdentical(t *testing.T, label string, got, want *tensor.Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: bit mismatch at flat index %d: %v != %v (node %d)",
+				label, i, got.Data[i], want.Data[i], i/got.Cols)
+		}
+	}
+}
+
+// randomDelta synthesizes one mutation batch: a few feature rewrites, an
+// occasional new node wired both ways, an edge addition and (when possible)
+// an existing edge's removal.
+func randomDelta(rng *tensor.RNG, g *graph.Graph, withNewNodes bool) graph.Delta {
+	n := int32(g.NumNodes)
+	fdim := g.FeatureDim()
+	edim := g.EdgeFeatureDim()
+	randRow := func(dim int) []float32 {
+		row := make([]float32, dim)
+		for i := range row {
+			row[i] = rng.Float32()*2 - 1
+		}
+		return row
+	}
+	var d graph.Delta
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		d.Features = append(d.Features, graph.FeatureUpdate{Node: int32(rng.Intn(int(n))), Features: randRow(fdim)})
+	}
+	if withNewNodes && rng.Intn(3) == 0 {
+		d.AddNodes = append(d.AddNodes, graph.NodeAdd{Features: randRow(fdim)})
+		d.AddEdges = append(d.AddEdges,
+			graph.EdgeAdd{Src: n, Dst: int32(rng.Intn(int(n))), Features: randRow(edim)},
+			graph.EdgeAdd{Src: int32(rng.Intn(int(n))), Dst: n, Features: randRow(edim)},
+		)
+	}
+	d.AddEdges = append(d.AddEdges, graph.EdgeAdd{
+		Src: int32(rng.Intn(int(n))), Dst: int32(rng.Intn(int(n))), Features: randRow(edim),
+	})
+	if g.NumEdges > 0 && rng.Intn(2) == 0 {
+		src, dst := g.EdgeList()
+		e := rng.Intn(g.NumEdges)
+		d.RemoveEdges = append(d.RemoveEdges, graph.EdgeKey{Src: src[e], Dst: dst[e]})
+	}
+	return d
+}
+
+func sessionTestGraph(seed int64, edgeFeatures bool) *graph.Graph {
+	return datagen.Generate(datagen.Config{
+		Name: "sess", Nodes: 90, AvgDegree: 5, Skew: datagen.SkewIn, Exponent: 1.6,
+		FeatureDim: 6, NumClasses: 3, Seed: seed, EdgeFeature: edgeFeatures,
+	}).Graph
+}
+
+// TestSessionDeltaMatchesScratch is the property test of the incremental
+// mode: random mutation batches followed by delta refreshes stay bit-
+// identical to a from-scratch full pass on the mutated graph, across models
+// (degree-scaled GCN, GIN, SAGE with edge-dependent messages), both compute
+// planes, BSP and pipelined supersteps, and worker counts.
+func TestSessionDeltaMatchesScratch(t *testing.T) {
+	models := map[string]*gas.Model{
+		"gcn":     gas.NewGCNModel("s-gcn", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(21)),
+		"gin":     gas.NewGINModel("s-gin", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(22)),
+		"sage-ef": gas.NewSAGEModel("s-sage", gas.TaskSingleLabel, 6, 9, 3, 2, 4, tensor.NewRNG(23)),
+	}
+	planes := []Options{
+		{NumWorkers: 1},
+		{NumWorkers: 3, Parallel: true},
+		{NumWorkers: 3, PerVertexCompute: true},
+		{NumWorkers: 2, Pipelined: true, PipelineChunk: 7, Parallel: true},
+		{NumWorkers: 2, Pipelined: true, PerVertexCompute: true},
+	}
+	seed := int64(100)
+	for name, m := range models {
+		for _, opts := range planes {
+			seed++
+			label := fmt.Sprintf("%s/w%d/batched=%v/pipelined=%v", name, opts.NumWorkers, !opts.PerVertexCompute, opts.Pipelined)
+			g := sessionTestGraph(seed, true)
+			opts.DeltaCutover = 1.1 // never fall back: this test pins the delta path
+			sess, err := NewSession(m, g, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if _, kind, err := sess.Refresh(); err != nil || kind != RefreshFull {
+				t.Fatalf("%s: first refresh kind=%v err=%v", label, kind, err)
+			}
+			rng := tensor.NewRNG(seed * 7)
+			for batch := 0; batch < 4; batch++ {
+				if _, err := sess.Mutate(randomDelta(rng, sess.Graph(), true)); err != nil {
+					t.Fatalf("%s batch %d: %v", label, batch, err)
+				}
+				res, kind, err := sess.Refresh()
+				if err != nil {
+					t.Fatalf("%s batch %d: %v", label, batch, err)
+				}
+				if kind != RefreshDelta {
+					t.Fatalf("%s batch %d: kind=%v, want delta", label, batch, kind)
+				}
+				scratch, err := RunPregel(m, sess.Graph(), Options{NumWorkers: opts.NumWorkers})
+				if err != nil {
+					t.Fatalf("%s batch %d scratch: %v", label, batch, err)
+				}
+				assertBitIdentical(t, fmt.Sprintf("%s batch %d", label, batch), res.Logits, scratch.Logits)
+			}
+		}
+	}
+}
+
+// TestSessionChaosMidDeltaPass injects worker crashes into the middle of a
+// delta pass; checkpoint recovery must restore the resident slabs and the
+// dirty bookkeeping, leaving the refreshed logits bit-identical to a
+// from-scratch pass.
+func TestSessionChaosMidDeltaPass(t *testing.T) {
+	m := gas.NewGCNModel("chaos-gcn", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(33))
+	for _, perVertex := range []bool{false, true} {
+		g := sessionTestGraph(7, false)
+		sess, err := NewSession(m, g, Options{
+			NumWorkers:       3,
+			PerVertexCompute: perVertex,
+			DeltaCutover:     1.1,
+			CheckpointEvery:  1,
+			Faults: &pregel.FaultPlan{Crashes: []pregel.Fault{
+				{Superstep: 1, Point: pregel.FaultAtBarrier},
+				{Superstep: 2, Point: pregel.FaultBeforeSuperstep},
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sess.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		rng := tensor.NewRNG(44)
+		if _, err := sess.Mutate(randomDelta(rng, sess.Graph(), false)); err != nil {
+			t.Fatal(err)
+		}
+		res, kind, err := sess.Refresh()
+		if err != nil {
+			t.Fatalf("perVertex=%v: %v", perVertex, err)
+		}
+		if kind != RefreshDelta {
+			t.Fatalf("perVertex=%v: kind=%v, want delta", perVertex, kind)
+		}
+		if res.Stats.Recoveries == 0 {
+			t.Fatalf("perVertex=%v: no recoveries recorded — faults did not fire in the delta pass", perVertex)
+		}
+		scratch, err := RunPregel(m, sess.Graph(), Options{NumWorkers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, fmt.Sprintf("chaos perVertex=%v", perVertex), res.Logits, scratch.Logits)
+	}
+}
+
+// TestSessionCutoverFallsBack pins the cutover heuristic: a tiny cutover
+// fraction forces the delta path to fall back to a full pass, which still
+// yields bit-identical logits and re-primes the resident state.
+func TestSessionCutoverFallsBack(t *testing.T) {
+	m := gas.NewGCNModel("cut-gcn", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(51))
+	g := sessionTestGraph(9, false)
+	sess, err := NewSession(m, g, Options{NumWorkers: 2, DeltaCutover: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(52)
+	if _, err := sess.Mutate(randomDelta(rng, sess.Graph(), false)); err != nil {
+		t.Fatal(err)
+	}
+	res, kind, err := sess.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != RefreshFull {
+		t.Fatalf("kind=%v, want full under a 1e-9 cutover", kind)
+	}
+	scratch, err := RunPregel(m, sess.Graph(), Options{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "cutover full", res.Logits, scratch.Logits)
+	// The fallback full pass re-primed resident state: the next delta works.
+	if _, err := sess.Mutate(randomDelta(rng, sess.Graph(), false)); err != nil {
+		t.Fatal(err)
+	}
+	sess.opts.DeltaCutover = 1.1
+	res, kind, err = sess.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != RefreshDelta {
+		t.Fatalf("kind=%v, want delta after re-prime", kind)
+	}
+	scratch, err = RunPregel(m, sess.Graph(), Options{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "post-fallback delta", res.Logits, scratch.Logits)
+}
+
+// TestSessionNoPendingRefresh: refresh without mutations returns the
+// resident logits without running any supersteps, as a fresh matrix each
+// time (RCU immutability for the serving layer).
+func TestSessionNoPendingRefresh(t *testing.T) {
+	m := gas.NewGINModel("idle-gin", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(61))
+	sess, err := NewSession(m, sessionTestGraph(11, false), Options{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := sess.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, kind, err := sess.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != RefreshDelta || second.Stats.Supersteps != 0 {
+		t.Fatalf("idle refresh: kind=%v supersteps=%d", kind, second.Stats.Supersteps)
+	}
+	if first.Logits == second.Logits {
+		t.Fatal("idle refresh returned an aliased logits matrix")
+	}
+	assertBitIdentical(t, "idle", second.Logits, first.Logits)
+}
+
+// TestSessionStepActive checks the convergence observable: a full pass
+// computes every vertex every superstep, a delta pass starts at the seed
+// count and never exceeds the graph.
+func TestSessionStepActive(t *testing.T) {
+	m := gas.NewGCNModel("act-gcn", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(71))
+	g := sessionTestGraph(13, false)
+	sess, err := NewSession(m, g, Options{NumWorkers: 2, DeltaCutover: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := sess.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(g.NumNodes)
+	if len(full.Stats.StepActive) != m.NumLayers()+1 {
+		t.Fatalf("full StepActive len %d, want %d", len(full.Stats.StepActive), m.NumLayers()+1)
+	}
+	for s, a := range full.Stats.StepActive {
+		if a != n {
+			t.Fatalf("full pass superstep %d active=%d, want %d", s, a, n)
+		}
+	}
+	if _, err := sess.Mutate(graph.Delta{Features: []graph.FeatureUpdate{{Node: 0, Features: []float32{9, 9, 9, 9, 9, 9}}}}); err != nil {
+		t.Fatal(err)
+	}
+	res, kind, err := sess.Refresh()
+	if err != nil || kind != RefreshDelta {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	if len(res.Stats.StepActive) == 0 || res.Stats.StepActive[0] != 1 {
+		t.Fatalf("delta StepActive = %v, want seed count 1 at superstep 0", res.Stats.StepActive)
+	}
+	for s, a := range res.Stats.StepActive {
+		if a > int64(sess.Graph().NumNodes) {
+			t.Fatalf("delta superstep %d active=%d exceeds graph", s, a)
+		}
+	}
+}
+
+// TestSessionRejectsUnsupported pins the gating of one-shot-only options.
+func TestSessionRejectsUnsupported(t *testing.T) {
+	m := gas.NewGCNModel("rej-gcn", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(81))
+	g := sessionTestGraph(17, false)
+	for _, opts := range []Options{
+		{PartialGather: true},
+		{Broadcast: true},
+		{ShadowNodes: true},
+		{BoxedMessages: true},
+		{OutDegrees: make([]int32, g.NumNodes)},
+		{EmitEmbeddings: true},
+		{CheckpointDir: t.TempDir()},
+		{Resume: true},
+	} {
+		if _, err := NewSession(m, g, opts); err == nil {
+			t.Fatalf("options %+v not rejected", opts)
+		}
+	}
+}
+
+// TestSessionMutateErrors: an invalid delta leaves the session untouched and
+// a later valid mutate+refresh still matches scratch.
+func TestSessionMutateErrors(t *testing.T) {
+	m := gas.NewGCNModel("err-gcn", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(91))
+	sess, err := NewSession(m, sessionTestGraph(19, false), Options{NumWorkers: 2, DeltaCutover: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Mutate(graph.Delta{Features: []graph.FeatureUpdate{{Node: 10_000, Features: make([]float32, 6)}}}); err == nil {
+		t.Fatal("out-of-range feature update not rejected")
+	}
+	if sess.Pending() {
+		t.Fatal("failed mutate left the session pending")
+	}
+	rng := tensor.NewRNG(92)
+	if _, err := sess.Mutate(randomDelta(rng, sess.Graph(), true)); err != nil {
+		t.Fatal(err)
+	}
+	res, kind, err := sess.Refresh()
+	if err != nil || kind != RefreshDelta {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	scratch, err := RunPregel(m, sess.Graph(), Options{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "post-error delta", res.Logits, scratch.Logits)
+}

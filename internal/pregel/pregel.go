@@ -220,6 +220,15 @@ type Config[M any] struct {
 	// aborted run leaves no partially delivered state behind. The serving
 	// layer uses this to propagate request deadlines into the compute plane.
 	Cancel func() error
+	// Frontier, when non-nil, selects the initially active vertex set
+	// instead of the default "every vertex active": only the listed vertices
+	// compute at superstep 0. Activation then spreads through messaging as
+	// always — delivery marks receivers active for the next superstep — so a
+	// frontier-seeded run floods outward from its seeds while untouched
+	// vertices never compute. An empty (non-nil) frontier terminates at
+	// superstep 0. The incremental GNN drivers seed this with the dirty set
+	// of a graph delta. Out-of-range ids panic at construction.
+	Frontier []int32
 }
 
 // StepMetrics records one worker's activity during one superstep.
@@ -882,8 +891,17 @@ func NewEngine[V, M any](topo Topology, prog VertexProgram[V, M], cfg Config[M])
 	n := topo.NumVertices()
 	e.values = make([]V, n)
 	e.active = make([]bool, n)
-	for i := range e.active {
-		e.active[i] = true
+	if cfg.Frontier != nil {
+		for _, v := range cfg.Frontier {
+			if int(v) < 0 || int(v) >= n {
+				panic(fmt.Sprintf("pregel: frontier vertex %d out of range [0,%d)", v, n))
+			}
+			e.active[v] = true
+		}
+	} else {
+		for i := range e.active {
+			e.active[i] = true
+		}
 	}
 	e.localIdx = make([]int32, n)
 	e.workerOf = make([]int32, n)

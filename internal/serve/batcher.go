@@ -248,8 +248,12 @@ func (s *Server) induce(live []*job) (*graph.Induced, map[int32]int32, error) {
 		}
 	}
 
-	sub := graph.KHop(s.cfg.Graph, uniq, graph.KHopOptions{Hops: s.hops})
-	ind, err := sub.Induce(s.cfg.Graph, cold)
+	// One consistent graph for extraction and induction: the snapshot's,
+	// which advances as mutations land (node ids only ever grow, so roots
+	// validated against an older epoch stay valid).
+	g := s.currentGraph()
+	sub := graph.KHop(g, uniq, graph.KHopOptions{Hops: s.hops})
+	ind, err := sub.Induce(g, cold)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -45,6 +45,59 @@ type QueryResponse struct {
 	Error   string   `json:"error,omitempty"`
 }
 
+// MutateRequest is the JSON body of POST /v1/mutate: one delta batch to
+// stage for the next incremental refresh. Added edges may reference nodes
+// introduced by add_nodes in the same (or an earlier staged) batch.
+type MutateRequest struct {
+	Features    []NodeFeatureUpdate `json:"features,omitempty"`
+	AddNodes    []NewNode           `json:"add_nodes,omitempty"`
+	AddEdges    []NewEdge           `json:"add_edges,omitempty"`
+	RemoveEdges []EdgeRef           `json:"remove_edges,omitempty"`
+	// Refresh kicks a background refresh after staging; the response's
+	// refresh field says whether one started or was already running.
+	Refresh bool `json:"refresh,omitempty"`
+}
+
+// NodeFeatureUpdate replaces one existing node's feature row.
+type NodeFeatureUpdate struct {
+	Node     int32     `json:"node"`
+	Features []float32 `json:"features"`
+}
+
+// NewNode appends a node; its id is assigned at stage time and returned in
+// the response's new_nodes (in add_nodes order).
+type NewNode struct {
+	Features []float32 `json:"features"`
+}
+
+// NewEdge appends a directed edge; features are required exactly when the
+// graph carries edge attributes.
+type NewEdge struct {
+	Src      int32     `json:"src"`
+	Dst      int32     `json:"dst"`
+	Features []float32 `json:"features,omitempty"`
+}
+
+// EdgeRef names a directed (src, dst) pair; removal drops every edge
+// between the pair.
+type EdgeRef struct {
+	Src int32 `json:"src"`
+	Dst int32 `json:"dst"`
+}
+
+// MutateResponse reports what POST /v1/mutate staged.
+type MutateResponse struct {
+	// PendingDeltas counts staged batches awaiting a refresh, this one
+	// included.
+	PendingDeltas int `json:"pending_deltas"`
+	// NewNodes are the ids assigned to add_nodes entries, in order.
+	NewNodes []int32 `json:"new_nodes,omitempty"`
+	// Refresh is "started" or "already running" when the request asked for
+	// one, empty otherwise.
+	Refresh string `json:"refresh,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
 // Handler returns the server's HTTP API:
 //
 //	GET  /healthz       — liveness (process up)
@@ -53,7 +106,8 @@ type QueryResponse struct {
 //	POST /v1/query      — fresh k-hop inference (roots / what-if / cold-start)
 //	GET  /v1/stats      — serving counters + store epoch
 //	GET  /v1/logits     — raw little-endian float32 store dump (bit-level audits)
-//	POST /v1/refresh    — kick a background full-graph pass
+//	POST /v1/refresh    — kick a background refresh pass
+//	POST /v1/mutate     — stage a graph delta for the next incremental refresh
 //
 // Every handler runs behind a recover fence: a panicking request 500s alone
 // while the server and all in-flight work survive.
@@ -69,6 +123,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/logits", s.handleLogits)
 	mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
+	mux.HandleFunc("POST /v1/mutate", s.handleMutate)
 	return s.withRecovery(mux)
 }
 
@@ -151,6 +206,111 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "refresh started"})
 }
 
+// handleMutate stages one delta batch. Staging never blocks on a running
+// refresh — the batch lands in a side buffer the next refresh drains into
+// the resident session — so mutation ingest stays responsive while a pass
+// computes. Validation happens here, against the node count every earlier
+// staged batch leaves behind, so drains apply cleanly in order.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if s.session == nil {
+		writeJSON(w, http.StatusConflict,
+			MutateResponse{Error: "incremental mode disabled: this server refreshes by full passes only"})
+		return
+	}
+	var req MutateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, MutateResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	d := graph.Delta{}
+	for _, f := range req.Features {
+		d.Features = append(d.Features, graph.FeatureUpdate{Node: f.Node, Features: f.Features})
+	}
+	for _, a := range req.AddNodes {
+		d.AddNodes = append(d.AddNodes, graph.NodeAdd{Features: a.Features})
+	}
+	for _, e := range req.AddEdges {
+		d.AddEdges = append(d.AddEdges, graph.EdgeAdd{Src: e.Src, Dst: e.Dst, Features: e.Features})
+	}
+	for _, e := range req.RemoveEdges {
+		d.RemoveEdges = append(d.RemoveEdges, graph.EdgeKey{Src: e.Src, Dst: e.Dst})
+	}
+	if d.Empty() {
+		writeJSON(w, http.StatusBadRequest, MutateResponse{Error: "empty delta: nothing to mutate"})
+		return
+	}
+
+	s.stagedMu.Lock()
+	if msg := s.validateDeltaLocked(d); msg != "" {
+		s.stagedMu.Unlock()
+		writeJSON(w, http.StatusBadRequest, MutateResponse{Error: msg})
+		return
+	}
+	var newIDs []int32
+	for i := range d.AddNodes {
+		newIDs = append(newIDs, int32(s.stagedNodes+i))
+	}
+	s.staged = append(s.staged, d)
+	s.stagedNodes += len(d.AddNodes)
+	pending := len(s.staged)
+	s.stagedMu.Unlock()
+	s.m.mutations.Add(1)
+
+	resp := MutateResponse{PendingDeltas: pending, NewNodes: newIDs}
+	if req.Refresh {
+		if s.TryRefreshAsync() {
+			resp.Refresh = "started"
+		} else {
+			resp.Refresh = "already running"
+		}
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// validateDeltaLocked is the stage-time boundary check, mirroring
+// graph.ApplyDelta's validation against the post-staging node count (feature
+// and edge-feature dimensions never change across deltas, so the config
+// graph's are authoritative). Only drain-order conflicts — a removal whose
+// edge an earlier batch already dropped — can still fail later.
+func (s *Server) validateDeltaLocked(d graph.Delta) string {
+	old := s.stagedNodes
+	n := old + len(d.AddNodes) // same-batch node references are legal
+	fdim := s.cfg.Graph.FeatureDim()
+	for _, f := range d.Features {
+		if int(f.Node) < 0 || int(f.Node) >= old {
+			return fmt.Sprintf("feature update for node %d outside [0,%d)", f.Node, old)
+		}
+		if len(f.Features) != fdim {
+			return fmt.Sprintf("feature update for node %d has dim %d, graph features are %d", f.Node, len(f.Features), fdim)
+		}
+	}
+	for i, a := range d.AddNodes {
+		if len(a.Features) != fdim {
+			return fmt.Sprintf("add_nodes[%d] has dim %d, graph features are %d", i, len(a.Features), fdim)
+		}
+	}
+	edim := 0
+	if s.cfg.Graph.EdgeFeatures != nil {
+		edim = s.cfg.Graph.EdgeFeatureDim()
+	}
+	for i, e := range d.AddEdges {
+		if int(e.Src) < 0 || int(e.Src) >= n || int(e.Dst) < 0 || int(e.Dst) >= n {
+			return fmt.Sprintf("add_edges[%d] (%d->%d) references nodes outside [0,%d)", i, e.Src, e.Dst, n)
+		}
+		if len(e.Features) != edim {
+			return fmt.Sprintf("add_edges[%d] has feature dim %d, graph edges carry %d", i, len(e.Features), edim)
+		}
+	}
+	for i, e := range d.RemoveEdges {
+		if int(e.Src) < 0 || int(e.Src) >= n || int(e.Dst) < 0 || int(e.Dst) >= n {
+			return fmt.Sprintf("remove_edges[%d] (%d->%d) references nodes outside [0,%d)", i, e.Src, e.Dst, n)
+		}
+	}
+	return ""
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -208,11 +368,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, res.status, QueryResponse{Answers: res.answers})
 }
 
-// buildJob validates a query against the resident graph and assembles the
-// batcher job. All request-derived indices and dimensions are checked here,
-// at the boundary, so the compute path never sees malformed input.
+// buildJob validates a query against the resident graph — the current
+// snapshot's, so freshly mutated-in nodes become queryable the moment their
+// refresh lands — and assembles the batcher job. All request-derived indices
+// and dimensions are checked here, at the boundary, so the compute path
+// never sees malformed input.
 func (s *Server) buildJob(req *QueryRequest) (*job, string) {
-	g := s.cfg.Graph
+	g := s.currentGraph()
 	if len(req.Roots) == 0 && req.ColdStart == nil {
 		return nil, "query needs roots or cold_start"
 	}

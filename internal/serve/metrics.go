@@ -15,8 +15,12 @@ type counters struct {
 	batches         atomic.Int64 // micro-batches executed
 	batchedJobs     atomic.Int64 // jobs carried by those batches
 	cancelAborts    atomic.Int64 // passes aborted mid-run by deadline propagation
-	refreshes       atomic.Int64 // successful full-graph passes
+	refreshes       atomic.Int64 // successful refresh passes (full or delta)
 	refreshFailures atomic.Int64
+
+	mutations         atomic.Int64 // delta batches staged via /v1/mutate
+	mutationsApplied  atomic.Int64 // staged batches a refresh drain applied
+	mutationsRejected atomic.Int64 // staged batches the session refused at drain
 }
 
 // metricKind tags a jobResult with the counter to bump when it is actually
@@ -55,6 +59,17 @@ type Stats struct {
 	// harness asserts a restarted server reports Resumed=true.
 	Resumed    bool `json:"resumed"`
 	Recoveries int  `json:"recoveries"`
+
+	// Incremental-mode observables. LastRefreshKind/LastRefreshMs describe
+	// the pass behind the current snapshot ("full" or "delta"); PendingDeltas
+	// counts staged batches awaiting the next refresh.
+	Incremental       bool    `json:"incremental"`
+	Mutations         int64   `json:"mutations"`
+	MutationsApplied  int64   `json:"mutations_applied"`
+	MutationsRejected int64   `json:"mutations_rejected"`
+	PendingDeltas     int     `json:"pending_deltas"`
+	LastRefreshKind   string  `json:"last_refresh_kind,omitempty"`
+	LastRefreshMs     float64 `json:"last_refresh_ms"`
 }
 
 // Metrics assembles a consistent-enough view of the serving counters.
@@ -75,12 +90,22 @@ func (s *Server) Metrics() Stats {
 
 		Refreshes:       s.m.refreshes.Load(),
 		RefreshFailures: s.m.refreshFailures.Load(),
+
+		Incremental:       s.session != nil,
+		Mutations:         s.m.mutations.Load(),
+		MutationsApplied:  s.m.mutationsApplied.Load(),
+		MutationsRejected: s.m.mutationsRejected.Load(),
 	}
+	s.stagedMu.Lock()
+	st.PendingDeltas = len(s.staged)
+	s.stagedMu.Unlock()
 	st.Ready, _ = s.Ready()
 	if snap := s.snap.Load(); snap != nil {
 		st.Epoch = snap.Epoch
 		st.Resumed = snap.Stats.Resumed
 		st.Recoveries = snap.Stats.Recoveries
+		st.LastRefreshKind = snap.RefreshKind
+		st.LastRefreshMs = float64(snap.RefreshWall) / 1e6
 	}
 	return st
 }

@@ -19,6 +19,11 @@
 //   - Panic isolation: a poisoned query 500s; batch mates are re-executed
 //     individually and the server survives.
 //   - Health/readiness gated on store epoch and queue depth.
+//   - Incremental refresh: POST /v1/mutate stages graph deltas (feature
+//     updates, new nodes, edge changes) without blocking on a running pass;
+//     the next refresh drains them into a resident inference.Session and
+//     recomputes only the change set's L-hop flood — bit-identical to a
+//     full pass, falling back to one when the flood is too large.
 //
 // Fresh answers are bit-identical to the resident store's (enforced by the
 // k-hop identity property tests): degradation changes freshness, never
@@ -68,6 +73,12 @@ type Config struct {
 	MaxLatency time.Duration
 	// RefreshEvery re-runs the full-graph pass periodically when > 0.
 	RefreshEvery time.Duration
+	// DisableIncremental forces every refresh through the one-shot
+	// full-graph pass even when the Refresh options would support an
+	// incremental Session; POST /v1/mutate then answers 409. Refresh
+	// options the Session rejects (durable CheckpointDir/Resume, subgraph
+	// strategy knobs) disable incremental mode implicitly.
+	DisableIncremental bool
 }
 
 // Snapshot is one immutable full-graph pass result — the resident store.
@@ -80,6 +91,14 @@ type Snapshot struct {
 	Classes    []int32
 	MultiLabel *tensor.Matrix
 	Stats      inference.Stats
+	// Graph is the graph this pass computed on. Queries validate and induce
+	// against it, so answers always agree with the store's epoch even as
+	// mutations advance the graph.
+	Graph *graph.Graph
+	// RefreshKind says which path produced this snapshot ("full" or
+	// "delta"); RefreshWall is that pass's wall time (drain included).
+	RefreshKind string
+	RefreshWall time.Duration
 }
 
 // Server is the online inference service. Construct with New, start the
@@ -97,6 +116,16 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	refreshMu sync.Mutex // single-flight: at most one full-graph pass at a time
+
+	// session is the resident incremental-inference state machine, nil when
+	// incremental mode is off. It is touched only under refreshMu; mutations
+	// stage into the lock-free-for-refresh side buffer below and drain at
+	// the start of the next refresh, so POST /v1/mutate never blocks on a
+	// running pass.
+	session     *inference.Session
+	stagedMu    sync.Mutex // guards staged and stagedNodes
+	staged      []graph.Delta
+	stagedNodes int // node count after every staged delta applies, in order
 
 	m counters
 
@@ -136,12 +165,36 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxLatency <= 0 {
 		cfg.MaxLatency = 250 * time.Millisecond
 	}
-	return &Server{
-		cfg:   cfg,
-		hops:  cfg.Hops,
-		queue: make(chan *job, cfg.QueueDepth),
-		stop:  make(chan struct{}),
-	}, nil
+	s := &Server{
+		cfg:         cfg,
+		hops:        cfg.Hops,
+		queue:       make(chan *job, cfg.QueueDepth),
+		stop:        make(chan struct{}),
+		stagedNodes: cfg.Graph.NumNodes,
+	}
+	if !cfg.DisableIncremental {
+		// An incompatible Refresh config (durable checkpoints, subgraph
+		// strategy knobs) falls back to the one-shot path; /v1/mutate then
+		// reports the server as non-incremental.
+		if sess, err := inference.NewSession(cfg.Model, cfg.Graph, cfg.Refresh); err == nil {
+			s.session = sess
+		}
+	}
+	return s, nil
+}
+
+// Incremental reports whether the server accepts mutations and refreshes
+// through the resident delta session.
+func (s *Server) Incremental() bool { return s.session != nil }
+
+// currentGraph is the graph queries validate and induce against: the latest
+// snapshot's (it advances as mutations land), or the configured graph before
+// any pass has completed.
+func (s *Server) currentGraph() *graph.Graph {
+	if snap := s.snap.Load(); snap != nil && snap.Graph != nil {
+		return snap.Graph
+	}
+	return s.cfg.Graph
 }
 
 // Start runs the initial full-graph pass synchronously (honoring
@@ -220,14 +273,9 @@ func (s *Server) TryRefreshAsync() bool {
 }
 
 func (s *Server) refreshLocked() error {
-	opts := s.cfg.Refresh
 	prev := s.snap.Load()
-	if prev != nil {
-		// Resume only bridges a killed pass across a process restart; once
-		// a pass has completed in this process, later refreshes start clean.
-		opts.Resume = false
-	}
-	res, err := s.runRefresh(opts)
+	start := time.Now()
+	res, kind, g, err := s.runRefresh(prev)
 	if err != nil {
 		s.m.refreshFailures.Add(1)
 		return err
@@ -237,26 +285,72 @@ func (s *Server) refreshLocked() error {
 		epoch = prev.Epoch + 1
 	}
 	s.snap.Store(&Snapshot{
-		Epoch:      epoch,
-		Logits:     res.Logits,
-		Classes:    res.Classes,
-		MultiLabel: res.MultiLabel,
-		Stats:      res.Stats,
+		Epoch:       epoch,
+		Logits:      res.Logits,
+		Classes:     res.Classes,
+		MultiLabel:  res.MultiLabel,
+		Stats:       res.Stats,
+		Graph:       g,
+		RefreshKind: kind,
+		RefreshWall: time.Since(start),
 	})
 	s.m.refreshes.Add(1)
 	return nil
 }
 
-// runRefresh isolates the pass behind a recover so a panicking refresh
-// degrades to an error (the previous snapshot stays live) instead of
-// killing the server.
-func (s *Server) runRefresh(opts inference.Options) (res *inference.Result, err error) {
+// runRefresh executes one pass behind a recover fence, so a panicking
+// refresh degrades to an error (the previous snapshot stays live) instead
+// of killing the server. The incremental session drains the staged deltas
+// and decides delta-vs-full itself; the one-shot path always runs full.
+func (s *Server) runRefresh(prev *Snapshot) (res *inference.Result, kind string, g *graph.Graph, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("serve: refresh panicked: %v", p)
 		}
 	}()
-	return inference.RunPregel(s.cfg.Model, s.cfg.Graph, opts)
+	if s.session == nil {
+		opts := s.cfg.Refresh
+		if prev != nil {
+			// Resume only bridges a killed pass across a process restart;
+			// once a pass has completed in this process, later refreshes
+			// start clean.
+			opts.Resume = false
+		}
+		res, err = inference.RunPregel(s.cfg.Model, s.cfg.Graph, opts)
+		return res, string(inference.RefreshFull), s.cfg.Graph, err
+	}
+
+	s.stagedMu.Lock()
+	staged := s.staged
+	s.staged = nil
+	s.stagedMu.Unlock()
+	// Chaos harnesses arm fault plans between refreshes; forward the current
+	// plan so injected crashes hit the incremental pass too.
+	s.session.SetFaults(s.cfg.Refresh.Faults)
+	for _, d := range staged {
+		if _, merr := s.session.Mutate(d); merr != nil {
+			// Stage-time validation leaves only drain-order conflicts (e.g. a
+			// removal whose edge an earlier batch already dropped): the batch
+			// is rejected, the pass proceeds.
+			s.m.mutationsRejected.Add(1)
+		} else {
+			s.m.mutationsApplied.Add(1)
+		}
+	}
+	// Resync the staging node count to what actually applied, so a rejected
+	// batch's phantom node ids don't loosen stage-time validation forever
+	// (batches staged during the drain stay counted).
+	s.stagedMu.Lock()
+	n := s.session.Graph().NumNodes
+	for _, d := range s.staged {
+		n += len(d.AddNodes)
+	}
+	s.stagedNodes = n
+	s.stagedMu.Unlock()
+
+	var k inference.RefreshKind
+	res, k, err = s.session.Refresh()
+	return res, string(k), s.session.Graph(), err
 }
 
 func (s *Server) refreshLoop() {

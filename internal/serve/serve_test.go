@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -466,10 +468,13 @@ func TestReadinessGatedOnStore(t *testing.T) {
 
 // Chaos: a background refresh crashes twice mid-pass (checkpoint recovery
 // inside the engine) while live queries keep answering; the refreshed store
-// is bit-identical to the first epoch because recovery is exact.
+// is bit-identical to the first epoch because recovery is exact. Pinned to
+// the one-shot full-pass path (the incremental session skips recompute on an
+// unchanged graph); TestMutateChaosDeltaRefresh covers the delta pass.
 func TestChaosRefreshUnderLiveLoad(t *testing.T) {
 	s, ts := newTestServer(t, func(c *Config) {
 		c.Refresh = inference.Options{NumWorkers: 3, CheckpointEvery: 1}
+		c.DisableIncremental = true
 	})
 	before := fetchLogits(t, ts)
 
@@ -576,6 +581,246 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			t.Fatalf("goroutines: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func postMutate(t *testing.T, ts *httptest.Server, body string) (int, MutateResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/mutate", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("mutate: %v", err)
+	}
+	defer resp.Body.Close()
+	var mr MutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatalf("mutate response decode: %v", err)
+	}
+	return resp.StatusCode, mr
+}
+
+// logitsBytes encodes a matrix exactly the way /v1/logits streams the store,
+// so oracle passes compare byte-for-byte against the HTTP dump.
+func logitsBytes(m *tensor.Matrix) []byte {
+	buf := make([]byte, 4*len(m.Data))
+	for i, f := range m.Data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(f))
+	}
+	return buf
+}
+
+// TestMutateDeltaRefreshBitIdenticalOverHTTP is the serving acceptance test
+// of the incremental mode: two staged delta batches (feature rewrite, a new
+// node wired both ways, an edge addition referencing the staged node, an
+// edge removal) drain into one delta refresh whose /v1/logits bytes equal a
+// from-scratch pass over the equivalently mutated graph — and the new node
+// is immediately queryable, fresh and from the store.
+func TestMutateDeltaRefreshBitIdenticalOverHTTP(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Refresh = inference.Options{NumWorkers: 3, DeltaCutover: 1.1}
+	})
+	if !s.Incremental() {
+		t.Fatal("server not incremental")
+	}
+	g0 := s.cfg.Graph
+	newID := int32(g0.NumNodes)
+	srcs, dsts := g0.EdgeList()
+
+	st, mr := postMutate(t, ts, fmt.Sprintf(
+		`{"features":[{"node":3,"features":[1,0,-1,0.5,0,2]}],
+		  "add_nodes":[{"features":[0.1,0.2,0.3,0.4,0.5,0.6]}],
+		  "add_edges":[{"src":%d,"dst":7},{"src":7,"dst":%d}]}`, newID, newID))
+	if st != 202 || mr.PendingDeltas != 1 {
+		t.Fatalf("batch 1: status=%d resp=%+v", st, mr)
+	}
+	if len(mr.NewNodes) != 1 || mr.NewNodes[0] != newID {
+		t.Fatalf("batch 1 new_nodes=%v, want [%d]", mr.NewNodes, newID)
+	}
+	// Batch 2 references the staged (not yet applied) node and removes a
+	// real edge, then kicks the refresh.
+	st, mr = postMutate(t, ts, fmt.Sprintf(
+		`{"features":[{"node":%d,"features":[-1,-1,-1,1,1,1]}],
+		  "add_edges":[{"src":5,"dst":%d}],
+		  "remove_edges":[{"src":%d,"dst":%d}],
+		  "refresh":true}`, newID, newID, srcs[0], dsts[0]))
+	if st != 202 || mr.Refresh == "" {
+		t.Fatalf("batch 2: status=%d resp=%+v", st, mr)
+	}
+	waitCounter(t, &s.m.refreshes, 2)
+
+	snap := s.Store()
+	if snap.Epoch != 2 || snap.RefreshKind != "delta" {
+		t.Fatalf("epoch=%d kind=%q after mutate refresh, want 2/delta", snap.Epoch, snap.RefreshKind)
+	}
+	if snap.Graph.NumNodes != g0.NumNodes+1 {
+		t.Fatalf("snapshot graph has %d nodes, want %d", snap.Graph.NumNodes, g0.NumNodes+1)
+	}
+
+	// Oracle: the same two deltas applied offline, computed from scratch.
+	g1, _, err := graph.ApplyDelta(g0, graph.Delta{
+		Features: []graph.FeatureUpdate{{Node: 3, Features: []float32{1, 0, -1, 0.5, 0, 2}}},
+		AddNodes: []graph.NodeAdd{{Features: []float32{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}}},
+		AddEdges: []graph.EdgeAdd{{Src: newID, Dst: 7}, {Src: 7, Dst: newID}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := graph.ApplyDelta(g1, graph.Delta{
+		Features:    []graph.FeatureUpdate{{Node: newID, Features: []float32{-1, -1, -1, 1, 1, 1}}},
+		AddEdges:    []graph.EdgeAdd{{Src: 5, Dst: newID}},
+		RemoveEdges: []graph.EdgeKey{{Src: srcs[0], Dst: dsts[0]}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := inference.RunPregel(s.cfg.Model, g2, inference.Options{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/logits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("logits: status=%d err=%v", resp.StatusCode, err)
+	}
+	if resp.Header.Get("X-Rows") != "201" {
+		t.Fatalf("X-Rows=%q after node add, want 201", resp.Header.Get("X-Rows"))
+	}
+	if !bytes.Equal(got, logitsBytes(want.Logits)) {
+		t.Fatal("delta-refreshed store bytes differ from a from-scratch pass over HTTP")
+	}
+
+	// The new node answers: store lookup and fresh k-hop compute agree.
+	nresp, err := http.Get(ts.URL + fmt.Sprintf("/v1/nodes/%d", newID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var na Answer
+	if err := json.NewDecoder(nresp.Body).Decode(&na); err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != 200 || !bitEqual(na.Logits, want.Logits.Row(int(newID))) {
+		t.Fatalf("new-node store lookup: status=%d answer=%+v", nresp.StatusCode, na)
+	}
+	qst, qr, _ := postQuery(t, ts, QueryRequest{Roots: []int32{newID}, DeadlineMs: 5000})
+	if qst != 200 || qr.Answers[0].Source != "fresh" || !bitEqual(qr.Answers[0].Logits, want.Logits.Row(int(newID))) {
+		t.Fatalf("new-node fresh query: status=%d answers=%+v", qst, qr.Answers)
+	}
+
+	// Stats surface the incremental observables.
+	m := s.Metrics()
+	if !m.Incremental || m.LastRefreshKind != "delta" || m.Mutations != 2 ||
+		m.MutationsApplied != 2 || m.MutationsRejected != 0 || m.PendingDeltas != 0 {
+		t.Fatalf("stats after delta refresh: %+v", m)
+	}
+	if m.LastRefreshMs < 0 {
+		t.Fatalf("last_refresh_ms=%v", m.LastRefreshMs)
+	}
+}
+
+// TestMutateChaosDeltaRefresh arms worker crashes between refreshes: the
+// injected faults fire inside the delta pass, checkpoint recovery restores
+// the resident slabs, and the refreshed store still matches a from-scratch
+// pass byte for byte over HTTP.
+func TestMutateChaosDeltaRefresh(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Refresh = inference.Options{NumWorkers: 3, DeltaCutover: 1.1, CheckpointEvery: 1}
+	})
+	s.cfg.Refresh.Faults = &pregel.FaultPlan{Crashes: []pregel.Fault{
+		{Superstep: 1, Point: pregel.FaultAtBarrier},
+		{Superstep: 2, Point: pregel.FaultBeforeSuperstep},
+	}}
+	st, mr := postMutate(t, ts, `{"features":[{"node":8,"features":[2,2,2,-2,-2,-2]}],"refresh":true}`)
+	if st != 202 {
+		t.Fatalf("mutate: status=%d resp=%+v", st, mr)
+	}
+	waitCounter(t, &s.m.refreshes, 2)
+
+	snap := s.Store()
+	if snap.RefreshKind != "delta" {
+		t.Fatalf("kind=%q, want delta", snap.RefreshKind)
+	}
+	if snap.Stats.Recoveries != 2 {
+		t.Fatalf("recoveries=%d, want 2 (both injected crashes)", snap.Stats.Recoveries)
+	}
+	g1, _, err := graph.ApplyDelta(s.cfg.Graph, graph.Delta{
+		Features: []graph.FeatureUpdate{{Node: 8, Features: []float32{2, 2, 2, -2, -2, -2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := inference.RunPregel(s.cfg.Model, g1, inference.Options{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fetchLogits(t, ts), logitsBytes(want.Logits)) {
+		t.Fatal("chaos delta refresh diverged from scratch over HTTP")
+	}
+}
+
+// TestMutateRejections pins the mutation boundary: 409 when incremental mode
+// is off, 400 for malformed batches (nothing staged), and a drain-order
+// conflict — removing an edge an earlier staged batch already dropped —
+// rejects only the conflicting batch while the pass applies the rest.
+func TestMutateRejections(t *testing.T) {
+	off, offTS := newTestServer(t, func(c *Config) { c.DisableIncremental = true })
+	if off.Incremental() {
+		t.Fatal("DisableIncremental ignored")
+	}
+	if st, mr := postMutate(t, offTS, `{"features":[{"node":1,"features":[0,0,0,0,0,0]}]}`); st != 409 || mr.Error == "" {
+		t.Fatalf("disabled server: status=%d err=%q, want 409 with message", st, mr.Error)
+	}
+
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Refresh = inference.Options{NumWorkers: 3, DeltaCutover: 1.1}
+	})
+	for i, body := range []string{
+		`{}`, // empty delta
+		`{"features":[{"node":99999,"features":[0,0,0,0,0,0]}]}`, // node out of range
+		`{"features":[{"node":1,"features":[1,2]}]}`,             // bad feature dim
+		`{"add_edges":[{"src":0,"dst":99999}]}`,                  // edge endpoint out of range
+		`{"remove_edges":[{"src":-1,"dst":0}]}`,                  // negative endpoint
+		`{"add_edges":[{"src":0,"dst":1,"features":[1,2,3]}]}`,   // edge features on a featureless graph
+		`{"add_nodes":[{"features":[1]}]}`,                       // new node bad dim
+		`{"bogus":true}`,                                         // unknown field
+	} {
+		if st, mr := postMutate(t, ts, body); st != 400 || mr.Error == "" {
+			t.Fatalf("case %d: status=%d err=%q, want 400 with message", i, st, mr.Error)
+		}
+	}
+	if got := s.m.mutations.Load(); got != 0 {
+		t.Fatalf("rejected bodies staged %d batches", got)
+	}
+
+	// Drain-order conflict: both batches remove the same edge.
+	srcs, dsts := s.cfg.Graph.EdgeList()
+	rm := fmt.Sprintf(`{"remove_edges":[{"src":%d,"dst":%d}]}`, srcs[0], dsts[0])
+	if st, _ := postMutate(t, ts, rm); st != 202 {
+		t.Fatalf("first removal: %d", st)
+	}
+	if st, _ := postMutate(t, ts, rm); st != 202 {
+		t.Fatalf("second removal: %d", st)
+	}
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if a, r := s.m.mutationsApplied.Load(), s.m.mutationsRejected.Load(); a != 1 || r != 1 {
+		t.Fatalf("applied=%d rejected=%d, want 1/1", a, r)
+	}
+	g1, _, err := graph.ApplyDelta(s.cfg.Graph, graph.Delta{RemoveEdges: []graph.EdgeKey{{Src: srcs[0], Dst: dsts[0]}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := inference.RunPregel(s.cfg.Model, g1, inference.Options{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fetchLogits(t, ts), logitsBytes(want.Logits)) {
+		t.Fatal("store after a rejected batch diverged from the applied-only oracle")
 	}
 }
 
