@@ -185,6 +185,8 @@ type perfReport struct {
 	ServeGates          []perfServeGate          `json:"gate_serving_slo"`
 	Delta               []perfBenchResult        `json:"delta"`
 	DeltaGates          []perfDeltaGate          `json:"gate_delta_vs_full"`
+	Recovery            []perfBenchResult        `json:"recovery"`
+	RecoveryGates       []perfRecoveryGate       `json:"gate_recovery"`
 	Identity            perfIdentity             `json:"identity"`
 }
 
@@ -1039,11 +1041,12 @@ func runPerf(path, scale, combos string, pipeChunk, pipeDepth int) error {
 	}
 
 	report := perfReport{
-		PR: 8,
-		Description: "Incremental execution: delta supersteps recompute only a change set's L-hop " +
-			"flood against resident per-layer state, bit-identical to a from-scratch pass and " +
-			"gated at 5x faster at a 1% mutation rate; plus the plane, pipelined, checkpointing, " +
-			"partitioning, serving and identity suites of PR 2-7",
+		PR: 10,
+		Description: "Crash-durable serving: mutation WAL + persisted session slabs make the " +
+			"mutate→refresh pipeline survive SIGKILL with zero acknowledged batches lost; warm " +
+			"restart gated at 3x faster than cold re-prime and WAL appends at ≤10% added mutate " +
+			"latency at sync=never; plus the plane, pipelined, checkpointing, partitioning, " +
+			"serving, delta and identity suites of PR 2-8",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -1088,6 +1091,11 @@ func runPerf(path, scale, combos string, pipeChunk, pipeDepth int) error {
 			name: "delta",
 			fail: "incremental delta refresh at a 1% mutation rate under 5x faster than the same-run full pass on the skew-in bench, or not bit-identical to it",
 			run:  func() (bool, error) { return runDeltaSuite(&report, scale) },
+		},
+		{
+			name: "recovery",
+			fail: "recovery gates failed (warm restart must be ≥3x faster than cold re-prime; WAL appends must add ≤10% mutate latency at sync=never, ≤15% at quick)",
+			run:  func() (bool, error) { return runRecoverySuite(&report, scale) },
 		},
 		{
 			name: "identity",

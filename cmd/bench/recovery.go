@@ -1,0 +1,315 @@
+package main
+
+// The PR 10 recovery suite: prices the crash-durable mutate→refresh pipeline
+// on the PR 8 delta-bench dataset. Two gates fail the run:
+//
+//  1. Warm restart: reconstructing a primed session from its persisted slab
+//     epoch (inference.ResumeSession) must be at least 3x faster than the
+//     cold alternative a restart would otherwise pay — building a fresh
+//     session and re-priming it with a full-graph pass.
+//  2. Mutation WAL overhead: with -checkpoint-sync never (the group-commit
+//     operating point), appending each /v1/mutate batch to the write-ahead
+//     log before acknowledgment must add at most 10% (15% at quick scale)
+//     to the end-to-end mutate latency measured over real HTTP against a
+//     WAL-less incremental server in the same run.
+//
+// Both gates compare within one run on one machine, so machine speed
+// cancels out. Session dirs live on tmpfs when the host has one
+// (benchTempDir), matching the checkpoint suite's convention.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"inferturbo/internal/checkpoint"
+	"inferturbo/internal/inference"
+	"inferturbo/internal/serve"
+)
+
+// perfRecoveryGate records one recovery-suite verdict.
+type perfRecoveryGate struct {
+	Benchmark   string  `json:"benchmark"`
+	Criterion   string  `json:"criterion"`
+	ColdNs      float64 `json:"cold_ns_per_op,omitempty"`
+	WarmNs      float64 `json:"warm_ns_per_op,omitempty"`
+	SpeedupX    float64 `json:"speedup_x,omitempty"`
+	PlainNs     float64 `json:"plain_mutate_ns_per_op,omitempty"`
+	DurableNs   float64 `json:"durable_mutate_ns_per_op,omitempty"`
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+	Gated       bool    `json:"gated"`
+	Pass        bool    `json:"pass"`
+}
+
+// mutateLatency measures the mean end-to-end /v1/mutate latency over real
+// HTTP: timed rounds of back-to-back posts, with an untimed refresh between
+// rounds so the staged backlog (and the WAL, on the durable server) drains
+// instead of growing without bound across the measurement.
+//
+// On the durable server every refresh also enqueues a background slab
+// persist (tens of MB of encode + write on the persister goroutine), so the
+// next timed window must wait for the persister to quiesce: the gate prices
+// the per-POST WAL append on the request path, not the persister — gate 1
+// and the PR 6 checkpoint-overhead gate already price that — and on a
+// single-vCPU runner an in-flight persist otherwise steals the whole timed
+// window.
+func mutateLatency(s *serve.Server, ts *httptest.Server, bodies []string, rounds int, durable bool) (float64, error) {
+	quiesce := func(minEpochs int64) error {
+		if !durable {
+			return nil
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			m := s.Metrics()
+			if m.SessionPersistFailures > 0 {
+				return fmt.Errorf("mutate bench: %d session persist failures", m.SessionPersistFailures)
+			}
+			if m.SessionEpochs >= minEpochs && m.WALRecords == 0 {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("mutate bench: persister never quiesced (epochs=%d wal_records=%d)",
+					m.SessionEpochs, m.WALRecords)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// The prime pass persists its epoch asynchronously right after Start.
+	if err := quiesce(1); err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	ops := 0
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for _, body := range bodies {
+			resp, err := http.Post(ts.URL+"/v1/mutate", "application/json", strings.NewReader(body))
+			if err != nil {
+				return 0, err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 202 {
+				return 0, fmt.Errorf("mutate: status %d", resp.StatusCode)
+			}
+		}
+		total += time.Since(start)
+		ops += len(bodies)
+		var pre int64
+		if durable {
+			pre = s.Metrics().SessionEpochs
+		}
+		if err := s.Refresh(); err != nil {
+			return 0, err
+		}
+		// Drain the persist + WAL truncation this refresh kicked off before
+		// the next timed window (and before the other server's turn).
+		if err := quiesce(pre + 1); err != nil {
+			return 0, err
+		}
+		// Identical settle on both sides: the durable path's quiesce polling
+		// doubles as GC/scheduler settle time after the refresh pass, so the
+		// plain side gets the same grace or it eats that debt in its window.
+		time.Sleep(10 * time.Millisecond)
+	}
+	return float64(total.Nanoseconds()) / float64(ops), nil
+}
+
+// runRecoverySuite measures warm-restart speedup and WAL mutate overhead.
+func runRecoverySuite(rep *perfReport, scale string) (bool, error) {
+	nodes := 12000
+	maxOverheadPct := 10.0
+	if scale == "quick" {
+		nodes = 4000
+		maxOverheadPct = 15
+	}
+	m, ds := deltaDataset(nodes)
+	steps := m.NumLayers() + 1
+	opts := inference.Options{NumWorkers: 8, DeltaCutover: 1.1}
+
+	// --- Gate 1: warm restart vs cold re-prime -------------------------------
+	dir, err := os.MkdirTemp(benchTempDir(), "session-bench-")
+	if err != nil {
+		return false, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Seed the durable state once: prime a session, let the epoch land,
+	// close. Every warm op below resumes from this epoch.
+	durOpts := opts
+	durOpts.SessionDir = dir
+	seed, err := inference.NewSession(m, ds.Graph, durOpts)
+	if err != nil {
+		return false, err
+	}
+	if _, _, err := seed.Refresh(); err != nil {
+		return false, err
+	}
+	// The persist runs on the background persister; wait for it before
+	// snapshotting (CloseDurable drains it too, but clears the stats).
+	deadline := time.Now().Add(30 * time.Second)
+	for seed.DurableStats().Epochs == 0 && seed.DurableStats().Failures == 0 {
+		if time.Now().After(deadline) {
+			return false, fmt.Errorf("recovery bench: seed epoch never landed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := seed.DurableStats()
+	seed.CloseDurable()
+	if st.Epochs == 0 {
+		return false, fmt.Errorf("recovery bench: seed session persist failed (%d failures)", st.Failures)
+	}
+
+	cold, warm, err := measureBest(
+		benchSpec{name: "pr10/skew-in/w8/cold-reprime", steps: steps, run: func() error {
+			s, err := inference.NewSession(m, ds.Graph, opts)
+			if err != nil {
+				return err
+			}
+			_, kind, err := s.Refresh()
+			if err != nil {
+				return err
+			}
+			if kind != inference.RefreshFull {
+				return fmt.Errorf("cold prime took the %s path; want full", kind)
+			}
+			return nil
+		}},
+		benchSpec{name: "pr10/skew-in/w8/warm-restart", run: func() error {
+			s, resumed, err := inference.ResumeSession(m, durOpts)
+			if err != nil {
+				return err
+			}
+			if !resumed {
+				return fmt.Errorf("warm restart fell back to a cold start")
+			}
+			s.CloseDurable()
+			return nil
+		}},
+		2)
+	if err != nil {
+		return false, err
+	}
+	rep.Recovery = append(rep.Recovery, cold, warm)
+
+	restartGate := perfRecoveryGate{
+		Benchmark: "pr10/skew-in/w8/restart",
+		Criterion: "resume from persisted slabs ≥3x faster than cold re-prime",
+		ColdNs:    cold.NsPerOp,
+		WarmNs:    warm.NsPerOp,
+		SpeedupX:  cold.NsPerOp / warm.NsPerOp,
+		Gated:     true,
+	}
+	restartGate.Pass = restartGate.SpeedupX >= 3
+	rep.RecoveryGates = append(rep.RecoveryGates, restartGate)
+	fmt.Printf("gate %-40s warm %12.0f ns/op vs cold %12.0f ns/op (%.1fx, need ≥3x) pass=%v\n",
+		restartGate.Benchmark, restartGate.WarmNs, restartGate.ColdNs, restartGate.SpeedupX, restartGate.Pass)
+
+	// --- Gate 2: WAL append overhead on /v1/mutate at SyncNever --------------
+	// One 0.1%-of-nodes feature batch per post, rotating through distinct
+	// node sets so every refresh drain floods real changes.
+	dim := ds.Graph.FeatureDim()
+	batch := nodes / 1000
+	var bodies []string
+	for b := 0; b < 8; b++ {
+		var sb bytes.Buffer
+		sb.WriteString(`{"features":[`)
+		for i := 0; i < batch; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `{"node":%d,"features":[`, (b*batch+i)%nodes)
+			for j := 0; j < dim; j++ {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%g", float64(b+1)*0.25-float64(j%7)*0.125)
+			}
+			sb.WriteString(`]}`)
+		}
+		sb.WriteString(`]}`)
+		bodies = append(bodies, sb.String())
+	}
+
+	newServer := func(sessionDir string) (*serve.Server, *httptest.Server, error) {
+		ropts := opts
+		ropts.CheckpointSync = checkpoint.SyncNever
+		s, err := serve.New(serve.Config{
+			Model: m, Graph: ds.Graph, Refresh: ropts,
+			QueryWorkers: 2, SessionDir: sessionDir,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.Start(); err != nil {
+			return nil, nil, err
+		}
+		return s, httptest.NewServer(s.Handler()), nil
+	}
+
+	walDir, err := os.MkdirTemp(benchTempDir(), "wal-bench-")
+	if err != nil {
+		return false, err
+	}
+	defer os.RemoveAll(walDir)
+
+	plainSrv, plainTS, err := newServer("")
+	if err != nil {
+		return false, err
+	}
+	durSrv, durTS, err := newServer(walDir)
+	if err != nil {
+		plainTS.Close()
+		plainSrv.Close()
+		return false, err
+	}
+	defer func() {
+		plainTS.Close()
+		plainSrv.Close()
+		durTS.Close()
+		durSrv.Close()
+	}()
+
+	// Alternate sides best-of-rounds, same shape as measureBest, so ambient
+	// machine noise hits both measurements equally.
+	const rounds = 3
+	var plainNs, durNs float64
+	for i := 0; i < rounds; i++ {
+		p, err := mutateLatency(plainSrv, plainTS, bodies, 4, false)
+		if err != nil {
+			return false, err
+		}
+		d, err := mutateLatency(durSrv, durTS, bodies, 4, true)
+		if err != nil {
+			return false, err
+		}
+		if i == 0 || p < plainNs {
+			plainNs = p
+		}
+		if i == 0 || d < durNs {
+			durNs = d
+		}
+	}
+	rep.Recovery = append(rep.Recovery,
+		perfBenchResult{Name: "pr10/skew-in/w8/mutate-http", Iterations: rounds * 4 * len(bodies), NsPerOp: plainNs},
+		perfBenchResult{Name: "pr10/skew-in/w8/mutate-http/wal-syncnever", Iterations: rounds * 4 * len(bodies), NsPerOp: durNs},
+	)
+
+	walGate := perfRecoveryGate{
+		Benchmark:   "pr10/skew-in/w8/mutate-wal-overhead",
+		Criterion:   fmt.Sprintf("WAL append adds ≤%.0f%% to /v1/mutate latency at sync=never", maxOverheadPct),
+		PlainNs:     plainNs,
+		DurableNs:   durNs,
+		OverheadPct: 100 * (durNs - plainNs) / plainNs,
+		Gated:       true,
+	}
+	walGate.Pass = walGate.OverheadPct <= maxOverheadPct
+	rep.RecoveryGates = append(rep.RecoveryGates, walGate)
+	fmt.Printf("gate %-40s durable %12.0f ns/op vs plain %12.0f ns/op (%+.1f%%, need ≤%.0f%%) pass=%v\n",
+		walGate.Benchmark, walGate.DurableNs, walGate.PlainNs, walGate.OverheadPct, maxOverheadPct, walGate.Pass)
+
+	return restartGate.Pass && walGate.Pass, nil
+}

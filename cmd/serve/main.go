@@ -21,15 +21,26 @@
 // and the next refresh recomputes only their L-hop flood against resident
 // state — bit-identical to a full pass, proportional to the change set.
 // -no-incremental restores full passes everywhere.
+//
+// -session-dir makes the mutate→refresh pipeline crash-durable: every
+// mutation batch appends to a write-ahead log before it is acknowledged, the
+// incremental session persists its resident slabs as checkpoint epochs, and
+// a restarted process resumes from both — replaying unconsumed mutations as
+// one delta pass instead of re-priming, byte-identical to a server that
+// never crashed. SIGTERM shuts down gracefully: in-flight requests drain,
+// the final session epoch lands, and the WAL is fsynced regardless of
+// -checkpoint-sync.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -64,10 +75,26 @@ func main() {
 		ckptSync  = flag.String("checkpoint-sync", "always", "epoch durability: always | never")
 		resume    = flag.Bool("resume", false, "resume an interrupted refresh from the latest valid epoch in -checkpoint-dir")
 
+		sessionDir = flag.String("session-dir", "", "durable session directory: mutations WAL-append before acknowledgment, resident slabs persist as epochs, restarts resume and replay (requires incremental mode)")
+
 		dieAt        = flag.Int("die-at", -1, "kill -9 this process at the start of the given superstep of the -die-on-refresh'th pass (crash-resume testing)")
 		dieOnRefresh = flag.Int("die-on-refresh", 1, "which full-graph pass -die-at targets (1 = the initial store build)")
+		dieOnMutate  = flag.Int("die-on-mutate", 0, "kill -9 this process right after the n'th mutation batch is WAL-durable and staged, before its 202 is written (1-based; 0 = off)")
+		dieOnTrunc   = flag.Int("die-on-wal-truncate", 0, "kill -9 this process right before the n'th WAL truncation, after its covering epoch is durable (1-based; 0 = off)")
+		dieOnPersist = flag.Int("die-on-slab-persist", 0, "kill -9 this process at the start of the n'th session slab persist (1-based; 0 = off)")
 	)
 	flag.Parse()
+
+	if *sessionDir != "" {
+		// A durable session must never fall back to a lossy mode silently:
+		// refuse flag combinations that would disable the incremental session.
+		if *noIncremental {
+			fatalf("-session-dir requires incremental mode; drop -no-incremental")
+		}
+		if *ckptDir != "" {
+			fatalf("-session-dir and -checkpoint-dir are mutually exclusive: per-superstep refresh checkpoints disable the incremental session that -session-dir persists")
+		}
+	}
 
 	g, err := inferturbo.LoadGraphFile(*data)
 	if err != nil {
@@ -113,7 +140,19 @@ func main() {
 		}
 	}
 
-	s, err := serve.New(serve.Config{
+	// The -die-on-* flags SIGKILL the process at the durability seams the
+	// crash-matrix tests target: after a mutation ack is recoverable, before
+	// a WAL truncation, at the start of a slab persist. Each kills on its
+	// n'th (1-based) occurrence.
+	killAt := func(target int) func() {
+		var n atomic.Int64
+		return func() {
+			if int(n.Add(1)) == target {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+	cfg := serve.Config{
 		Model: m, Graph: g, Refresh: refresh,
 		Hops:         *hops,
 		QueryWorkers: *queryWorkers, QueryParallel: *queryParallel,
@@ -121,7 +160,22 @@ func main() {
 		QueueDepth: *queueDepth, MaxLatency: *maxLatency,
 		RefreshEvery:       *refreshEvery,
 		DisableIncremental: *noIncremental,
-	})
+		SessionDir:         *sessionDir,
+	}
+	if *dieOnMutate > 0 {
+		kill := killAt(*dieOnMutate)
+		cfg.MutateAckHook = func(uint64) { kill() }
+	}
+	if *dieOnTrunc > 0 {
+		kill := killAt(*dieOnTrunc)
+		cfg.WALTruncateHook = func(uint64) { kill() }
+	}
+	if *dieOnPersist > 0 {
+		kill := killAt(*dieOnPersist)
+		cfg.Refresh.SessionPersistBeginHook = func(uint64) error { kill(); return nil }
+	}
+
+	s, err := serve.New(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -136,6 +190,11 @@ func main() {
 	snap := s.Store()
 	fmt.Printf("serve: store epoch %d resident (%d nodes, %d supersteps, resumed=%v)\n",
 		snap.Epoch, g.NumNodes, snap.Stats.Supersteps, snap.Stats.Resumed)
+	if *sessionDir != "" {
+		ms := s.Metrics()
+		fmt.Printf("serve: durable session resumed=%v wal_replayed=%d replay_ms=%.1f refresh=%s\n",
+			ms.SessionResumed, ms.WALReplayed, ms.LastReplayMs, ms.LastRefreshKind)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -155,10 +214,17 @@ func main() {
 	case err := <-errCh:
 		fatalf("http: %v", err)
 	}
-	if err := hs.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "serve: closing http: %v\n", err)
+	// Graceful shutdown: stop accepting, drain in-flight requests (bounded by
+	// the serving SLO window plus slack), then close the server — which lands
+	// the in-flight session epoch and fsyncs the WAL, so a SIGTERM'd durable
+	// server is power-loss safe even at -checkpoint-sync never.
+	ctx, cancel := context.WithTimeout(context.Background(), *maxLatency+5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: draining http: %v\n", err)
 	}
 	s.Close()
+	fmt.Println("serve: shutdown complete")
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,314 @@
+package checkpoint
+
+// Mutation write-ahead log. The epoch Store persists big, rare recovery
+// points; the WAL persists small, frequent ones: the serving layer appends
+// each staged mutation batch here *before* acknowledging it, so an
+// acknowledged batch survives any crash until the refresh that consumed it
+// has been made durable through the epoch store — at which point the
+// consumed prefix is truncated away.
+//
+// File layout: an 8-byte magic header followed by framed records. Each
+// record is
+//
+//	u32 payloadLen | u64 seq | u32 crc32c(payload) | payload
+//
+// Sequence numbers are assigned by the caller, strictly increasing; they are
+// the replay cursor (a resumed session knows the highest sequence its
+// durable state already contains and skips records at or below it, so a
+// crash between slab-persist and WAL-truncate never double-applies a batch).
+//
+// Crash anatomy, by construction:
+//
+//   - Append writes one frame with a single Write call and (at SyncAlways)
+//     fsyncs before returning, so a record either fully precedes the ack or
+//     the ack never happened.
+//   - A crash mid-append leaves a torn tail: replay stops at the first frame
+//     whose length runs past the file or whose CRC mismatches, and Open
+//     truncates the file back to the last intact record — by the append
+//     ordering, nothing torn was ever acknowledged.
+//   - TruncateThrough rewrites the surviving suffix into wal.tmp and renames
+//     it over the log (the Store's rename-atomic discipline), so a crash
+//     mid-truncation leaves either the old log or the new one, both valid,
+//     both containing every unconsumed record.
+//
+// A WAL is safe for concurrent use: appends (HTTP handlers) and truncation
+// (the session persister goroutine) serialize on an internal mutex.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	walMagic    = "ITWAL001"
+	walFile     = "wal.log"
+	walTmp      = "wal.tmp"
+	walFrameHdr = 4 + 8 + 4 // payloadLen + seq + crc
+)
+
+// WALRecord is one replayed append: the caller's sequence number and payload.
+type WALRecord struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// walEntry tracks one live record's position for head truncation.
+type walEntry struct {
+	seq uint64
+	end int64 // file offset just past this record's frame
+}
+
+// WAL is an append-only, CRC-framed mutation log in dir. Open with OpenWAL.
+type WAL struct {
+	mu   sync.Mutex
+	dir  string
+	f    *os.File
+	sync SyncMode
+
+	index   []walEntry
+	size    int64 // current file size (== index tail end, or header len)
+	scratch []byte
+
+	appended  int64 // records appended this process
+	truncated int64 // head-truncation rotations this process
+}
+
+// ReplayWAL parses one WAL file's bytes. It returns the decoded records of
+// the longest valid prefix and that prefix's length in bytes; a torn or
+// corrupt tail (short frame, impossible length, CRC mismatch) simply ends
+// the prefix — by the append-before-ack ordering nothing beyond it was ever
+// acknowledged. Only a missing or wrong header is an error: that is not a
+// torn write but a file this code never produced. Payload lengths are
+// bounds-checked against the remaining bytes before any allocation, so
+// adversarial input cannot drive oversized allocations; returned payloads
+// are copies, independent of b.
+func ReplayWAL(b []byte) ([]WALRecord, int64, error) {
+	if len(b) == 0 {
+		return nil, 0, nil
+	}
+	if len(b) < len(walMagic) || string(b[:len(walMagic)]) != walMagic {
+		return nil, 0, fmt.Errorf("checkpoint: bad WAL magic")
+	}
+	off := int64(len(walMagic))
+	var recs []WALRecord
+	for {
+		rest := b[off:]
+		if len(rest) < walFrameHdr {
+			break // torn or clean EOF
+		}
+		plen := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		if plen > int64(len(rest))-walFrameHdr {
+			break // torn: frame claims more bytes than the file holds
+		}
+		seq := binary.LittleEndian.Uint64(rest[4:12])
+		sum := binary.LittleEndian.Uint32(rest[12:16])
+		payload := rest[walFrameHdr : walFrameHdr+plen]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // torn or bit-rotted: everything from here on is dead
+		}
+		recs = append(recs, WALRecord{Seq: seq, Payload: append([]byte(nil), payload...)})
+		off += walFrameHdr + plen
+	}
+	return recs, off, nil
+}
+
+// OpenWAL opens (creating if needed) the log in dir, replays its intact
+// records, truncates any torn tail, and positions the log for appends. The
+// returned records are the unconsumed batches a restarted process must
+// re-stage.
+func OpenWAL(dir string, sync SyncMode) (*WAL, []WALRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: create WAL dir: %w", err)
+	}
+	w := &WAL{dir: dir, sync: sync}
+	path := filepath.Join(dir, walFile)
+	b, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("checkpoint: read WAL: %w", err)
+	}
+	recs, valid, err := ReplayWAL(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: open WAL: %w", err)
+	}
+	if len(b) == 0 {
+		// Fresh log: write the header now so a crash before the first append
+		// still leaves a well-formed file.
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("checkpoint: init WAL: %w", err)
+		}
+		valid = int64(len(walMagic))
+	} else if valid < int64(len(b)) {
+		// Drop the torn tail so appends never interleave with dead bytes.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("checkpoint: truncate torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.f, w.size = f, valid
+	off := int64(len(walMagic))
+	for _, r := range recs {
+		off += walFrameHdr + int64(len(r.Payload))
+		w.index = append(w.index, walEntry{seq: r.Seq, end: off})
+	}
+	return w, recs, nil
+}
+
+// Append durably logs one record: a single framed write, fsynced before
+// returning when the WAL runs at SyncAlways (SyncNever still survives
+// process death — the page cache outlives the process — but not power
+// loss, matching the epoch store's durability classes).
+func (w *WAL) Append(seq uint64, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("checkpoint: append to closed WAL")
+	}
+	b := w.scratch[:0]
+	b = AppendU32(b, uint32(len(payload)))
+	b = AppendU64(b, seq)
+	b = AppendU32(b, crc32.Checksum(payload, castagnoli))
+	b = append(b, payload...)
+	w.scratch = b[:0]
+	if _, err := w.f.Write(b); err != nil {
+		// A partial frame may be on disk; rewind so the next append
+		// overwrites it instead of burying a torn frame mid-file.
+		w.f.Seek(w.size, 0)
+		w.f.Truncate(w.size)
+		return fmt.Errorf("checkpoint: WAL append: %w", err)
+	}
+	if w.sync == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: WAL fsync: %w", err)
+		}
+	}
+	w.size += int64(len(b))
+	w.index = append(w.index, walEntry{seq: seq, end: w.size})
+	w.appended++
+	return nil
+}
+
+// TruncateThrough drops every record with Seq <= seq — the prefix a durable
+// slab epoch has made redundant — via rename-atomic rotation: the surviving
+// suffix is rewritten into wal.tmp and renamed over the log. A no-op when
+// nothing qualifies.
+func (w *WAL) TruncateThrough(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("checkpoint: truncate of closed WAL")
+	}
+	drop := 0
+	for drop < len(w.index) && w.index[drop].seq <= seq {
+		drop++
+	}
+	if drop == 0 {
+		return nil
+	}
+	keepFrom := w.index[drop-1].end
+	// Read the surviving suffix out of the live file, then rebuild.
+	suffix := make([]byte, w.size-keepFrom)
+	if _, err := w.f.ReadAt(suffix, keepFrom); err != nil {
+		return fmt.Errorf("checkpoint: WAL rotate read: %w", err)
+	}
+	tmp := filepath.Join(w.dir, walTmp)
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: WAL rotate: %w", err)
+	}
+	if _, err := nf.Write(append([]byte(walMagic), suffix...)); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: WAL rotate write: %w", err)
+	}
+	if err := nf.Truncate(int64(len(walMagic) + len(suffix))); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: WAL rotate truncate: %w", err)
+	}
+	if w.sync == SyncAlways {
+		if err := nf.Sync(); err != nil {
+			nf.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("checkpoint: WAL rotate fsync: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, walFile)); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: WAL rotate rename: %w", err)
+	}
+	if w.sync == SyncAlways {
+		syncDir(w.dir)
+	}
+	w.f.Close()
+	w.f = nf
+	newSize := int64(len(walMagic) + len(suffix))
+	if _, err := w.f.Seek(newSize, 0); err != nil {
+		return err
+	}
+	shift := keepFrom - int64(len(walMagic))
+	w.index = w.index[drop:]
+	for i := range w.index {
+		w.index[i].end -= shift
+	}
+	w.size = newSize
+	w.truncated++
+	return nil
+}
+
+// Records reports the live (unconsumed) record count.
+func (w *WAL) Records() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.index)
+}
+
+// Bytes reports the log's current on-disk size.
+func (w *WAL) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Appended reports records appended by this process (a monotonic stat).
+func (w *WAL) Appended() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// Truncations reports head-truncation rotations performed by this process.
+func (w *WAL) Truncations() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.truncated
+}
+
+// Close fsyncs the log — regardless of SyncMode, so a graceful shutdown is
+// power-loss durable even at SyncNever — and closes it. Idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

@@ -1,0 +1,249 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walPayload(i int) []byte {
+	return []byte(fmt.Sprintf("delta-batch-%03d", i))
+}
+
+func openTestWAL(t *testing.T, dir string, sync SyncMode) (*WAL, []WALRecord) {
+	t.Helper()
+	w, recs, err := OpenWAL(dir, sync)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	return w, recs
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	for _, sync := range []SyncMode{SyncAlways, SyncNever} {
+		t.Run(fmt.Sprint(sync), func(t *testing.T) {
+			dir := t.TempDir()
+			w, recs := openTestWAL(t, dir, sync)
+			if len(recs) != 0 {
+				t.Fatalf("fresh WAL replayed %d records", len(recs))
+			}
+			for i := 1; i <= 5; i++ {
+				if err := w.Append(uint64(i), walPayload(i)); err != nil {
+					t.Fatalf("append %d: %v", i, err)
+				}
+			}
+			if got := w.Records(); got != 5 {
+				t.Fatalf("Records() = %d, want 5", got)
+			}
+			if got := w.Appended(); got != 5 {
+				t.Fatalf("Appended() = %d, want 5", got)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			w2, recs := openTestWAL(t, dir, sync)
+			defer w2.Close()
+			if len(recs) != 5 {
+				t.Fatalf("reopen replayed %d records, want 5", len(recs))
+			}
+			for i, r := range recs {
+				if r.Seq != uint64(i+1) || !bytes.Equal(r.Payload, walPayload(i+1)) {
+					t.Fatalf("record %d: seq=%d payload=%q", i, r.Seq, r.Payload)
+				}
+			}
+			// Appends after replay continue the same log.
+			if err := w2.Append(6, walPayload(6)); err != nil {
+				t.Fatalf("append after reopen: %v", err)
+			}
+			if got := w2.Records(); got != 6 {
+				t.Fatalf("Records() after reopen append = %d, want 6", got)
+			}
+		})
+	}
+}
+
+func TestWALEmptyPayload(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openTestWAL(t, dir, SyncNever)
+	if err := w.Append(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, walPayload(2)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, recs := openTestWAL(t, dir, SyncNever)
+	if len(recs) != 2 || len(recs[0].Payload) != 0 || recs[0].Seq != 1 {
+		t.Fatalf("replay of empty-payload record: %+v", recs)
+	}
+}
+
+// TestWALTornTail simulates a crash mid-append: every proper prefix of the
+// file that cuts into the final frame must replay the first N-1 records and
+// truncate the tail, so the next append lands on a clean boundary.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openTestWAL(t, dir, SyncNever)
+	for i := 1; i <= 3; i++ {
+		if err := w.Append(uint64(i), walPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	path := filepath.Join(dir, walFile)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastFrame := walFrameHdr + len(walPayload(3))
+	for cut := 1; cut < lastFrame; cut++ {
+		torn := full[:len(full)-cut]
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, recs := openTestWAL(t, dir, SyncNever)
+		if len(recs) != 2 {
+			t.Fatalf("cut=%d: replayed %d records, want 2", cut, len(recs))
+		}
+		// The torn tail must be gone from disk.
+		if b, _ := os.ReadFile(path); len(b) >= len(torn) && cut > 0 && len(b) != len(full)-lastFrame {
+			t.Fatalf("cut=%d: torn tail not truncated (size %d)", cut, len(b))
+		}
+		if err := w.Append(9, walPayload(9)); err != nil {
+			t.Fatalf("cut=%d: append after torn replay: %v", cut, err)
+		}
+		w.Close()
+		_, recs = openTestWAL(t, dir, SyncNever)
+		if len(recs) != 3 || recs[2].Seq != 9 {
+			t.Fatalf("cut=%d: post-repair replay %+v", cut, recs)
+		}
+		// Restore the 3-record file for the next cut.
+		if err := os.WriteFile(path, full, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALBitFlip flips each byte of a record's payload region in turn; the
+// CRC must fence off that record and everything after it.
+func TestWALBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openTestWAL(t, dir, SyncNever)
+	for i := 1; i <= 2; i++ {
+		if err := w.Append(uint64(i), walPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	path := filepath.Join(dir, walFile)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside record 1's payload: replay must stop before it.
+	rec1Payload := len(walMagic) + walFrameHdr
+	mut := append([]byte(nil), full...)
+	mut[rec1Payload] ^= 0xff
+	recs, valid, err := ReplayWAL(mut)
+	if err != nil {
+		t.Fatalf("bit-flip should truncate, not error: %v", err)
+	}
+	if len(recs) != 0 || valid != int64(len(walMagic)) {
+		t.Fatalf("bit-flip in record 1: %d records, valid=%d", len(recs), valid)
+	}
+	// Flip inside record 2: record 1 survives.
+	rec2Payload := len(walMagic) + 2*walFrameHdr + len(walPayload(1))
+	mut = append([]byte(nil), full...)
+	mut[rec2Payload] ^= 0x01
+	recs, _, err = ReplayWAL(mut)
+	if err != nil || len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("bit-flip in record 2: recs=%+v err=%v", recs, err)
+	}
+}
+
+func TestWALBadMagic(t *testing.T) {
+	if _, _, err := ReplayWAL([]byte("NOTAWAL0xxxx")); err == nil {
+		t.Fatal("foreign magic accepted")
+	}
+	if _, _, err := ReplayWAL([]byte("IT")); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if recs, valid, err := ReplayWAL(nil); err != nil || recs != nil || valid != 0 {
+		t.Fatalf("empty input: recs=%v valid=%d err=%v", recs, valid, err)
+	}
+}
+
+func TestWALTruncateThrough(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openTestWAL(t, dir, SyncAlways)
+	for i := 1; i <= 6; i++ {
+		if err := w.Append(uint64(i), walPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drop nothing: seq below the head.
+	if err := w.TruncateThrough(0); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 6 || w.Truncations() != 0 {
+		t.Fatalf("no-op truncate changed state: %d records, %d rotations", w.Records(), w.Truncations())
+	}
+	// Drop the consumed prefix.
+	if err := w.TruncateThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 2 || w.Truncations() != 1 {
+		t.Fatalf("after truncate: %d records, %d rotations", w.Records(), w.Truncations())
+	}
+	// Appends continue against the rotated file.
+	if err := w.Append(7, walPayload(7)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, recs := openTestWAL(t, dir, SyncAlways)
+	want := []uint64{5, 6, 7}
+	if len(recs) != len(want) {
+		t.Fatalf("replay after rotation: %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.Seq != want[i] || !bytes.Equal(r.Payload, walPayload(int(want[i]))) {
+			t.Fatalf("record %d after rotation: seq=%d payload=%q", i, r.Seq, r.Payload)
+		}
+	}
+	// Drop everything: the log shrinks to a bare header.
+	w2, _ := openTestWAL(t, dir, SyncAlways)
+	if err := w2.TruncateThrough(7); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Records() != 0 || w2.Bytes() != int64(len(walMagic)) {
+		t.Fatalf("full truncate left %d records, %d bytes", w2.Records(), w2.Bytes())
+	}
+	if err := w2.Append(8, walPayload(8)); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, recs = openTestWAL(t, dir, SyncAlways)
+	if len(recs) != 1 || recs[0].Seq != 8 {
+		t.Fatalf("replay after full truncate + append: %+v", recs)
+	}
+}
+
+func TestWALClosedOps(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openTestWAL(t, dir, SyncNever)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := w.Append(1, nil); err == nil {
+		t.Fatal("append on closed WAL succeeded")
+	}
+	if err := w.TruncateThrough(1); err == nil {
+		t.Fatal("truncate on closed WAL succeeded")
+	}
+}

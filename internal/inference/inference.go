@@ -164,6 +164,26 @@ type Options struct {
 	// tuning (tensor.SetTuning). Any setting produces bit-identical results;
 	// this knob only trades wall-clock.
 	Tuning tensor.Tuning
+	// SessionDir makes the incremental Session durable: after every refresh
+	// pass that ran compute, the resident per-layer slabs, scaled wire-message
+	// slabs and graph snapshot are persisted to this directory as a
+	// CRC-checksummed checkpoint epoch (background persister, recycled capture
+	// buffers, off the refresh critical path), and ResumeSession reconstructs
+	// a primed Session from the newest valid epoch after a crash. Honors
+	// CheckpointSync. Ignored by one-shot RunPregel/RunMapReduce.
+	SessionDir string
+	// SessionPersistBeginHook, when non-nil, runs on the persister goroutine
+	// immediately before each epoch write, receiving the replay mark the epoch
+	// will record; a non-nil error aborts that persist (counted as a failure,
+	// resident state unaffected). Fault-injection seam for the
+	// mid-slab-persist crash tests.
+	SessionPersistBeginHook func(mark uint64) error
+	// SessionPersistHook, when non-nil, runs on the persister goroutine after
+	// each persist attempt with the epoch number, the replay mark it covers,
+	// and the write error (nil on success). The serving layer truncates the
+	// mutation WAL here — strictly after the slabs covering those mutations
+	// are durable.
+	SessionPersistHook func(epoch int, mark uint64, err error)
 	// DeltaCutover is the incremental Session's fallback fraction: when a
 	// mutation's L-hop flood is estimated to touch more than this fraction of
 	// the graph, Refresh runs a full pass (which is cheaper than a delta pass

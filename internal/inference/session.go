@@ -60,6 +60,10 @@ type Session struct {
 	pendInbox  []bool
 	pendPinned []bool
 	pending    bool
+
+	// Durable-session state (nil unless Options.SessionDir is set).
+	dur        *sessionDurable
+	replayMark uint64 // highest mutation seq the resident state accounts for
 }
 
 // NewSession validates the model/graph pair and the options. The strategy
@@ -94,6 +98,9 @@ func NewSession(model *gas.Model, g *graph.Graph, opts Options) (*Session, error
 	for k, l := range model.Layers {
 		s.scaled[k] = layerScales(l)
 		s.anyScaled = s.anyScaled || s.scaled[k]
+	}
+	if err := s.initDurable(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -217,6 +224,7 @@ func (s *Session) fullPass() (*Result, error) {
 	}
 	s.primed = true
 	s.clearPending()
+	s.persistResident()
 	return res, nil
 }
 
@@ -275,6 +283,7 @@ func (s *Session) deltaPass(frontier []int32) (*Result, error) {
 	res.Stats.PersistWallNs = cs.PersistNs
 	res.Stats.WatchdogTrips = eng.WatchdogTrips()
 	s.clearPending()
+	s.persistResident()
 	return res, nil
 }
 

@@ -1,0 +1,370 @@
+package inference
+
+// Durable incremental sessions: the resident-state half of the crash-safety
+// story. The serving layer's mutation WAL makes acknowledged deltas durable;
+// this file makes the state they were applied against durable, so a killed
+// server restarts with "load slabs, replay unconsumed deltas as one delta
+// pass" instead of a full re-prime.
+//
+// After every refresh pass that ran compute, the session deep-copies its
+// per-layer slabs (and scaled wire-message slabs) into recycled capture
+// buffers and hands them — together with the current immutable graph
+// snapshot and the replay mark — to a background persister goroutine, which
+// encodes them as one checkpoint epoch. The copy is the only cost on the
+// refresh path; encoding and disk IO overlap with serving. One persist is in
+// flight at a time: a refresh that finishes while the previous epoch is
+// still writing waits for the capture buffers to come back, bounding memory
+// at two slab sets.
+//
+// The replay mark is the WAL dedup cursor: the highest mutation sequence
+// number whose effects the persisted slabs contain. ResumeSession returns it
+// so the serving layer replays only WAL records above it — a crash between
+// slab-persist and WAL-truncate therefore re-stages some already-truncated
+// records' worth of nothing, never double-applies a batch.
+//
+// Bit-identity across the crash: slab floats round-trip through their
+// IEEE-754 bit patterns (checkpoint.AppendF32s), the graph round-trips
+// through its canonical encoding, and the delta pass that replays the
+// unconsumed mutations is the same bitwise-exact engine path a never-crashed
+// process would have run — so /v1/logits after resume is byte-identical to
+// the oracle.
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"inferturbo/internal/checkpoint"
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/tensor"
+)
+
+func nowNs() int64 { return time.Now().UnixNano() }
+
+const sessionMetaVersion = 1
+
+// SessionDurableStats exposes the persister's observables for /v1/stats.
+type SessionDurableStats struct {
+	Epochs       int64 // epochs durably written by this process
+	Failures     int64 // persist attempts aborted or failed
+	LastWallNs   int64 // wall time of the most recent successful persist
+	BytesWritten int64 // cumulative epoch bytes on disk
+}
+
+// sessionPersistJob is one captured slab set in flight to disk.
+type sessionPersistJob struct {
+	g      *graph.Graph // immutable snapshot; never copied
+	layers []*tensor.Matrix
+	msgs   []*tensor.Matrix
+	mark   uint64
+}
+
+// sessionDurable is the session's background persistence machinery.
+type sessionDurable struct {
+	store     *checkpoint.Store
+	beginHook func(mark uint64) error
+	doneHook  func(epoch int, mark uint64, err error)
+
+	jobs chan *sessionPersistJob
+	free chan *sessionPersistJob // capacity 1: the recycled capture buffers
+	done chan struct{}
+
+	epochs   atomic.Int64
+	failures atomic.Int64
+	lastNs   atomic.Int64
+	// bytes mirrors the store's cumulative byte count: the Store is
+	// persister-goroutine-private, so stats readers take this atomic instead.
+	bytes atomic.Int64
+
+	scratch []byte // persister-goroutine encode scratch
+}
+
+// initDurable wires the persister when SessionDir is set. Called by
+// NewSession (and so by ResumeSession through it).
+func (s *Session) initDurable() error {
+	if s.opts.SessionDir == "" {
+		return nil
+	}
+	st, err := checkpoint.NewStore(s.opts.SessionDir)
+	if err != nil {
+		return err
+	}
+	st.Sync = s.opts.CheckpointSync
+	d := &sessionDurable{
+		store:     st,
+		beginHook: s.opts.SessionPersistBeginHook,
+		doneHook:  s.opts.SessionPersistHook,
+		jobs:      make(chan *sessionPersistJob, 1),
+		free:      make(chan *sessionPersistJob, 1),
+		done:      make(chan struct{}),
+	}
+	d.free <- &sessionPersistJob{}
+	go d.run(s.model)
+	s.dur = d
+	return nil
+}
+
+// Durable reports whether the session persists resident state.
+func (s *Session) Durable() bool { return s.dur != nil }
+
+// ReplayMark returns the highest mutation sequence number the session's
+// state (resident or, after persistence, durable) accounts for.
+func (s *Session) ReplayMark() uint64 { return s.replayMark }
+
+// SetReplayMark advances the replay mark. The serving layer calls it under
+// its refresh lock after draining staged batches into the session, so the
+// epoch persisted by the following Refresh records exactly the WAL prefix it
+// consumed. Never call it mid-Refresh.
+func (s *Session) SetReplayMark(seq uint64) {
+	if seq > s.replayMark {
+		s.replayMark = seq
+	}
+}
+
+// DurableStats snapshots the persister counters (zero when not durable).
+func (s *Session) DurableStats() SessionDurableStats {
+	if s.dur == nil {
+		return SessionDurableStats{}
+	}
+	return SessionDurableStats{
+		Epochs:       s.dur.epochs.Load(),
+		Failures:     s.dur.failures.Load(),
+		LastWallNs:   s.dur.lastNs.Load(),
+		BytesWritten: s.dur.bytes.Load(),
+	}
+}
+
+// CloseDurable drains the in-flight persist (if any) and stops the
+// persister. The session remains usable in memory; further refreshes simply
+// stop persisting. Idempotent.
+func (s *Session) CloseDurable() {
+	if s.dur == nil {
+		return
+	}
+	close(s.dur.jobs)
+	<-s.dur.done
+	s.dur = nil
+}
+
+// persistResident captures the current resident state and enqueues it for
+// background persistence. Runs on the refresh goroutine at the end of a pass
+// that ran compute; blocks only if the previous epoch is still writing (the
+// capture buffers are recycled through d.free).
+func (s *Session) persistResident() {
+	d := s.dur
+	if d == nil || !s.primed {
+		return
+	}
+	job := <-d.free
+	L := s.model.NumLayers()
+	job.g = s.g // immutable: later Mutates build fresh graphs
+	job.mark = s.replayMark
+	if job.layers == nil {
+		job.layers = make([]*tensor.Matrix, L+1)
+		job.msgs = make([]*tensor.Matrix, L)
+	}
+	// layers[0] aliases the graph's feature matrix and travels inside the
+	// graph segment; only the computed slabs need copies.
+	for k := 1; k <= L; k++ {
+		job.layers[k] = copyMatrixInto(job.layers[k], s.layers[k])
+	}
+	for k := 0; k < L; k++ {
+		if s.scaled[k] {
+			job.msgs[k] = copyMatrixInto(job.msgs[k], s.msgs[k])
+		} else {
+			job.msgs[k] = nil
+		}
+	}
+	d.jobs <- job
+}
+
+// copyMatrixInto deep-copies src, reusing dst's backing array when shapes
+// allow — steady-state persists allocate nothing.
+func copyMatrixInto(dst, src *tensor.Matrix) *tensor.Matrix {
+	if dst == nil || dst.Rows != src.Rows || dst.Cols != src.Cols {
+		dst = tensor.New(src.Rows, src.Cols)
+	}
+	copy(dst.Data, src.Data)
+	return dst
+}
+
+// run is the persister goroutine: encode each captured slab set as one epoch,
+// return the buffers for recycling, surface the outcome through the hook.
+func (d *sessionDurable) run(model *gas.Model) {
+	defer close(d.done)
+	for job := range d.jobs {
+		err := d.persistOne(model, job)
+		if err != nil {
+			d.failures.Add(1)
+		}
+		epoch := int(d.epochs.Load())
+		mark := job.mark
+		job.g = nil // drop the graph reference before recycling
+		d.free <- job
+		if d.doneHook != nil {
+			d.doneHook(epoch, mark, err)
+		}
+	}
+}
+
+func (d *sessionDurable) persistOne(model *gas.Model, job *sessionPersistJob) error {
+	if d.beginHook != nil {
+		if err := d.beginHook(job.mark); err != nil {
+			return err
+		}
+	}
+	start := nowNs()
+	L := model.NumLayers()
+	meta := checkpoint.AppendU32(d.scratch[:0], sessionMetaVersion)
+	meta = checkpoint.AppendU64(meta, job.mark)
+	meta = checkpoint.AppendU64(meta, uint64(job.g.NumNodes))
+	meta = checkpoint.AppendU64(meta, uint64(L))
+	meta = checkpoint.AppendU64(meta, uint64(model.InDim()))
+	scaled := make([]bool, L)
+	for k := 0; k < L; k++ {
+		meta = checkpoint.AppendU64(meta, uint64(model.Layers[k].OutDim()))
+		scaled[k] = job.msgs[k] != nil
+	}
+	meta = checkpoint.AppendBools(meta, scaled)
+	d.scratch = meta[:0]
+
+	var gbuf bytes.Buffer
+	if err := job.g.Encode(&gbuf); err != nil {
+		return fmt.Errorf("inference: persist session graph: %w", err)
+	}
+
+	segs := make([]checkpoint.Segment, 0, 2+2*L)
+	segs = append(segs,
+		checkpoint.Segment{Name: "session-meta", Data: meta},
+		checkpoint.Segment{Name: "graph", Data: gbuf.Bytes()},
+	)
+	for k := 1; k <= L; k++ {
+		segs = append(segs, checkpoint.Segment{
+			Name: fmt.Sprintf("layer-%d", k),
+			Data: appendMatrix(nil, job.layers[k]),
+		})
+	}
+	for k := 0; k < L; k++ {
+		if job.msgs[k] != nil {
+			segs = append(segs, checkpoint.Segment{
+				Name: fmt.Sprintf("msgs-%d", k),
+				Data: appendMatrix(nil, job.msgs[k]),
+			})
+		}
+	}
+	if err := d.store.Save(int(job.mark), segs); err != nil {
+		return err
+	}
+	d.epochs.Add(1)
+	d.bytes.Store(d.store.BytesWritten())
+	d.lastNs.Store(nowNs() - start)
+	return nil
+}
+
+// ResumeSession reconstructs a primed Session from the newest valid epoch in
+// opts.SessionDir. Returns (nil, false, nil) on a cold start — no directory
+// or no valid epoch — in which case the caller builds a fresh session with
+// NewSession and primes it with a full pass. On success the session's
+// ReplayMark tells the caller which WAL prefix the resident state already
+// contains; replaying the records above it (Mutate each, then one Refresh)
+// yields logits byte-identical to a process that never crashed.
+func ResumeSession(model *gas.Model, opts Options) (*Session, bool, error) {
+	if opts.SessionDir == "" {
+		return nil, false, fmt.Errorf("inference: ResumeSession requires SessionDir")
+	}
+	st, err := checkpoint.NewStore(opts.SessionDir)
+	if err != nil {
+		return nil, false, err
+	}
+	_, segs, found, err := st.Load()
+	if err != nil || !found {
+		return nil, false, err
+	}
+	bySeg := make(map[string][]byte, len(segs))
+	for _, sg := range segs {
+		bySeg[sg.Name] = sg.Data
+	}
+
+	r := checkpoint.NewReader(bySeg["session-meta"])
+	if v := r.U32(); v != sessionMetaVersion {
+		return nil, false, fmt.Errorf("inference: session epoch version %d, want %d", v, sessionMetaVersion)
+	}
+	mark := r.U64()
+	n := int(r.U64())
+	L := int(r.U64())
+	inDim := int(r.U64())
+	if L != model.NumLayers() || inDim != model.InDim() {
+		return nil, false, fmt.Errorf("inference: session epoch is for a %d-layer/%d-dim model, have %d/%d",
+			L, inDim, model.NumLayers(), model.InDim())
+	}
+	outDims := make([]int, L)
+	for k := range outDims {
+		outDims[k] = int(r.U64())
+	}
+	scaled := r.Bools()
+	if err := r.Err(); err != nil {
+		return nil, false, fmt.Errorf("inference: session epoch meta: %w", err)
+	}
+	if len(scaled) != L {
+		return nil, false, fmt.Errorf("inference: session epoch meta truncated")
+	}
+	for k := 0; k < L; k++ {
+		if outDims[k] != model.Layers[k].OutDim() {
+			return nil, false, fmt.Errorf("inference: session epoch layer %d out-dim %d, model has %d",
+				k, outDims[k], model.Layers[k].OutDim())
+		}
+	}
+
+	g, err := graph.Decode(bytes.NewReader(bySeg["graph"]))
+	if err != nil {
+		return nil, false, fmt.Errorf("inference: session epoch graph: %w", err)
+	}
+	if g.NumNodes != n {
+		return nil, false, fmt.Errorf("inference: session epoch graph has %d nodes, meta says %d", g.NumNodes, n)
+	}
+
+	s, err := NewSession(model, g, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	for k := 0; k < L; k++ {
+		if s.scaled[k] != scaled[k] {
+			s.CloseDurable()
+			return nil, false, fmt.Errorf("inference: session epoch layer %d scaling mismatch", k)
+		}
+	}
+	s.layers = make([]*tensor.Matrix, L+1)
+	s.msgs = make([]*tensor.Matrix, L)
+	s.layers[0] = g.Features
+	for k := 1; k <= L; k++ {
+		mr := checkpoint.NewReader(bySeg[fmt.Sprintf("layer-%d", k)])
+		m := readMatrix(mr)
+		if m == nil || m.Rows != n || m.Cols != outDims[k-1] {
+			s.CloseDurable()
+			return nil, false, fmt.Errorf("inference: session epoch layer %d slab malformed", k)
+		}
+		s.layers[k] = m
+	}
+	for k := 0; k < L; k++ {
+		if !scaled[k] {
+			s.msgs[k] = s.layers[k]
+			continue
+		}
+		mr := checkpoint.NewReader(bySeg[fmt.Sprintf("msgs-%d", k)])
+		m := readMatrix(mr)
+		if m == nil || m.Rows != n || m.Cols != model.Layers[k].InDim() {
+			s.CloseDurable()
+			return nil, false, fmt.Errorf("inference: session epoch message slab %d malformed", k)
+		}
+		s.msgs[k] = m
+	}
+	s.dirtyStep = growInt32(nil, n)
+	s.pendState = growBools(nil, n)
+	s.pendInbox = growBools(nil, n)
+	s.pendPinned = growBools(nil, n)
+	s.primed = true
+	s.replayMark = mark
+	return s, true, nil
+}

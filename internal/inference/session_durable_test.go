@@ -1,0 +1,357 @@
+package inference
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"inferturbo/internal/gas"
+	"inferturbo/internal/graph"
+	"inferturbo/internal/tensor"
+)
+
+// TestSessionDurablePersistResume is the tentpole property at the inference
+// layer: prime → mutate → refresh with SessionDir set, kill the session (a
+// clean Close here; the re-exec tests kill the process), ResumeSession, and
+// the resumed resident state must serve bit-identical logits and support
+// further delta refreshes that stay bit-identical to scratch.
+func TestSessionDurablePersistResume(t *testing.T) {
+	models := map[string]*gas.Model{
+		"gcn":     gas.NewGCNModel("d-gcn", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(121)),
+		"sage-ef": gas.NewSAGEModel("d-sage", gas.TaskSingleLabel, 6, 9, 3, 2, 4, tensor.NewRNG(122)),
+	}
+	seed := int64(300)
+	for name, m := range models {
+		seed++
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			g := sessionTestGraph(seed, true)
+			opts := Options{NumWorkers: 2, DeltaCutover: 1.1, SessionDir: dir}
+			sess, err := NewSession(m, g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sess.Durable() {
+				t.Fatal("SessionDir set but session not durable")
+			}
+			if _, _, err := sess.Refresh(); err != nil {
+				t.Fatal(err)
+			}
+			rng := tensor.NewRNG(seed * 3)
+			var mark uint64
+			for batch := 0; batch < 3; batch++ {
+				if _, err := sess.Mutate(randomDelta(rng, sess.Graph(), true)); err != nil {
+					t.Fatal(err)
+				}
+				mark++
+				sess.SetReplayMark(mark)
+				if _, _, err := sess.Refresh(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := sess.Graph()
+			sess.CloseDurable()
+
+			resumed, ok, err := ResumeSession(m, opts)
+			if err != nil || !ok {
+				t.Fatalf("ResumeSession: ok=%v err=%v", ok, err)
+			}
+			defer resumed.CloseDurable()
+			if !resumed.Primed() || resumed.Pending() {
+				t.Fatalf("resumed session primed=%v pending=%v", resumed.Primed(), resumed.Pending())
+			}
+			if resumed.ReplayMark() != mark {
+				t.Fatalf("resumed replay mark %d, want %d", resumed.ReplayMark(), mark)
+			}
+			if resumed.Graph().NumNodes != want.NumNodes || resumed.Graph().NumEdges != want.NumEdges {
+				t.Fatalf("resumed graph %d/%d nodes/edges, want %d/%d",
+					resumed.Graph().NumNodes, resumed.Graph().NumEdges, want.NumNodes, want.NumEdges)
+			}
+			// Resident logits must match a scratch pass over the same graph.
+			res, kind, err := resumed.Refresh()
+			if err != nil || kind != RefreshDelta {
+				t.Fatalf("resumed idle refresh: kind=%v err=%v", kind, err)
+			}
+			scratch, err := RunPregel(m, resumed.Graph(), Options{NumWorkers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, "resumed resident", res.Logits, scratch.Logits)
+			// And the resumed slabs must carry further delta passes exactly.
+			for batch := 0; batch < 2; batch++ {
+				if _, err := resumed.Mutate(randomDelta(rng, resumed.Graph(), true)); err != nil {
+					t.Fatal(err)
+				}
+				res, kind, err := resumed.Refresh()
+				if err != nil || kind != RefreshDelta {
+					t.Fatalf("post-resume batch %d: kind=%v err=%v", batch, kind, err)
+				}
+				scratch, err := RunPregel(m, resumed.Graph(), Options{NumWorkers: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertBitIdentical(t, fmt.Sprintf("post-resume delta %d", batch), res.Logits, scratch.Logits)
+			}
+		})
+	}
+}
+
+// TestResumeSessionColdStart: no directory, or a directory with no valid
+// epoch, is a clean cold start — (nil, false, nil), no error.
+func TestResumeSessionColdStart(t *testing.T) {
+	if _, _, err := ResumeSession(nil, Options{}); err == nil {
+		t.Fatal("empty SessionDir accepted")
+	}
+	dir := filepath.Join(t.TempDir(), "never-written")
+	s, ok, err := ResumeSession(nil, Options{SessionDir: dir})
+	if s != nil || ok || err != nil {
+		t.Fatalf("cold start: s=%v ok=%v err=%v", s, ok, err)
+	}
+}
+
+// TestResumeSessionShapeMismatch: an epoch persisted for one model must be
+// refused by a model with different dims, not silently loaded.
+func TestResumeSessionShapeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	m := gas.NewGCNModel("shape-a", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(131))
+	sess, err := NewSession(m, sessionTestGraph(41, false), Options{NumWorkers: 2, SessionDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	sess.CloseDurable()
+	other := gas.NewGCNModel("shape-b", gas.TaskSingleLabel, 6, 12, 3, 2, tensor.NewRNG(132))
+	if _, ok, err := ResumeSession(other, Options{SessionDir: dir}); err == nil || ok {
+		t.Fatalf("mismatched model resumed: ok=%v err=%v", ok, err)
+	}
+	threeLayer := gas.NewGCNModel("shape-c", gas.TaskSingleLabel, 6, 9, 3, 3, tensor.NewRNG(133))
+	if _, ok, err := ResumeSession(threeLayer, Options{SessionDir: dir}); err == nil || ok {
+		t.Fatalf("mismatched layer count resumed: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSessionPersistFaultDegrades: a failing persist (the BeginHook seam the
+// chaos tests crash at) must not corrupt the in-memory session — refreshes
+// keep serving exact results, the failure is counted, and the next persist
+// succeeds and covers the full state.
+func TestSessionPersistFaultDegrades(t *testing.T) {
+	dir := t.TempDir()
+	m := gas.NewGCNModel("pf-gcn", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(141))
+	var mu sync.Mutex
+	fail := true
+	var outcomes []error
+	opts := Options{
+		NumWorkers: 2, DeltaCutover: 1.1, SessionDir: dir,
+		SessionPersistBeginHook: func(mark uint64) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if fail {
+				return fmt.Errorf("injected persist fault at mark %d", mark)
+			}
+			return nil
+		},
+		SessionPersistHook: func(epoch int, mark uint64, err error) {
+			mu.Lock()
+			outcomes = append(outcomes, err)
+			mu.Unlock()
+		},
+	}
+	sess, err := NewSession(m, sessionTestGraph(43, false), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.CloseDurable()
+	waitOutcomes := func(n int) []error {
+		t.Helper()
+		for i := 0; i < 500; i++ {
+			mu.Lock()
+			if len(outcomes) >= n {
+				got := append([]error(nil), outcomes...)
+				mu.Unlock()
+				return got
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("persister never reported %d outcomes", n)
+		return nil
+	}
+	if _, _, err := sess.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitOutcomes(1); got[0] == nil {
+		t.Fatal("injected persist fault not reported through the hook")
+	}
+	if ds := sess.DurableStats(); ds.Failures != 1 || ds.Epochs != 0 {
+		t.Fatalf("after fault: %+v", ds)
+	}
+	// Nothing durable yet: resume must be a cold start.
+	if _, ok, err := ResumeSession(m, Options{SessionDir: dir}); ok || err != nil {
+		t.Fatalf("resume after failed persist: ok=%v err=%v", ok, err)
+	}
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	// The next pass persists the same (healthy) resident state.
+	rng := tensor.NewRNG(142)
+	if _, err := sess.Mutate(randomDelta(rng, sess.Graph(), false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitOutcomes(2); got[1] != nil {
+		t.Fatalf("recovered persist errored: %v", got[1])
+	}
+	if ds := sess.DurableStats(); ds.Epochs != 1 {
+		t.Fatalf("after recovery: %+v", ds)
+	}
+	resumed, ok, err := ResumeSession(m, Options{SessionDir: dir})
+	if err != nil || !ok {
+		t.Fatalf("resume after recovery: ok=%v err=%v", ok, err)
+	}
+	defer resumed.CloseDurable()
+	res, _, err := resumed.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := RunPregel(m, resumed.Graph(), Options{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "resume after recovered persist", res.Logits, scratch.Logits)
+}
+
+// TestResumeSessionCorruptNewestEpoch: flipping bytes in the newest epoch
+// file must push Load back to the previous valid epoch, whose earlier replay
+// mark tells the caller to replay more WAL — never a hard failure while an
+// older epoch survives.
+func TestResumeSessionCorruptNewestEpoch(t *testing.T) {
+	dir := t.TempDir()
+	m := gas.NewGCNModel("cor-gcn", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(151))
+	opts := Options{NumWorkers: 2, DeltaCutover: 1.1, SessionDir: dir}
+	sess, err := NewSession(m, sessionTestGraph(47, false), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	sess.SetReplayMark(1)
+	rng := tensor.NewRNG(152)
+	if _, err := sess.Mutate(randomDelta(rng, sess.Graph(), false)); err != nil {
+		t.Fatal(err)
+	}
+	firstGraph := sess.Graph()
+	if _, _, err := sess.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	sess.SetReplayMark(2)
+	if _, err := sess.Mutate(randomDelta(rng, sess.Graph(), false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	sess.CloseDurable()
+
+	epochs, err := filepath.Glob(filepath.Join(dir, "epoch-*.ckpt"))
+	if err != nil || len(epochs) < 2 {
+		t.Fatalf("want >=2 retained epochs, have %v (err=%v)", epochs, err)
+	}
+	newest := epochs[len(epochs)-1]
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(b) / 2; i < len(b)/2+16 && i < len(b); i++ {
+		b[i] ^= 0xff
+	}
+	if err := os.WriteFile(newest, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, ok, err := ResumeSession(m, opts)
+	if err != nil || !ok {
+		t.Fatalf("resume with corrupt newest: ok=%v err=%v", ok, err)
+	}
+	defer resumed.CloseDurable()
+	if resumed.ReplayMark() != 1 {
+		t.Fatalf("fell back to mark %d, want 1 (the previous epoch)", resumed.ReplayMark())
+	}
+	res, _, err := resumed.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := RunPregel(m, firstGraph, Options{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "fallback epoch resident", res.Logits, scratch.Logits)
+}
+
+// TestSessionMutateValidationPaths pins every ApplyDelta rejection reachable
+// through Session.Mutate: each invalid delta must error, leave the graph
+// pointer and pending flag untouched, and keep later refreshes exact.
+func TestSessionMutateValidationPaths(t *testing.T) {
+	m := gas.NewGCNModel("val-gcn", gas.TaskSingleLabel, 6, 9, 3, 2, tensor.NewRNG(161))
+	g := sessionTestGraph(53, false)
+	sess, err := NewSession(m, g, Options{NumWorkers: 2, DeltaCutover: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	n := int32(g.NumNodes)
+	bad := map[string]graph.Delta{
+		"feature node out of range": {Features: []graph.FeatureUpdate{{Node: n, Features: make([]float32, 6)}}},
+		"feature node negative":     {Features: []graph.FeatureUpdate{{Node: -1, Features: make([]float32, 6)}}},
+		"feature dim mismatch":      {Features: []graph.FeatureUpdate{{Node: 0, Features: make([]float32, 5)}}},
+		"new node dim mismatch":     {AddNodes: []graph.NodeAdd{{Features: make([]float32, 7)}}},
+		"edge src out of range":     {AddEdges: []graph.EdgeAdd{{Src: n + 5, Dst: 0}}},
+		"edge dst out of range":     {AddEdges: []graph.EdgeAdd{{Src: 0, Dst: n + 5}}},
+		"edge feature mismatch":     {AddEdges: []graph.EdgeAdd{{Src: 0, Dst: 1, Features: []float32{1}}}},
+		"remove nonexistent":        {RemoveEdges: []graph.EdgeKey{{Src: 0, Dst: 0}}},
+		"remove out of range":       {RemoveEdges: []graph.EdgeKey{{Src: -2, Dst: 0}}},
+	}
+	for label, d := range bad {
+		before := sess.Graph()
+		if _, err := sess.Mutate(d); err == nil {
+			t.Fatalf("%s: not rejected", label)
+		}
+		if sess.Graph() != before {
+			t.Fatalf("%s: failed mutate advanced the graph", label)
+		}
+		if sess.Pending() {
+			t.Fatalf("%s: failed mutate left the session pending", label)
+		}
+	}
+	// The empty delta is a documented no-op, not an error.
+	eff, err := sess.Mutate(graph.Delta{})
+	if err != nil || eff.NumNodes != int(n) {
+		t.Fatalf("empty delta: eff=%+v err=%v", eff, err)
+	}
+	if sess.Pending() {
+		t.Fatal("empty delta marked the session pending")
+	}
+	// After the rejection gauntlet the session still computes exactly.
+	rng := tensor.NewRNG(162)
+	if _, err := sess.Mutate(randomDelta(rng, sess.Graph(), true)); err != nil {
+		t.Fatal(err)
+	}
+	res, kind, err := sess.Refresh()
+	if err != nil || kind != RefreshDelta {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	scratch, err := RunPregel(m, sess.Graph(), Options{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "post-gauntlet delta", res.Logits, scratch.Logits)
+}

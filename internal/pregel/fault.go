@@ -34,6 +34,26 @@ const (
 	// epoch files on disk are the Store's own test surface — see
 	// internal/checkpoint.)
 	FaultDuringCheckpoint
+
+	// The remaining points target the serving layer's durable-session
+	// machinery rather than the engine's superstep lifecycle; the engine
+	// never fires them. For these, Fault.Superstep is reinterpreted as the
+	// zero-based occurrence index of the event (the Nth WAL append, the Nth
+	// epoch persist, ...), keeping injection deterministic.
+
+	// FaultWALAppend fails the Nth mutation's write-ahead-log append: the
+	// serving layer refuses that mutation with a 500 before anything is
+	// staged or acknowledged, so nothing acknowledged can be lost.
+	FaultWALAppend
+	// FaultWALTruncate skips the WAL head-truncation that would follow the
+	// Nth durable session epoch: consumed records linger in the log, and
+	// restart-time replay must dedup them against the epoch's replay mark.
+	FaultWALTruncate
+	// FaultSlabPersist aborts the Nth resident-slab epoch persist before its
+	// write begins: the session keeps serving from memory, nothing durable
+	// changes, and the WAL keeps every record the failed epoch would have
+	// covered.
+	FaultSlabPersist
 )
 
 // String names a FaultPoint for logs and test output.
@@ -47,6 +67,12 @@ func (p FaultPoint) String() string {
 		return "at-barrier"
 	case FaultDuringCheckpoint:
 		return "during-checkpoint"
+	case FaultWALAppend:
+		return "wal-append"
+	case FaultWALTruncate:
+		return "wal-truncate"
+	case FaultSlabPersist:
+		return "slab-persist"
 	}
 	return "unknown"
 }

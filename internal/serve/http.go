@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"inferturbo/internal/graph"
+	"inferturbo/internal/pregel"
 )
 
 // maxBodyBytes bounds a query body; a request larger than this is hostile
@@ -213,8 +214,11 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 // staged batch leaves behind, so drains apply cleanly in order.
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if s.session == nil {
+		s.m.mutationsUnsupported.Add(1)
 		writeJSON(w, http.StatusConflict,
-			MutateResponse{Error: "incremental mode disabled: this server refreshes by full passes only"})
+			MutateResponse{Error: "incremental mode disabled: this server refreshes by full passes only — " +
+				"the mutation was rejected before staging, nothing was acknowledged and nothing is lost; " +
+				"re-send it to a server running with incremental refresh enabled"})
 		return
 	}
 	var req MutateRequest
@@ -248,15 +252,40 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, MutateResponse{Error: msg})
 		return
 	}
+	// Durability boundary: the batch reaches the WAL before it is staged or
+	// acknowledged, under stagedMu so WAL order equals staged order. A failed
+	// append refuses the mutation outright — the client knows nothing was
+	// staged, so nothing acknowledged can ever be lost.
+	var seq uint64
+	if s.wal != nil {
+		seq = s.walSeq + 1
+		var aerr error
+		if s.faults.fire(pregel.FaultWALAppend) {
+			aerr = fmt.Errorf("injected wal-append fault")
+		} else {
+			aerr = s.wal.Append(seq, encodeDelta(nil, d))
+		}
+		if aerr != nil {
+			s.stagedMu.Unlock()
+			s.m.walAppendFailures.Add(1)
+			writeJSON(w, http.StatusInternalServerError,
+				MutateResponse{Error: "write-ahead log append failed: mutation not staged, not acknowledged — nothing is lost; retry: " + aerr.Error()})
+			return
+		}
+		s.walSeq = seq
+	}
 	var newIDs []int32
 	for i := range d.AddNodes {
 		newIDs = append(newIDs, int32(s.stagedNodes+i))
 	}
-	s.staged = append(s.staged, d)
+	s.staged = append(s.staged, stagedDelta{seq: seq, d: d})
 	s.stagedNodes += len(d.AddNodes)
 	pending := len(s.staged)
 	s.stagedMu.Unlock()
 	s.m.mutations.Add(1)
+	if hook := s.cfg.MutateAckHook; hook != nil {
+		hook(seq)
+	}
 
 	resp := MutateResponse{PendingDeltas: pending, NewNodes: newIDs}
 	if req.Refresh {

@@ -18,9 +18,18 @@ type counters struct {
 	refreshes       atomic.Int64 // successful refresh passes (full or delta)
 	refreshFailures atomic.Int64
 
-	mutations         atomic.Int64 // delta batches staged via /v1/mutate
-	mutationsApplied  atomic.Int64 // staged batches a refresh drain applied
-	mutationsRejected atomic.Int64 // staged batches the session refused at drain
+	mutations            atomic.Int64 // delta batches staged via /v1/mutate
+	mutationsApplied     atomic.Int64 // staged batches a refresh drain applied
+	mutationsRejected    atomic.Int64 // staged batches the session refused at drain
+	mutationsUnsupported atomic.Int64 // mutations 409-refused in non-incremental mode (never staged, never lost)
+	mutationsLost        atomic.Int64 // acked batches dropped at Close on a WAL-less incremental server
+
+	walAppendFailures      atomic.Int64 // mutations refused because the WAL append failed
+	walReplayed            atomic.Int64 // WAL records re-staged at startup
+	walTruncSkipped        atomic.Int64 // truncations skipped by an injected wal-truncate fault
+	walTruncFailures       atomic.Int64 // truncations that errored (records linger; replay dedups)
+	sessionEpochs          atomic.Int64 // durable session epochs persisted
+	sessionPersistFailures atomic.Int64 // session epoch persists aborted or failed
 }
 
 // metricKind tags a jobResult with the counter to bump when it is actually
@@ -70,6 +79,32 @@ type Stats struct {
 	PendingDeltas     int     `json:"pending_deltas"`
 	LastRefreshKind   string  `json:"last_refresh_kind,omitempty"`
 	LastRefreshMs     float64 `json:"last_refresh_ms"`
+
+	// Mutation-loss accounting. Unsupported counts 409-refused mutations on
+	// a non-incremental server (refused before staging — never lost); Lost
+	// counts acknowledged batches a WAL-less incremental server dropped at
+	// shutdown. A durable server keeps Lost at zero by construction.
+	MutationsUnsupported int64 `json:"mutations_unsupported"`
+	MutationsLost        int64 `json:"mutations_lost"`
+
+	// Durable-session observables, meaningful when Durable is true.
+	// WALRecords/WALBytes gauge the live (unconsumed) log; LastReplayMs is
+	// the startup WAL replay's wall time; SessionResumed says this process
+	// reconstructed its session from a persisted epoch rather than priming
+	// cold.
+	Durable                bool    `json:"durable"`
+	WALRecords             int     `json:"wal_records"`
+	WALBytes               int64   `json:"wal_bytes"`
+	WALAppends             int64   `json:"wal_appends"`
+	WALAppendFailures      int64   `json:"wal_append_failures"`
+	WALReplayed            int64   `json:"wal_replayed"`
+	WALTruncations         int64   `json:"wal_truncations"`
+	WALTruncSkipped        int64   `json:"wal_trunc_skipped"`
+	LastReplayMs           float64 `json:"last_replay_ms"`
+	SessionResumed         bool    `json:"session_resumed"`
+	SessionEpochs          int64   `json:"session_epochs"`
+	SessionPersistFailures int64   `json:"session_persist_failures"`
+	SessionPersistMs       float64 `json:"session_persist_ms"`
 }
 
 // Metrics assembles a consistent-enough view of the serving counters.
@@ -95,10 +130,30 @@ func (s *Server) Metrics() Stats {
 		Mutations:         s.m.mutations.Load(),
 		MutationsApplied:  s.m.mutationsApplied.Load(),
 		MutationsRejected: s.m.mutationsRejected.Load(),
+
+		MutationsUnsupported: s.m.mutationsUnsupported.Load(),
+		MutationsLost:        s.m.mutationsLost.Load(),
 	}
 	s.stagedMu.Lock()
 	st.PendingDeltas = len(s.staged)
 	s.stagedMu.Unlock()
+	if s.wal != nil {
+		st.Durable = true
+		st.WALRecords = s.wal.Records()
+		st.WALBytes = s.wal.Bytes()
+		st.WALAppends = s.wal.Appended()
+		st.WALTruncations = s.wal.Truncations()
+		st.WALAppendFailures = s.m.walAppendFailures.Load()
+		st.WALReplayed = s.m.walReplayed.Load()
+		st.WALTruncSkipped = s.m.walTruncSkipped.Load()
+		st.LastReplayMs = float64(s.lastReplayNs.Load()) / 1e6
+		st.SessionResumed = s.sessionResumed
+		st.SessionEpochs = s.m.sessionEpochs.Load()
+		st.SessionPersistFailures = s.m.sessionPersistFailures.Load()
+		if s.session != nil {
+			st.SessionPersistMs = float64(s.session.DurableStats().LastWallNs) / 1e6
+		}
+	}
 	st.Ready, _ = s.Ready()
 	if snap := s.snap.Load(); snap != nil {
 		st.Epoch = snap.Epoch

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"inferturbo/internal/checkpoint"
 	"inferturbo/internal/gas"
 	"inferturbo/internal/graph"
 	"inferturbo/internal/inference"
@@ -79,6 +80,27 @@ type Config struct {
 	// options the Session rejects (durable CheckpointDir/Resume, subgraph
 	// strategy knobs) disable incremental mode implicitly.
 	DisableIncremental bool
+	// SessionDir makes the mutate→refresh pipeline crash-durable: mutation
+	// batches append to a write-ahead log under this directory before they
+	// are acknowledged, the incremental session persists its resident slabs
+	// as checkpoint epochs under it, and New resumes from both — a restarted
+	// server replays unconsumed mutations as one delta pass instead of a
+	// full re-prime, with /v1/logits byte-identical to a never-crashed
+	// process. Requires incremental mode: combining it with
+	// DisableIncremental, or with Refresh options the Session rejects, is a
+	// construction error (durability must never silently fall back to losing
+	// state). Durability level follows Refresh.CheckpointSync.
+	SessionDir string
+	// MutateAckHook, when non-nil, runs after a mutation batch has been
+	// WAL-appended and staged (i.e. once it is guaranteed recoverable),
+	// with the batch's WAL sequence number — the post-mutate-ack SIGKILL
+	// seam for the crash tests. Nil outside tests.
+	MutateAckHook func(seq uint64)
+	// WALTruncateHook, when non-nil, runs on the persister goroutine
+	// immediately before the WAL truncation that follows a durable session
+	// epoch, with the replay mark being truncated through — the
+	// pre-WAL-truncate SIGKILL seam. Nil outside tests.
+	WALTruncateHook func(mark uint64)
 }
 
 // Snapshot is one immutable full-graph pass result — the resident store.
@@ -123,9 +145,16 @@ type Server struct {
 	// the start of the next refresh, so POST /v1/mutate never blocks on a
 	// running pass.
 	session     *inference.Session
-	stagedMu    sync.Mutex // guards staged and stagedNodes
-	staged      []graph.Delta
-	stagedNodes int // node count after every staged delta applies, in order
+	stagedMu    sync.Mutex // guards staged, stagedNodes and walSeq
+	staged      []stagedDelta
+	stagedNodes int    // node count after every staged delta applies, in order
+	walSeq      uint64 // last WAL sequence number assigned (or replayed)
+
+	// Durable-serving state, nil/zero unless Config.SessionDir is set.
+	wal            *checkpoint.WAL
+	faults         *serveFaults
+	sessionResumed bool
+	lastReplayNs   atomic.Int64
 
 	m counters
 
@@ -172,10 +201,15 @@ func New(cfg Config) (*Server, error) {
 		stop:        make(chan struct{}),
 		stagedNodes: cfg.Graph.NumNodes,
 	}
-	if !cfg.DisableIncremental {
+	if cfg.SessionDir != "" {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	} else if !cfg.DisableIncremental {
 		// An incompatible Refresh config (durable checkpoints, subgraph
 		// strategy knobs) falls back to the one-shot path; /v1/mutate then
-		// reports the server as non-incremental.
+		// reports the server as non-incremental. With SessionDir set the
+		// fallback is forbidden — openDurable errors loudly instead.
 		if sess, err := inference.NewSession(cfg.Model, cfg.Graph, cfg.Refresh); err == nil {
 			s.session = sess
 		}
@@ -215,7 +249,12 @@ func (s *Server) Start() error {
 }
 
 // Close stops the background goroutines and fails any queued requests with
-// a shutdown status. Idempotent.
+// a shutdown status, then shuts the durable machinery down cleanly: the
+// in-flight session epoch drains and the WAL is fsynced regardless of sync
+// mode, so a graceful stop is power-loss durable. On a non-durable
+// incremental server, acknowledged-but-unrefreshed batches die with the
+// process here — they are counted as lost (the observable the WAL exists to
+// zero out). Idempotent.
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
@@ -226,8 +265,21 @@ func (s *Server) Close() {
 		case j := <-s.queue:
 			s.finish(j, jobResult{status: 503, errMsg: "server shutting down", metric: metricError})
 		default:
-			return
+			goto drained
 		}
+	}
+drained:
+	if s.session != nil {
+		s.session.CloseDurable()
+	}
+	s.stagedMu.Lock()
+	pending := len(s.staged)
+	s.stagedMu.Unlock()
+	if s.wal != nil {
+		// Pending batches are WAL-durable: the next start replays them.
+		_ = s.wal.Close()
+	} else if s.session != nil && pending > 0 {
+		s.m.mutationsLost.Add(int64(pending))
 	}
 }
 
@@ -327,8 +379,9 @@ func (s *Server) runRefresh(prev *Snapshot) (res *inference.Result, kind string,
 	// Chaos harnesses arm fault plans between refreshes; forward the current
 	// plan so injected crashes hit the incremental pass too.
 	s.session.SetFaults(s.cfg.Refresh.Faults)
-	for _, d := range staged {
-		if _, merr := s.session.Mutate(d); merr != nil {
+	var mark uint64
+	for _, sd := range staged {
+		if _, merr := s.session.Mutate(sd.d); merr != nil {
 			// Stage-time validation leaves only drain-order conflicts (e.g. a
 			// removal whose edge an earlier batch already dropped): the batch
 			// is rejected, the pass proceeds.
@@ -336,14 +389,23 @@ func (s *Server) runRefresh(prev *Snapshot) (res *inference.Result, kind string,
 		} else {
 			s.m.mutationsApplied.Add(1)
 		}
+		// Rejected batches advance the mark too: they are consumed — a
+		// restart replaying them would reject them identically.
+		mark = sd.seq
+	}
+	if mark > 0 {
+		// The epoch persisted after this pass covers the WAL prefix just
+		// drained; onSessionPersist truncates through this mark once (and
+		// only once) that epoch is durable.
+		s.session.SetReplayMark(mark)
 	}
 	// Resync the staging node count to what actually applied, so a rejected
 	// batch's phantom node ids don't loosen stage-time validation forever
 	// (batches staged during the drain stay counted).
 	s.stagedMu.Lock()
 	n := s.session.Graph().NumNodes
-	for _, d := range s.staged {
-		n += len(d.AddNodes)
+	for _, sd := range s.staged {
+		n += len(sd.d.AddNodes)
 	}
 	s.stagedNodes = n
 	s.stagedMu.Unlock()
